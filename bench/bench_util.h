@@ -1,0 +1,45 @@
+// Shared helpers for the reproduction benches: consistent table printing
+// with paper-vs-measured columns.
+//
+// Every bench prints simulated-time results calibrated against the paper's
+// HP dc5750 (Broadcom BCM0102 TPM); benches re-run key rows under the
+// Infineon profile where §7 quotes both.
+
+#ifndef FLICKER_BENCH_BENCH_UTIL_H_
+#define FLICKER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace flicker {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("---------------------------------------------------------------------\n");
+}
+
+// A row comparing the paper's reported number with our simulated one.
+inline void PrintCompareRow(const char* label, double paper, double measured, const char* unit) {
+  double delta_pct = paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("%-34s %10.1f %10.1f %6s  %+6.1f%%\n", label, paper, measured, unit, delta_pct);
+}
+
+inline void PrintCompareHeader() {
+  std::printf("%-34s %10s %10s %6s  %7s\n", "operation", "paper", "measured", "unit", "delta");
+  PrintRule();
+}
+
+inline std::string FormatMinSec(double seconds) {
+  int minutes = static_cast<int>(seconds) / 60;
+  double rest = seconds - minutes * 60;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%d:%04.1f", minutes, rest);
+  return std::string(buffer);
+}
+
+}  // namespace flicker
+
+#endif  // FLICKER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,138 @@
+// Host-side microbenchmarks (google-benchmark) of the from-scratch crypto
+// substrate. These measure real wall time of the primitives every simulated
+// TPM/PAL operation executes, complementing the calibrated simulated-time
+// benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/bytes.h"
+#include "src/crypto/aes.h"
+#include "src/crypto/bigint.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/md5.h"
+#include "src/crypto/md5crypt.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha512.h"
+
+namespace flicker {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  Drbg rng(1);
+  Bytes data = rng.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  Drbg rng(2);
+  Bytes data = rng.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  Drbg rng(3);
+  Bytes data = rng.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(4096)->Arg(65536);
+
+void BM_Md5(benchmark::State& state) {
+  Drbg rng(4);
+  Bytes data = rng.Generate(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Md5);
+
+void BM_Md5Crypt(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5Crypt("correct horse battery staple", "a1b2c3d4"));
+  }
+}
+BENCHMARK(BM_Md5Crypt);
+
+void BM_HmacSha1(benchmark::State& state) {
+  Drbg rng(5);
+  Bytes key = rng.Generate(20);
+  Bytes data = rng.Generate(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha1(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha1);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  Drbg rng(6);
+  Aes aes(rng.Generate(16));
+  Bytes iv = rng.Generate(16);
+  Bytes data = rng.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes.EncryptCbc(data, iv));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(1024)->Arg(16384);
+
+void BM_BigIntModExp1024(benchmark::State& state) {
+  Drbg rng(7);
+  BigInt base = BigInt::FromBytesBe(rng.Generate(128));
+  BigInt exp = BigInt::FromBytesBe(rng.Generate(128));
+  BigInt mod = BigInt::FromBytesBe(rng.Generate(128));
+  if (!mod.IsOdd()) {
+    mod = mod + BigInt(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModExp(base, exp, mod));
+  }
+}
+BENCHMARK(BM_BigIntModExp1024);
+
+void BM_RsaKeygen1024(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Drbg rng(seed++);
+    benchmark::DoNotOptimize(RsaGenerateKey(1024, &rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen1024)->Unit(benchmark::kMillisecond);
+
+void BM_RsaDecrypt1024(benchmark::State& state) {
+  Drbg rng(9);
+  RsaPrivateKey key = RsaGenerateKey(1024, &rng);
+  Bytes ct = RsaEncryptPkcs1(key.pub, BytesOf("payload"), &rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaDecryptPkcs1(key, ct));
+  }
+}
+BENCHMARK(BM_RsaDecrypt1024);
+
+void BM_RsaSignSha1_1024(benchmark::State& state) {
+  Drbg rng(10);
+  RsaPrivateKey key = RsaGenerateKey(1024, &rng);
+  Bytes msg = BytesOf("certificate payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaSignSha1(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSignSha1_1024);
+
+}  // namespace
+}  // namespace flicker
+
+BENCHMARK_MAIN();

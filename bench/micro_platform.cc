@@ -1,0 +1,76 @@
+// Host-side throughput of the simulator itself (google-benchmark): how many
+// real microseconds one simulated Flicker operation costs. Useful when
+// sizing large simulated campaigns (fleet tests, long Table 3 sweeps).
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/hello.h"
+#include "src/core/flicker_platform.h"
+#include "src/crypto/sha1.h"
+#include "src/tpm/tpm_util.h"
+
+namespace flicker {
+namespace {
+
+void BM_BuildPal(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPal(std::make_shared<HelloWorldPal>()));
+  }
+}
+BENCHMARK(BM_BuildPal);
+
+void BM_FullFlickerSession(benchmark::State& state) {
+  FlickerPlatform platform;
+  PalBinary binary = BuildPal(std::make_shared<HelloWorldPal>()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform.ExecuteSession(binary, Bytes()));
+  }
+}
+BENCHMARK(BM_FullFlickerSession)->Unit(benchmark::kMicrosecond);
+
+void BM_TpmSealUnseal(benchmark::State& state) {
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  Bytes auth = Sha1::Digest(BytesOf("bench"));
+  Bytes data(64, 0x42);
+  for (auto _ : state) {
+    Result<SealedBlob> blob = TpmSealData(&tpm, data, PcrSelection({17}), {}, auth);
+    benchmark::DoNotOptimize(TpmUnsealData(&tpm, blob.value(), auth));
+  }
+}
+BENCHMARK(BM_TpmSealUnseal)->Unit(benchmark::kMicrosecond);
+
+void BM_TpmQuote(benchmark::State& state) {
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  Bytes nonce(20, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpm.Quote(nonce, PcrSelection({17})));
+  }
+}
+BENCHMARK(BM_TpmQuote)->Unit(benchmark::kMicrosecond);
+
+void BM_MachineSkinit(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Machine machine{MachineConfig{}};
+    Bytes image(kSlbRegionSize, 0);
+    image[0] = 0x00;
+    image[1] = 0x10;
+    (void)machine.memory()->Write(0x100000, image);
+    for (int i = 1; i < machine.num_cpus(); ++i) {
+      machine.cpu(i)->state = CpuState::kIdle;
+      (void)machine.apic()->SendInitIpi(i);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(machine.Skinit(0, 0x100000));
+  }
+}
+BENCHMARK(BM_MachineSkinit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace flicker
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// §7.4.2 reproduction: certificate-authority signing latency (paper:
+// 906.2 ms average over 100 trials, unseal-dominated; signature itself
+// ~4.7 ms).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/apps/ca.h"
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+namespace {
+
+void RunProfile(const char* name, const TimingModel& timing, int trials) {
+  FlickerPlatformConfig config;
+  config.machine.timing = timing;
+  FlickerPlatform platform(config);
+  Bytes owner_auth = Sha1::Digest(BytesOf("owner"));
+  if (!platform.tpm()->TakeOwnership(owner_auth).ok()) {
+    return;
+  }
+
+  PalBuildOptions options;
+  options.measurement_stub = true;
+  PalBinary binary = BuildPal(std::make_shared<CaPal>(), options).value();
+  CertificateAuthorityHost host(&platform, &binary, "Flicker CA");
+  if (!host.Initialize(owner_auth).ok()) {
+    std::printf("CA init failed\n");
+    return;
+  }
+
+  CaPolicy policy;
+  policy.allowed_suffixes = {".corp.example.com"};
+
+  double total = 0;
+  int issued = 0;
+  for (int i = 0; i < trials; ++i) {
+    CertificateSigningRequest csr;
+    csr.subject = "host" + std::to_string(i) + ".corp.example.com";
+    Drbg rng(BytesOf(csr.subject));
+    csr.subject_public_key = RsaGenerateKey(512, &rng).pub.Serialize();
+    CertificateAuthorityHost::SignReport report = host.SignCertificate(csr, policy);
+    if (report.status.ok()) {
+      total += report.session_ms;
+      ++issued;
+      if (!CertificateAuthorityHost::VerifyCertificate(host.ca_public_key(),
+                                                       report.certificate)) {
+        std::printf("ISSUED CERTIFICATE FAILED VERIFICATION\n");
+      }
+    }
+  }
+
+  PrintHeader(std::string("Sec 7.4.2: CA certificate signing [") + name + "]");
+  PrintCompareHeader();
+  PrintCompareRow("sign request (avg)", 906.2, total / issued, "ms");
+  PrintCompareRow("  RSA signature alone", 4.7, timing.cpu.rsa1024_sign_ms, "ms");
+  PrintCompareRow("  Unseal (dominant)", 898.3, timing.tpm.unseal_ms, "ms");
+  std::printf("issued %d certificates (serials 1..%d), all verified against the CA key\n",
+              issued, issued);
+
+  // Policy rejection demo.
+  CertificateSigningRequest evil;
+  evil.subject = "www.evil.com";
+  evil.subject_public_key = Bytes(16, 1);
+  CertificateAuthorityHost::SignReport rejected = host.SignCertificate(evil, policy);
+  std::printf("CSR for %s: %s\n", evil.subject.c_str(), rejected.status.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace flicker
+
+int main() {
+  flicker::RunProfile("Broadcom BCM0102", flicker::DefaultTimingModel(), 20);
+  flicker::RunProfile("Infineon", flicker::InfineonTimingModel(), 20);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §7.5 reproduction: impact on the suspended OS. The paper copies large
+// files (CD-ROM/HDD/USB) while 8.3 s distributed-computing sessions run with
+// 37 ms OS windows; md5sum confirms no corruption and the kernel reports no
+// I/O errors. We reproduce all four transfer pairs with a descriptor-ring
+// device model.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/os/devices.h"
+
+namespace flicker {
+namespace {
+
+void RunCopy(const char* label, double device_mb_per_s, uint64_t total_mb) {
+  BlockCopyParams params;
+  params.total_bytes = total_mb * 1024 * 1024;
+  params.device_mb_per_s = device_mb_per_s;
+  params.session_ms = 8300.0;  // Paper: sessions average 8.3 s.
+  params.os_window_ms = 37.0;  // Paper: OS runs ~37 ms in between.
+  BlockCopyReport report = SimulateBlockCopyDuringSessions(params);
+
+  bool integral = report.source_digest == report.delivered_digest;
+  std::printf("%-26s %6llu MB %9.1f s %7llu %8.1f s %10s %8s\n", label,
+              static_cast<unsigned long long>(total_mb), report.elapsed_ms / 1000.0,
+              static_cast<unsigned long long>(report.stall_events), report.stall_ms / 1000.0,
+              report.io_errors == 0 ? "0" : "NONZERO", integral ? "OK" : "CORRUPT");
+}
+
+}  // namespace
+}  // namespace flicker
+
+int main() {
+  flicker::PrintHeader(
+      "Sec 7.5: bulk copies during repeated Flicker sessions (8.3 s / 37 ms)");
+  std::printf("%-26s %9s %11s %7s %10s %10s %8s\n", "transfer", "size", "elapsed", "stalls",
+              "stall time", "io errors", "md5sum");
+  flicker::PrintRule();
+  // The paper's four pairs: CD-ROM ~8 MB/s sustained, HDD ~40, USB ~20.
+  flicker::RunCopy("CD-ROM -> hard drive", 8.0, 256);
+  flicker::RunCopy("CD-ROM -> USB drive", 8.0, 256);
+  flicker::RunCopy("hard drive -> USB drive", 20.0, 1024);
+  flicker::RunCopy("USB drive -> hard drive", 20.0, 1024);
+  std::printf("\n(paper: \"the kernel did not report any I/O errors, and integrity checks\n"
+              " with md5sum confirmed that the integrity of all files remained intact\";\n"
+              " transfers are delayed - the device stalls on a full descriptor ring -\n"
+              " but never lost.)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 1 reproduction: rootkit-detector overhead breakdown and the §7.1
+// end-to-end query latency, under both TPM profiles.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/apps/rootkit_detector.h"
+
+namespace flicker {
+namespace {
+
+void RunProfile(const char* profile_name, const TimingModel& timing) {
+  FlickerPlatformConfig config;
+  config.machine.timing = timing;
+  FlickerPlatform platform(config);
+
+  PalBinary binary = BuildPal(std::make_shared<RootkitDetectorPal>()).value();
+  PrivacyCa ca;
+  AikCertificate cert = ca.Certify(platform.tpm()->aik_public(), "remote-host");
+  RootkitMonitor monitor(&binary, platform.kernel()->pristine_measurement(), ca.public_key(),
+                         cert);
+  Channel channel(platform.clock());
+
+  // Warm-up query, then the measured one (25 paper trials; deterministic sim
+  // needs one).
+  monitor.Query(&platform, &channel);
+  double t0 = platform.clock()->NowMillis();
+  RootkitMonitor::QueryReport report = monitor.Query(&platform, &channel);
+  double total = platform.clock()->NowMillis() - t0;
+  if (!report.status.ok()) {
+    std::printf("QUERY FAILED: %s\n", report.status.ToString().c_str());
+    return;
+  }
+
+  PrintHeader(std::string("Table 1: rootkit detector breakdown [") + profile_name + "]");
+  PrintCompareHeader();
+  double extend_ms = timing.tpm.pcr_extend_ms;
+  double hash_ms = timing.Sha1Millis(2 * 1024 * 1024 + 4096 + 176 * 1024);
+  bool is_broadcom = timing.tpm.name == "Broadcom BCM0102";
+  // Paper columns are Broadcom-only; for Infineon we still print the paper
+  // numbers for reference.
+  PrintCompareRow("SKINIT", 15.4, report.skinit_ms, "ms");
+  PrintCompareRow("PCR Extend", 1.2, extend_ms, "ms");
+  PrintCompareRow("Hash of kernel", 22.0, hash_ms, "ms");
+  PrintCompareRow("TPM Quote", 972.7, report.quote_ms, "ms");
+  PrintCompareRow("Total query latency", 1022.7, total, "ms");
+  std::printf("(verdict: attestation %s, kernel %s)\n",
+              report.status.ok() ? "valid" : "INVALID", report.kernel_clean ? "clean" : "TAMPERED");
+  if (!is_broadcom) {
+    std::printf("note: paper columns are the Broadcom numbers; this run shows the\n"
+                "Infineon TPM cutting the quote-dominated latency (§7.2).\n");
+  }
+
+  // Also demonstrate detection: install a rootkit, re-query.
+  if (is_broadcom) {
+    if (platform.kernel()->InstallSyscallHook(11).ok()) {
+      RootkitMonitor::QueryReport detect = monitor.Query(&platform, &channel);
+      std::printf("with syscall hook installed: attestation %s, kernel %s\n",
+                  detect.status.ok() ? "valid" : "INVALID",
+                  detect.kernel_clean ? "clean (BUG!)" : "TAMPERED (detected)");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flicker
+
+int main() {
+  flicker::RunProfile("Broadcom BCM0102", flicker::DefaultTimingModel());
+  flicker::RunProfile("Infineon", flicker::InfineonTimingModel());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 3 reproduction: impact of periodic rootkit detection on a kernel
+// build. The paper builds Linux 2.6.20 (7:22.6 baseline) while the detector
+// runs every 5:00 / 3:00 / 2:00 / 1:00 / 0:30; the impact is lost in noise.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/apps/rootkit_detector.h"
+
+namespace flicker {
+namespace {
+
+constexpr double kBaselineBuildSeconds = 442.6;  // 7:22.6.
+
+// Simulates the build as BSP-bound work; every `period_s` the flicker-module
+// suspends the OS for one detection session (measured for real on the
+// platform). The quote runs on the untrusted OS concurrently with the build
+// (it is TPM-bound, not CPU-bound), so only the session pause costs time.
+double SimulateBuild(double period_s) {
+  FlickerPlatform platform;
+  PalBinary binary = BuildPal(std::make_shared<RootkitDetectorPal>()).value();
+  Bytes inputs = platform.kernel()->SerializeRegions();
+
+  double work_left_s = kBaselineBuildSeconds;
+  double build_elapsed_s = 0;
+  double until_detection_s = period_s;
+  while (work_left_s > 0) {
+    double slice = period_s > 0 && until_detection_s < work_left_s ? until_detection_s
+                                                                   : work_left_s;
+    work_left_s -= slice;
+    build_elapsed_s += slice;
+    until_detection_s -= slice;
+    if (period_s > 0 && until_detection_s <= 0 && work_left_s > 0) {
+      Result<FlickerSessionResult> session = platform.ExecuteSession(binary, inputs);
+      if (session.ok()) {
+        build_elapsed_s += session.value().session_total_ms / 1000.0;
+      }
+      until_detection_s = period_s;
+    }
+  }
+  return build_elapsed_s;
+}
+
+void RunTable3() {
+  PrintHeader("Table 3: kernel build time vs rootkit-detection period");
+  std::printf("%-18s %14s %14s %10s\n", "detection period", "paper [m:s]", "measured [m:s]",
+              "overhead");
+  PrintRule();
+  struct Row {
+    const char* label;
+    double period_s;
+    const char* paper;
+  };
+  for (const Row& row : {Row{"No Detection", 0, "7:22.6"}, Row{"5:00", 300, "7:21.4"},
+                         Row{"3:00", 180, "7:21.4"}, Row{"2:00", 120, "7:21.8"},
+                         Row{"1:00", 60, "7:21.9"}, Row{"0:30", 30, "7:22.6"}}) {
+    double measured = SimulateBuild(row.period_s);
+    std::printf("%-18s %14s %14s %+9.2f%%\n", row.label, row.paper,
+                FormatMinSec(measured).c_str(),
+                (measured - kBaselineBuildSeconds) / kBaselineBuildSeconds * 100.0);
+  }
+  std::printf("(paper: differences are within measurement noise - std dev up to 2.6 s;\n"
+              " our deterministic simulator shows the true added cost: ~40 ms/session)\n");
+}
+
+}  // namespace
+}  // namespace flicker
+
+int main() {
+  flicker::RunTable3();
+  return 0;
+}

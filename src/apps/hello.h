@@ -1,0 +1,27 @@
+// The paper's Fig. 5 "Hello, world" PAL: ignores its inputs and writes a
+// fixed message to the well-known output location. The minimal PAL - it
+// links nothing but the mandatory SLB Core.
+
+#ifndef FLICKER_SRC_APPS_HELLO_H_
+#define FLICKER_SRC_APPS_HELLO_H_
+
+#include "src/slb/pal.h"
+
+namespace flicker {
+
+class HelloWorldPal : public Pal {
+ public:
+  std::string name() const override { return "hello-world"; }
+  std::vector<std::string> required_modules() const override { return {}; }
+  std::vector<std::string> required_symbols() const override { return {"PAL_OUT"}; }
+  size_t app_code_bytes() const override { return 96; }
+  int app_lines_of_code() const override { return 6; }
+
+  Status Execute(PalContext* context) override {
+    return context->SetOutputs(BytesOf("Hello, world"));
+  }
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_APPS_HELLO_H_

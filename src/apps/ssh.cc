@@ -1,0 +1,201 @@
+#include "src/apps/ssh.h"
+
+#include "src/common/serde.h"
+#include "src/crypto/md5crypt.h"
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+
+namespace {
+
+Bytes SshBlobAuth() {
+  return Sha1::Digest(BytesOf("ssh-pal-private-key-auth"));
+}
+
+}  // namespace
+
+Status SshPal::Execute(PalContext* context) {
+  Reader in(context->inputs());
+  uint8_t mode = in.U8();
+
+  if (mode == kSshModeSetup) {
+    Result<SecureChannelKeyMaterial> material =
+        SecureChannelModule::GenerateAndSeal(context, SshBlobAuth());
+    if (!material.ok()) {
+      return material.status();
+    }
+    return context->SetOutputs(material.value().Serialize());
+  }
+
+  if (mode != kSshModeLogin) {
+    return InvalidArgumentError("unknown SSH PAL mode");
+  }
+
+  Bytes sealed_private_key = in.Blob();
+  Bytes ciphertext = in.Blob();
+  std::string salt = in.Str();
+  Bytes nonce = in.Blob();
+  if (!in.ok()) {
+    return InvalidArgumentError("corrupt login-session inputs");
+  }
+
+  // K_PAL^-1 <- unseal(sdata); {password, nonce'} <- decrypt(c).
+  Result<RsaPrivateKey> key =
+      SecureChannelModule::UnsealPrivateKey(context, sealed_private_key, SshBlobAuth());
+  if (!key.ok()) {
+    return key.status();
+  }
+  Result<Bytes> plaintext = SecureChannelModule::Decrypt(context, key.value(), ciphertext);
+  if (!plaintext.ok()) {
+    return plaintext.status();
+  }
+
+  Reader payload(plaintext.value());
+  std::string password = payload.Str();
+  Bytes nonce_prime = payload.Blob();
+  if (!payload.ok()) {
+    return InvalidArgumentError("corrupt encrypted payload");
+  }
+  // if (nonce' != nonce) abort - replay protection against a well-behaved
+  // server being fed an old ciphertext (Fig. 7).
+  if (!ConstantTimeEquals(nonce_prime, nonce)) {
+    return ReplayDetectedError("login nonce mismatch (replayed ciphertext?)");
+  }
+
+  // hash <- md5crypt(salt, password); only the hash leaves the session.
+  context->ChargeMd5Crypt();
+  std::string hash = Md5Crypt(password, salt);
+  SecureErase(const_cast<char*>(password.data()), password.size());
+  return context->SetOutputs(BytesOf(hash));
+}
+
+SshServer::SshServer(FlickerPlatform* platform, const PalBinary* binary)
+    : platform_(platform), binary_(binary) {}
+
+Status SshServer::AddUser(const std::string& username, const std::string& password,
+                          const std::string& salt) {
+  PasswdEntry entry;
+  entry.username = username;
+  entry.salt = salt;
+  entry.hashed_passwd = Md5Crypt(password, salt);
+  passwd_[username] = entry;
+  return Status::Ok();
+}
+
+Result<SshServer::SetupResult> SshServer::Setup(const Bytes& client_nonce) {
+  SetupResult result;
+  result.nonce = client_nonce;
+  SimStopwatch watch(platform_->clock());
+
+  Writer in;
+  in.U8(kSshModeSetup);
+  SlbCoreOptions options;
+  options.nonce = client_nonce;
+  Result<FlickerSessionResult> session = platform_->ExecuteSession(*binary_, in.Take(), options);
+  if (!session.ok()) {
+    return session.status();
+  }
+  if (!session.value().ok()) {
+    return session.value().record.pal_status;
+  }
+  result.skinit_ms = session.value().skinit_ms;
+  result.pal1_total_ms = session.value().session_total_ms;
+  result.setup_outputs = session.value().outputs();
+  key_material_ = result.setup_outputs;
+
+  Result<SecureChannelKeyMaterial> material =
+      SecureChannelKeyMaterial::Deserialize(key_material_);
+  if (!material.ok()) {
+    return material.status();
+  }
+  result.public_key = material.value().public_key;
+
+  Result<AttestationResponse> attestation =
+      platform_->tqd()->HandleChallenge(client_nonce, PcrSelection({kSkinitPcr}));
+  if (!attestation.ok()) {
+    return attestation.status();
+  }
+  result.attestation = attestation.take();
+  return result;
+}
+
+Result<SshServer::LoginResult> SshServer::HandleLogin(const std::string& username,
+                                                      const Bytes& encrypted_password,
+                                                      const Bytes& login_nonce) {
+  auto user = passwd_.find(username);
+  if (user == passwd_.end()) {
+    return NotFoundError("unknown user");
+  }
+  if (key_material_.empty()) {
+    return FailedPreconditionError("server not set up (no PAL key material)");
+  }
+  Result<SecureChannelKeyMaterial> material =
+      SecureChannelKeyMaterial::Deserialize(key_material_);
+  if (!material.ok()) {
+    return material.status();
+  }
+
+  LoginResult result;
+  Writer in;
+  in.U8(kSshModeLogin);
+  in.Blob(material.value().sealed_private_key);
+  in.Blob(encrypted_password);
+  in.Str(user->second.salt);
+  in.Blob(login_nonce);
+  Result<FlickerSessionResult> session = platform_->ExecuteSession(*binary_, in.Take());
+  if (!session.ok()) {
+    return session.status();
+  }
+  if (!session.value().ok()) {
+    return session.value().record.pal_status;
+  }
+  result.skinit_ms = session.value().skinit_ms;
+  result.pal2_total_ms = session.value().session_total_ms;
+
+  std::string reported_hash(session.value().outputs().begin(), session.value().outputs().end());
+  result.authenticated = (reported_hash == user->second.hashed_passwd);
+  return result;
+}
+
+SshClient::SshClient(const PalBinary* expected_binary, const RsaPublicKey& privacy_ca_public,
+                     AikCertificate server_aik_cert, uint64_t seed)
+    : expected_binary_(expected_binary),
+      privacy_ca_public_(privacy_ca_public),
+      server_aik_cert_(std::move(server_aik_cert)),
+      rng_(seed) {}
+
+Status SshClient::VerifyServerSetup(const SshServer::SetupResult& setup, const Bytes& nonce) {
+  // The attested outputs are the key material; inputs were the bare
+  // setup-mode selector.
+  Writer expected_inputs;
+  expected_inputs.U8(kSshModeSetup);
+  SessionExpectation expectation;
+  expectation.binary = expected_binary_;
+  expectation.inputs = expected_inputs.Take();
+  expectation.outputs = setup.setup_outputs;
+  expectation.nonce = nonce;
+  FLICKER_RETURN_IF_ERROR(VerifyAttestation(expectation, setup.attestation, server_aik_cert_,
+                                            privacy_ca_public_, nonce));
+
+  // Attestation verified: the public key in the outputs was produced by the
+  // genuine PAL under Flicker. Pin it.
+  Result<SecureChannelKeyMaterial> material =
+      SecureChannelKeyMaterial::Deserialize(setup.setup_outputs);
+  if (!material.ok()) {
+    return material.status();
+  }
+  pinned_public_key_ = material.value().public_key;
+  return Status::Ok();
+}
+
+Result<Bytes> SshClient::EncryptPassword(const std::string& password, const Bytes& login_nonce) {
+  if (pinned_public_key_.empty()) {
+    return FailedPreconditionError("no verified server key pinned");
+  }
+  Writer payload;
+  payload.Str(password);
+  payload.Blob(login_nonce);
+  return SecureChannelEncrypt(pinned_public_key_, payload.Take(), &rng_);
+}
+
+}  // namespace flicker

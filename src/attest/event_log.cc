@@ -1,0 +1,55 @@
+#include "src/attest/event_log.h"
+
+#include "src/common/serde.h"
+
+namespace flicker {
+
+Bytes FlickerEventLog::Serialize() const {
+  Writer w;
+  w.Str(pal_name);
+  w.Blob(claimed_measurement);
+  w.Blob(inputs);
+  w.Blob(outputs);
+  w.Blob(nonce);
+  w.U32(static_cast<uint32_t>(pal_extends.size()));
+  for (const Bytes& extend : pal_extends) {
+    w.Blob(extend);
+  }
+  return w.Take();
+}
+
+Result<FlickerEventLog> FlickerEventLog::Deserialize(const Bytes& data) {
+  Reader r(data);
+  FlickerEventLog log;
+  log.pal_name = r.Str();
+  log.claimed_measurement = r.Blob();
+  log.inputs = r.Blob();
+  log.outputs = r.Blob();
+  log.nonce = r.Blob();
+  uint32_t extend_count = r.U32();
+  for (uint32_t i = 0; i < extend_count && r.ok(); ++i) {
+    log.pal_extends.push_back(r.Blob());
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt Flicker event log");
+  }
+  return log;
+}
+
+Result<SessionExpectation> ExpectationFromLog(const FlickerEventLog& log, const PalBinary& binary,
+                                              LateLaunchTech tech) {
+  if (log.claimed_measurement != binary.identity()) {
+    return IntegrityFailureError("event log claims a different PAL than expected: " +
+                                 log.pal_name);
+  }
+  SessionExpectation expectation;
+  expectation.binary = &binary;
+  expectation.inputs = log.inputs;
+  expectation.outputs = log.outputs;
+  expectation.nonce = log.nonce;
+  expectation.pal_extends = log.pal_extends;
+  expectation.tech = tech;
+  return expectation;
+}
+
+}  // namespace flicker

@@ -1,0 +1,47 @@
+// The untrusted event log that accompanies a Flicker attestation.
+//
+// §2.1: "An attestation consists of an untrusted event log and a signed
+// quote from the TPM." For Flicker sessions the log records what the
+// challenged party *claims* ran: which PAL, its inputs and outputs, the
+// nonce, and any application-level PCR extends. The verifier never trusts
+// the log directly - it reconstructs the PCR 17 chain from the log plus its
+// own knowledge of the PAL binary, and the TPM's signature arbitrates.
+
+#ifndef FLICKER_SRC_ATTEST_EVENT_LOG_H_
+#define FLICKER_SRC_ATTEST_EVENT_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/attest/verifier.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace flicker {
+
+struct FlickerEventLog {
+  std::string pal_name;
+  // What the platform claims SKINIT measured; checked against the
+  // verifier's own build of the PAL.
+  Bytes claimed_measurement;
+  Bytes inputs;
+  Bytes outputs;
+  Bytes nonce;
+  std::vector<Bytes> pal_extends;
+
+  Bytes Serialize() const;
+  static Result<FlickerEventLog> Deserialize(const Bytes& data);
+};
+
+// Builds the verifier-side expectation from an untrusted log and the
+// verifier's authoritative copy of the PAL. Fails fast when the log's
+// claimed measurement does not match the binary (the log is lying about
+// which PAL ran; the quote check would fail anyway, but this gives a
+// precise diagnostic).
+Result<SessionExpectation> ExpectationFromLog(const FlickerEventLog& log,
+                                              const PalBinary& binary,
+                                              LateLaunchTech tech = LateLaunchTech::kAmdSvm);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_ATTEST_EVENT_LOG_H_

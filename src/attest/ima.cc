@@ -1,0 +1,82 @@
+#include "src/attest/ima.h"
+
+#include "src/crypto/sha1.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+
+ImaSystem::ImaSystem(Machine* machine, int pcr_index)
+    : machine_(machine), pcr_index_(pcr_index) {}
+
+Status ImaSystem::MeasureEvent(const std::string& description, const Bytes& content) {
+  Bytes measurement = Sha1::Digest(content);
+  FLICKER_RETURN_IF_ERROR(machine_->tpm()->PcrExtend(pcr_index_, measurement));
+  log_.push_back(ImaEvent{description, measurement});
+  return Status::Ok();
+}
+
+Result<ImaAttestation> ImaSystem::Attest(const Bytes& nonce) {
+  Result<TpmQuote> quote = machine_->tpm()->Quote(nonce, PcrSelection({pcr_index_}));
+  if (!quote.ok()) {
+    return quote.status();
+  }
+  ImaAttestation attestation;
+  attestation.log = log_;
+  attestation.quote = quote.take();
+  attestation.aik_public = machine_->tpm()->aik_public().Serialize();
+  return attestation;
+}
+
+ImaVerdict VerifyImaAttestation(const ImaAttestation& attestation, const RsaPublicKey& aik,
+                                const std::set<std::string>& known_good, const Bytes& nonce,
+                                int pcr_index) {
+  ImaVerdict verdict;
+  verdict.entries_total = attestation.log.size();
+
+  // 1. Quote signature over (composite, nonce).
+  if (attestation.quote.nonce != nonce) {
+    return verdict;
+  }
+  Bytes buffer = attestation.quote.selection.Serialize();
+  Bytes values;
+  for (const Bytes& v : attestation.quote.pcr_values) {
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  PutUint32(&buffer, static_cast<uint32_t>(values.size()));
+  buffer.insert(buffer.end(), values.begin(), values.end());
+  Bytes composite = Sha1::Digest(buffer);
+  Bytes info = BytesOf("QUOT");
+  info.insert(info.end(), composite.begin(), composite.end());
+  info.insert(info.end(), nonce.begin(), nonce.end());
+  verdict.quote_signature_valid = RsaVerifySha1(aik, info, attestation.quote.signature);
+
+  // 2. Replay the log: the aggregate must match the quoted PCR.
+  if (attestation.quote.selection.IsSelected(pcr_index) &&
+      !attestation.quote.pcr_values.empty()) {
+    Bytes aggregate(kPcrSize, 0x00);  // Static PCRs boot to zero.
+    for (const ImaEvent& event : attestation.log) {
+      aggregate = Sha1::Digest(Concat(aggregate, event.measurement));
+    }
+    size_t position = 0;
+    for (int index : attestation.quote.selection.Indices()) {
+      if (index == pcr_index) {
+        break;
+      }
+      ++position;
+    }
+    verdict.log_matches_pcr =
+        position < attestation.quote.pcr_values.size() &&
+        ConstantTimeEquals(aggregate, attestation.quote.pcr_values[position]);
+  }
+
+  // 3. Every entry must be in the verifier's known-good database.
+  for (const ImaEvent& event : attestation.log) {
+    if (known_good.count(ToHex(event.measurement)) == 0) {
+      ++verdict.entries_unknown;
+      verdict.unknown_entries.push_back(event.description);
+    }
+  }
+  return verdict;
+}
+
+}  // namespace flicker

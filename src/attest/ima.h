@@ -1,0 +1,79 @@
+// A trusted-boot integrity measurement architecture in the style of IBM IMA
+// (paper §2.1, §8) - the baseline Flicker's "meaningful attestation" goal is
+// defined against.
+//
+// Every piece of software loaded since boot (BIOS, bootloader, kernel,
+// applications, config files) is hashed into a static PCR and appended to an
+// event log. An attestation ships the whole log: the verifier must know a
+// good value for EVERY entry, a single unknown entry spoils the verdict, and
+// the log leaks the platform's complete software inventory. The ablation
+// bench quantifies all three against Flicker's single-PAL attestation.
+
+#ifndef FLICKER_SRC_ATTEST_IMA_H_
+#define FLICKER_SRC_ATTEST_IMA_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/hw/machine.h"
+
+namespace flicker {
+
+struct ImaEvent {
+  std::string description;  // "kernel", "/usr/bin/sshd", ...
+  Bytes measurement;        // SHA-1 of the loaded content.
+};
+
+struct ImaAttestation {
+  std::vector<ImaEvent> log;  // Untrusted; validated against the quote.
+  TpmQuote quote;
+  Bytes aik_public;
+};
+
+class ImaSystem {
+ public:
+  // IMA conventionally aggregates into PCR 10 (a static PCR: only a reboot
+  // resets it).
+  explicit ImaSystem(Machine* machine, int pcr_index = 10);
+
+  // Measures loaded content: extend SHA-1(content) into the PCR, append to
+  // the log. Called for everything from the BIOS up.
+  Status MeasureEvent(const std::string& description, const Bytes& content);
+
+  const std::vector<ImaEvent>& event_log() const { return log_; }
+  int pcr_index() const { return pcr_index_; }
+
+  Result<ImaAttestation> Attest(const Bytes& nonce);
+
+ private:
+  Machine* machine_;
+  int pcr_index_;
+  std::vector<ImaEvent> log_;
+};
+
+struct ImaVerdict {
+  bool quote_signature_valid = false;
+  bool log_matches_pcr = false;   // Recomputed aggregate equals the quoted PCR.
+  size_t entries_total = 0;
+  size_t entries_unknown = 0;     // Entries absent from the known-good database.
+  std::vector<std::string> unknown_entries;
+
+  // The verifier can only trust the platform when the chain verifies AND it
+  // recognizes every single entry.
+  bool Trustworthy() const {
+    return quote_signature_valid && log_matches_pcr && entries_unknown == 0;
+  }
+};
+
+// Verifier side: validate the quote, replay the log into the expected PCR,
+// and check each measurement against `known_good` (hex digests).
+ImaVerdict VerifyImaAttestation(const ImaAttestation& attestation, const RsaPublicKey& aik,
+                                const std::set<std::string>& known_good, const Bytes& nonce,
+                                int pcr_index = 10);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_ATTEST_IMA_H_

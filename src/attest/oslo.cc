@@ -1,0 +1,86 @@
+#include "src/attest/oslo.h"
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha1.h"
+#include "src/slb/slb_layout.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+
+Bytes OsloBootLoader::LoaderImage() {
+  Bytes image(kSlbRegionSize, 0);
+  uint16_t length = static_cast<uint16_t>(kLoaderImageBytes);
+  uint16_t entry = static_cast<uint16_t>(kSlbHeaderSize);
+  image[0] = static_cast<uint8_t>(length);
+  image[1] = static_cast<uint8_t>(length >> 8);
+  image[2] = static_cast<uint8_t>(entry);
+  image[3] = static_cast<uint8_t>(entry >> 8);
+  Drbg code(BytesOf("oslo-loader-v1"));
+  Bytes body = code.Generate(kLoaderImageBytes - kSlbHeaderSize);
+  std::copy(body.begin(), body.end(), image.begin() + kSlbHeaderSize);
+  return image;
+}
+
+Bytes OsloBootLoader::LoaderMeasurement() {
+  Bytes image = LoaderImage();
+  return Sha1::Digest(image.data(), kLoaderImageBytes);
+}
+
+Result<OsloBootReport> OsloBootLoader::SecureBoot(Machine* machine, const OsKernel& kernel) {
+  OsloBootReport report;
+
+  // Boot-time: the APs have not been started by the OS yet; park them for
+  // the SKINIT handshake.
+  for (int cpu = 1; cpu < machine->num_cpus(); ++cpu) {
+    if (machine->cpu(cpu)->state == CpuState::kRunning) {
+      machine->cpu(cpu)->state = CpuState::kIdle;
+    }
+    FLICKER_RETURN_IF_ERROR(machine->apic()->SendInitIpi(cpu));
+  }
+
+  // Stage the loader at the SLB base and launch it.
+  FLICKER_RETURN_IF_ERROR(machine->memory()->Write(kSlbFixedBase, LoaderImage()));
+  SimStopwatch skinit_watch(machine->clock());
+  Result<SkinitLaunch> launch = machine->Skinit(machine->bsp()->id, kSlbFixedBase);
+  if (!launch.ok()) {
+    return launch.status();
+  }
+  report.skinit_ms = skinit_watch.ElapsedMillis();
+  report.loader_measurement = launch.value().measurement;
+
+  // The measured loader hashes the kernel image (text + syscall table +
+  // modules) and extends it into PCR 17 before handing control over - the
+  // OSLO "hash the OS kernel" step (§8: "OSLO also includes an
+  // implementation of SHA-1 to hash the OS kernel").
+  SimStopwatch hash_watch(machine->clock());
+  Sha1 hash;
+  size_t total_bytes = 0;
+  for (const KernelRegion& region : kernel.MeasuredRegions()) {
+    Result<Bytes> bytes = machine->memory()->Read(region.base, region.size);
+    if (!bytes.ok()) {
+      return bytes.status();
+    }
+    hash.Update(bytes.value());
+    total_bytes += region.size;
+  }
+  machine->clock()->AdvanceMillis(machine->timing().Sha1Millis(total_bytes));
+  report.kernel_measurement = hash.Finish();
+  report.kernel_hash_ms = hash_watch.ElapsedMillis();
+  FLICKER_RETURN_IF_ERROR(machine->tpm()->PcrExtend(kSkinitPcr, report.kernel_measurement));
+
+  report.pcr17_after_boot = machine->tpm()->PcrRead(kSkinitPcr).value();
+
+  // Exit the secure loader and boot the kernel.
+  FLICKER_RETURN_IF_ERROR(machine->ExitSecureMode(machine->bsp()->id, kernel.cr3()));
+  for (int cpu = 1; cpu < machine->num_cpus(); ++cpu) {
+    FLICKER_RETURN_IF_ERROR(machine->apic()->SendStartupIpi(cpu));
+  }
+  return report;
+}
+
+Bytes OsloBootLoader::ExpectedBootPcr17(const Bytes& expected_kernel_hash) {
+  Bytes pcr = ExpectedPcr17AfterSkinit(LoaderMeasurement());
+  return Sha1::Digest(Concat(pcr, expected_kernel_hash));
+}
+
+}  // namespace flicker

@@ -1,0 +1,63 @@
+// An OSLO-style Open Secure LOader (Kauer, USENIX Security 2007 - the
+// paper's §8 related work and the starting point of the original Flicker
+// implementation).
+//
+// OSLO uses SKINIT at *boot time* to establish a dynamic root of trust for
+// the whole boot: the BIOS and boot sector drop out of the TCB because the
+// measured loader - not the BIOS - measures and launches the kernel. This
+// module reproduces that flow on the simulated platform and gives Flicker's
+// trusted-boot comparison a stronger baseline than BIOS-rooted IMA:
+//
+//   reboot -> (untrusted BIOS runs) -> SKINIT(loader SLB)
+//     PCR 17 = H(0^20 || H(loader))        [hardware]
+//     loader hashes the kernel image and extends it into PCR 17
+//     loader exits the secure loader block and boots the kernel
+//
+// A verifier reconstructs PCR 17 from the public loader image and a
+// known-good kernel hash; a tampered BIOS cannot influence either link.
+
+#ifndef FLICKER_SRC_ATTEST_OSLO_H_
+#define FLICKER_SRC_ATTEST_OSLO_H_
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/hw/machine.h"
+#include "src/os/kernel.h"
+
+namespace flicker {
+
+struct OsloBootReport {
+  Bytes loader_measurement;  // H(loader SLB prefix) - public.
+  Bytes kernel_measurement;  // H(kernel image) as the loader saw it.
+  Bytes pcr17_after_boot;    // The chain a verifier must reproduce.
+  double skinit_ms = 0;
+  double kernel_hash_ms = 0;
+};
+
+class OsloBootLoader {
+ public:
+  // The loader is ~1,000 lines / ~6 KB (per the paper's comparison: "OSLO
+  // consists of just over 1,000 lines of code, and is larger than Flicker
+  // because it executes at boot time and includes support for the Multiboot
+  // Specification").
+  static constexpr size_t kLoaderImageBytes = 6144;
+  static constexpr int kLoaderLinesOfCode = 1024;
+
+  // The loader's deterministic SLB image (header + code), and its SKINIT
+  // measurement - both public, so any verifier can predict the chain.
+  static Bytes LoaderImage();
+  static Bytes LoaderMeasurement();
+
+  // Performs the secure boot on a freshly rebooted machine: parks APs,
+  // SKINITs the loader, hashes the kernel's measured regions into PCR 17,
+  // exits secure mode and hands off to the OS.
+  static Result<OsloBootReport> SecureBoot(Machine* machine, const OsKernel& kernel);
+
+  // Verifier: the PCR 17 value a correct boot of `expected_kernel_hash`
+  // produces.
+  static Bytes ExpectedBootPcr17(const Bytes& expected_kernel_hash);
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_ATTEST_OSLO_H_

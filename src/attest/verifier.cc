@@ -1,0 +1,107 @@
+#include "src/attest/verifier.h"
+
+#include "src/crypto/sha1.h"
+#include "src/slb/slb_core.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+
+namespace {
+
+Bytes Extend(const Bytes& pcr, const Bytes& measurement) {
+  return Sha1::Digest(Concat(pcr, measurement));
+}
+
+}  // namespace
+
+Bytes ComputeExecutionPcr17(const PalBinary& binary, LateLaunchTech tech) {
+  Bytes pcr(kPcrSize, 0x00);
+  if (tech == LateLaunchTech::kIntelTxt) {
+    pcr = Extend(pcr, SinitAcmMeasurement());
+  }
+  pcr = Extend(pcr, binary.skinit_measurement);
+  if (binary.options.measurement_stub) {
+    pcr = Extend(pcr, binary.stub_body_measurement);
+  }
+  return pcr;
+}
+
+Bytes ComputeExpectedPcr17(const SessionExpectation& expectation) {
+  Bytes pcr = ComputeExecutionPcr17(*expectation.binary, expectation.tech);
+  for (const Bytes& measurement : expectation.pal_extends) {
+    pcr = Extend(pcr, measurement);
+  }
+  pcr = Extend(pcr, Sha1::Digest(expectation.inputs));
+  pcr = Extend(pcr, Sha1::Digest(expectation.outputs));
+  if (!expectation.nonce.empty()) {
+    pcr = Extend(pcr, Sha1::Digest(expectation.nonce));
+  }
+  pcr = Extend(pcr, FlickerTerminationConstant());
+  return pcr;
+}
+
+Bytes RecomputeQuoteComposite(const TpmQuote& quote) {
+  Bytes buffer = quote.selection.Serialize();
+  Bytes values;
+  for (const Bytes& v : quote.pcr_values) {
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  PutUint32(&buffer, static_cast<uint32_t>(values.size()));
+  buffer.insert(buffer.end(), values.begin(), values.end());
+  return Sha1::Digest(buffer);
+}
+
+Status VerifyAttestation(const SessionExpectation& expectation,
+                         const AttestationResponse& response, const AikCertificate& aik_cert,
+                         const RsaPublicKey& privacy_ca_public, const Bytes& expected_nonce) {
+  // 1. Certificate chain: the AIK must be certified by a trusted Privacy CA
+  //    and match the key shipped with the response.
+  if (!PrivacyCa::Verify(privacy_ca_public, aik_cert)) {
+    return IntegrityFailureError("AIK certificate signature invalid");
+  }
+  if (aik_cert.aik_public != response.aik_public) {
+    return IntegrityFailureError("AIK in response does not match certificate");
+  }
+  Result<RsaPublicKey> aik = RsaPublicKey::Deserialize(response.aik_public);
+  if (!aik.ok()) {
+    return aik.status();
+  }
+
+  // 2. Nonce freshness.
+  if (response.quote.nonce != expected_nonce) {
+    return ReplayDetectedError("quote nonce does not match the challenge");
+  }
+
+  // 3. Quote signature over TPM_QUOTE_INFO.
+  Bytes composite = RecomputeQuoteComposite(response.quote);
+  Bytes info = BytesOf("QUOT");
+  info.insert(info.end(), composite.begin(), composite.end());
+  info.insert(info.end(), response.quote.nonce.begin(), response.quote.nonce.end());
+  if (!RsaVerifySha1(aik.value(), info, response.quote.signature)) {
+    return IntegrityFailureError("quote signature invalid");
+  }
+
+  // 4. PCR 17 must be in the selection and hold the reconstructed chain.
+  if (!response.quote.selection.IsSelected(kSkinitPcr)) {
+    return InvalidArgumentError("quote does not cover PCR 17");
+  }
+  size_t position = 0;
+  for (int index : response.quote.selection.Indices()) {
+    if (index == kSkinitPcr) {
+      break;
+    }
+    ++position;
+  }
+  if (position >= response.quote.pcr_values.size()) {
+    return InvalidArgumentError("quote value list shorter than selection");
+  }
+  Bytes expected_pcr17 = ComputeExpectedPcr17(expectation);
+  if (!ConstantTimeEquals(response.quote.pcr_values[position], expected_pcr17)) {
+    return IntegrityFailureError(
+        "PCR 17 does not match the expected session chain (wrong PAL, tampered I/O, or no "
+        "Flicker session)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace flicker

@@ -1,0 +1,66 @@
+// Remote-verifier logic (paper §4.4.1).
+//
+// Given knowledge of the PAL (its SLB image), the session inputs/outputs and
+// the nonce it issued, the verifier reconstructs the exact extend chain
+// PCR 17 must hold and checks the TPM's quote signature over it. Nothing the
+// untrusted OS does can produce the same PCR 17 value without running the
+// PAL under SKINIT, because only SKINIT resets PCR 17.
+
+#ifndef FLICKER_SRC_ATTEST_VERIFIER_H_
+#define FLICKER_SRC_ATTEST_VERIFIER_H_
+
+#include <vector>
+
+#include "src/attest/privacy_ca.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/os/tqd.h"
+#include "src/slb/slb_layout.h"
+#include "src/tpm/structures.h"
+
+namespace flicker {
+
+// What the verifier knows/expects about a session.
+struct SessionExpectation {
+  // The PAL being attested; the verifier recomputes its measurements from
+  // the same (public) binary.
+  const PalBinary* binary = nullptr;
+  Bytes inputs;
+  Bytes outputs;
+  Bytes nonce;
+  // Measurements the PAL itself extended into PCR 17 before the SLB core's
+  // closing extends (e.g., the rootkit detector extends the kernel hash).
+  std::vector<Bytes> pal_extends;
+  // Which launch technology the platform uses: a TXT chain begins with the
+  // SINIT ACM measurement.
+  LateLaunchTech tech = LateLaunchTech::kAmdSvm;
+};
+
+// The extend chain for a session that ran `expectation`:
+//   0^20
+//   -> [H(SINIT ACM)]                        (Intel TXT platforms only)
+//   -> H(measured SLB prefix)                (SKINIT / SENTER)
+//   -> [H(full 64 KB image)]                 (measurement stub builds only)
+//   -> [pal_extends...]                      (application extends)
+//   -> H(inputs) -> H(outputs) -> [H(nonce)] -> termination constant.
+Bytes ComputeExpectedPcr17(const SessionExpectation& expectation);
+
+// The PCR 17 value while the PAL executes (before the closing extends):
+// what sealed storage should bind to.
+Bytes ComputeExecutionPcr17(const PalBinary& binary,
+                            LateLaunchTech tech = LateLaunchTech::kAmdSvm);
+
+// Full attestation check: AIK certificate chain, quote signature, composite
+// reconstruction, nonce freshness, and the PCR 17 chain. Returns OK only if
+// every link holds.
+Status VerifyAttestation(const SessionExpectation& expectation,
+                         const AttestationResponse& response, const AikCertificate& aik_cert,
+                         const RsaPublicKey& privacy_ca_public, const Bytes& expected_nonce);
+
+// Reconstructs TPM_COMPOSITE_HASH from a quote's selection + values; must
+// match the TPM-side computation bit for bit.
+Bytes RecomputeQuoteComposite(const TpmQuote& quote);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_ATTEST_VERIFIER_H_

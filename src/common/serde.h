@@ -1,0 +1,95 @@
+// Minimal length-prefixed serialization helpers for PAL input/output
+// parameters and application wire messages.
+//
+// Everything is big-endian and length-prefixed; Reader methods fail softly
+// (set an error flag) so malformed input from the untrusted OS can never
+// crash a PAL.
+
+#ifndef FLICKER_SRC_COMMON_SERDE_H_
+#define FLICKER_SRC_COMMON_SERDE_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) { PutUint32(&out_, v); }
+  void U64(uint64_t v) { PutUint64(&out_, v); }
+  void Blob(const Bytes& data) {
+    U32(static_cast<uint32_t>(data.size()));
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void Str(const std::string& s) { Blob(BytesOf(s)); }
+
+  const Bytes& Take() const { return out_; }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  uint8_t U8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    uint32_t v = GetUint32(data_, pos_);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    uint64_t v = GetUint64(data_, pos_);
+    pos_ += 8;
+    return v;
+  }
+  Bytes Blob() {
+    uint32_t len = U32();
+    if (!Need(len)) {
+      return Bytes();
+    }
+    Bytes out(data_.begin() + static_cast<long>(pos_), data_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+  std::string Str() {
+    Bytes b = Blob();
+    return std::string(b.begin(), b.end());
+  }
+
+  // True iff every read so far was in bounds and the buffer is fully
+  // consumed (when `all_consumed` is requested).
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const Bytes& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_COMMON_SERDE_H_

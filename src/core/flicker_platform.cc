@@ -1,0 +1,50 @@
+#include "src/core/flicker_platform.h"
+
+namespace flicker {
+
+FlickerPlatform::FlickerPlatform(const FlickerPlatformConfig& config)
+    : machine_(config.machine),
+      kernel_(&machine_, config.kernel),
+      scheduler_(&machine_),
+      module_(&machine_, &kernel_, &scheduler_),
+      tqd_(&machine_) {}
+
+Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& binary,
+                                                             const Bytes& inputs,
+                                                             const SlbCoreOptions& options) {
+  FlickerSessionResult result;
+  SimStopwatch total_watch(machine_.clock());
+
+  // Untrusted staging via the sysfs interface.
+  FLICKER_RETURN_IF_ERROR(module_.WriteSlb(binary.image));
+  FLICKER_RETURN_IF_ERROR(module_.WriteInputs(inputs));
+
+  SimStopwatch suspend_watch(machine_.clock());
+  Result<SkinitLaunch> launch = module_.StartSession();
+  if (!launch.ok()) {
+    return launch.status();
+  }
+  result.launch = launch.value();
+  // StartSession covers both the suspend dance and SKINIT; attribute the
+  // modeled SKINIT cost to skinit_ms and the remainder to suspend_ms.
+  result.skinit_ms = machine_.timing().SkinitMillis(result.launch.slb_length);
+  result.suspend_ms = suspend_watch.ElapsedMillis() - result.skinit_ms;
+  if (result.suspend_ms < 0) {
+    result.suspend_ms = 0;
+  }
+
+  Result<SessionRecord> record = SlbCore::Run(&machine_, result.launch, binary, options);
+  if (!record.ok()) {
+    // The platform is wedged mid-session; surface the error after forcing
+    // the machine back to a sane state.
+    machine_.Reboot();
+    return record.status();
+  }
+  result.record = record.take();
+
+  FLICKER_RETURN_IF_ERROR(module_.FinishSession());
+  result.session_total_ms = total_watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace flicker

@@ -1,0 +1,77 @@
+// FlickerPlatform: the top-level runtime tying the whole stack together.
+//
+// One object owns the simulated machine, the untrusted OS (kernel,
+// scheduler, flicker-module, quote daemon) and exposes the paper's Fig. 2
+// session lifecycle as a single call:
+//
+//   FlickerPlatform platform;
+//   auto binary = BuildPal(std::make_shared<MyPal>(), options);
+//   auto result = platform.ExecuteSession(binary.value(), inputs);
+//
+// ExecuteSession = stage SLB + inputs -> suspend OS -> SKINIT -> SLB core
+// (PAL, cleanup, extends) -> resume OS -> collect outputs, with a per-phase
+// simulated-time breakdown benches print directly.
+
+#ifndef FLICKER_SRC_CORE_FLICKER_PLATFORM_H_
+#define FLICKER_SRC_CORE_FLICKER_PLATFORM_H_
+
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/hw/machine.h"
+#include "src/os/flicker_module.h"
+#include "src/os/kernel.h"
+#include "src/os/scheduler.h"
+#include "src/os/tqd.h"
+#include "src/slb/slb_core.h"
+#include "src/slb/slb_layout.h"
+
+namespace flicker {
+
+struct FlickerPlatformConfig {
+  MachineConfig machine;
+  KernelConfig kernel;
+};
+
+// Everything a completed session yields, including the timing breakdown the
+// evaluation tables report.
+struct FlickerSessionResult {
+  SessionRecord record;          // PAL status, outputs, PCR values, in-session timings.
+  SkinitLaunch launch;           // What SKINIT measured.
+  double suspend_ms = 0;         // AP deschedule + INIT IPIs + state save.
+  double skinit_ms = 0;          // The SKINIT instruction itself.
+  double session_total_ms = 0;   // Suspend through resume.
+
+  const Bytes& outputs() const { return record.outputs; }
+  bool ok() const { return record.pal_status.ok(); }
+};
+
+class FlickerPlatform {
+ public:
+  explicit FlickerPlatform(const FlickerPlatformConfig& config = FlickerPlatformConfig());
+
+  Machine* machine() { return &machine_; }
+  OsKernel* kernel() { return &kernel_; }
+  Scheduler* scheduler() { return &scheduler_; }
+  FlickerModule* flicker_module() { return &module_; }
+  TpmQuoteDaemon* tqd() { return &tqd_; }
+  Tpm* tpm() { return machine_.tpm(); }
+  SimClock* clock() { return machine_.clock(); }
+
+  // Runs one full Flicker session for `binary` with `inputs`. `options`
+  // carries the attestation nonce (extended into PCR 17 when present).
+  Result<FlickerSessionResult> ExecuteSession(const PalBinary& binary, const Bytes& inputs,
+                                              const SlbCoreOptions& options = SlbCoreOptions());
+
+ private:
+  Machine machine_;
+  OsKernel kernel_;
+  Scheduler scheduler_;
+  FlickerModule module_;
+  TpmQuoteDaemon tqd_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CORE_FLICKER_PLATFORM_H_

@@ -1,0 +1,214 @@
+#include "src/core/remote_attestation.h"
+
+#include "src/common/serde.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+
+Bytes SerializeQuote(const TpmQuote& quote) {
+  Writer w;
+  w.U32(quote.selection.mask());
+  w.U32(static_cast<uint32_t>(quote.pcr_values.size()));
+  for (const Bytes& value : quote.pcr_values) {
+    w.Blob(value);
+  }
+  w.Blob(quote.nonce);
+  w.Blob(quote.signature);
+  return w.Take();
+}
+
+Result<TpmQuote> DeserializeQuote(const Bytes& data) {
+  Reader r(data);
+  TpmQuote quote;
+  uint32_t mask = r.U32();
+  for (int i = 0; i < kNumPcrs; ++i) {
+    if ((mask >> i) & 1) {
+      quote.selection.Select(i);
+    }
+  }
+  uint32_t count = r.U32();
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    quote.pcr_values.push_back(r.Blob());
+  }
+  quote.nonce = r.Blob();
+  quote.signature = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt quote serialization");
+  }
+  return quote;
+}
+
+Bytes SerializeAikCertificate(const AikCertificate& certificate) {
+  Writer w;
+  w.Blob(certificate.aik_public);
+  w.Str(certificate.tpm_label);
+  w.Blob(certificate.signature);
+  return w.Take();
+}
+
+Result<AikCertificate> DeserializeAikCertificate(const Bytes& data) {
+  Reader r(data);
+  AikCertificate certificate;
+  certificate.aik_public = r.Blob();
+  certificate.tpm_label = r.Str();
+  certificate.signature = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt AIK certificate serialization");
+  }
+  return certificate;
+}
+
+Bytes AttestationChallenge::Serialize() const {
+  Writer w;
+  w.Blob(nonce);
+  w.U32(selection.mask());
+  return w.Take();
+}
+
+Result<AttestationChallenge> AttestationChallenge::Deserialize(const Bytes& data) {
+  Reader r(data);
+  AttestationChallenge challenge;
+  challenge.nonce = r.Blob();
+  uint32_t mask = r.U32();
+  for (int i = 0; i < kNumPcrs; ++i) {
+    if ((mask >> i) & 1) {
+      challenge.selection.Select(i);
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt attestation challenge");
+  }
+  return challenge;
+}
+
+Bytes AttestationReply::Serialize() const {
+  Writer w;
+  w.Blob(log.Serialize());
+  w.Blob(SerializeQuote(quote));
+  w.Blob(aik_public);
+  w.Blob(SerializeAikCertificate(aik_certificate));
+  return w.Take();
+}
+
+Result<AttestationReply> AttestationReply::Deserialize(const Bytes& data) {
+  Reader r(data);
+  Bytes log_wire = r.Blob();
+  Bytes quote_wire = r.Blob();
+  Bytes aik_public = r.Blob();
+  Bytes cert_wire = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt attestation reply");
+  }
+  Result<FlickerEventLog> log = FlickerEventLog::Deserialize(log_wire);
+  if (!log.ok()) {
+    return log.status();
+  }
+  Result<TpmQuote> quote = DeserializeQuote(quote_wire);
+  if (!quote.ok()) {
+    return quote.status();
+  }
+  Result<AikCertificate> certificate = DeserializeAikCertificate(cert_wire);
+  if (!certificate.ok()) {
+    return certificate.status();
+  }
+  AttestationReply reply;
+  reply.log = log.take();
+  reply.quote = quote.take();
+  reply.aik_public = aik_public;
+  reply.aik_certificate = certificate.take();
+  return reply;
+}
+
+AttestationService::AttestationService(FlickerPlatform* platform, AikCertificate aik_certificate)
+    : platform_(platform), aik_certificate_(std::move(aik_certificate)) {}
+
+Result<Bytes> AttestationService::HandleChallenge(const Bytes& challenge_wire,
+                                                  const PalBinary& binary, const Bytes& inputs,
+                                                  const std::vector<Bytes>& pal_extends) {
+  Result<AttestationChallenge> challenge = AttestationChallenge::Deserialize(challenge_wire);
+  if (!challenge.ok()) {
+    return challenge.status();
+  }
+
+  SlbCoreOptions options;
+  options.nonce = challenge.value().nonce;
+  Result<FlickerSessionResult> session = platform_->ExecuteSession(binary, inputs, options);
+  if (!session.ok()) {
+    return session.status();
+  }
+  if (!session.value().ok()) {
+    return session.value().record.pal_status;
+  }
+
+  Result<AttestationResponse> response =
+      platform_->tqd()->HandleChallenge(challenge.value().nonce, challenge.value().selection);
+  if (!response.ok()) {
+    return response.status();
+  }
+
+  AttestationReply reply;
+  reply.log.pal_name = binary.pal->name();
+  reply.log.claimed_measurement = binary.identity();
+  reply.log.inputs = inputs;
+  reply.log.outputs = session.value().outputs();
+  reply.log.nonce = challenge.value().nonce;
+  reply.log.pal_extends = pal_extends;
+  reply.quote = response.value().quote;
+  reply.aik_public = response.value().aik_public;
+  reply.aik_certificate = aik_certificate_;
+  return reply.Serialize();
+}
+
+AttestationVerifier::AttestationVerifier(const PalBinary* binary, RsaPublicKey privacy_ca_public,
+                                         LateLaunchTech tech, uint64_t nonce_seed)
+    : binary_(binary),
+      privacy_ca_public_(std::move(privacy_ca_public)),
+      tech_(tech),
+      nonce_rng_(nonce_seed) {}
+
+Bytes AttestationVerifier::MakeChallenge() {
+  AttestationChallenge challenge;
+  challenge.nonce = nonce_rng_.Generate(kPcrSize);
+  challenge.selection.Select(kSkinitPcr);
+  pending_nonce_ = challenge.nonce;
+  return challenge.Serialize();
+}
+
+AttestationVerifier::Outcome AttestationVerifier::CheckReply(const Bytes& reply_wire) {
+  Outcome outcome;
+  if (pending_nonce_.empty()) {
+    outcome.status = FailedPreconditionError("no outstanding challenge");
+    return outcome;
+  }
+  Result<AttestationReply> reply = AttestationReply::Deserialize(reply_wire);
+  if (!reply.ok()) {
+    outcome.status = reply.status();
+    return outcome;
+  }
+
+  Result<SessionExpectation> expectation = ExpectationFromLog(reply.value().log, *binary_, tech_);
+  if (!expectation.ok()) {
+    outcome.status = expectation.status();
+    return outcome;
+  }
+  // The log's nonce must be the one we issued (the quote check would also
+  // catch this, but fail early with a precise error).
+  if (reply.value().log.nonce != pending_nonce_) {
+    outcome.status = ReplayDetectedError("reply log carries a different nonce");
+    return outcome;
+  }
+
+  AttestationResponse response;
+  response.quote = reply.value().quote;
+  response.aik_public = reply.value().aik_public;
+  outcome.status = VerifyAttestation(expectation.value(), response,
+                                     reply.value().aik_certificate, privacy_ca_public_,
+                                     pending_nonce_);
+  if (outcome.status.ok()) {
+    outcome.log = reply.value().log;
+  }
+  pending_nonce_.clear();  // Single-use nonce.
+  return outcome;
+}
+
+}  // namespace flicker

@@ -1,0 +1,94 @@
+// Wire-level remote attestation (paper §4.4.1): the challenge/response
+// protocol between a verifier and a Flicker platform, with full
+// serialization so both ends exchange only byte strings over a Channel.
+//
+//   verifier                         challenged platform
+//     |--- AttestationChallenge --------->|   (nonce, PCR selection)
+//     |                                   | run PAL session w/ nonce
+//     |<-- AttestationReply --------------|   (event log, quote, AIK cert)
+//     | verify cert chain, quote sig,     |
+//     | PCR 17 chain vs own PAL build     |
+//
+// RootkitMonitor, the SSH client and the BOINC server are applications of
+// this pattern; this module packages it as a reusable API.
+
+#ifndef FLICKER_SRC_CORE_REMOTE_ATTESTATION_H_
+#define FLICKER_SRC_CORE_REMOTE_ATTESTATION_H_
+
+#include "src/attest/event_log.h"
+#include "src/attest/privacy_ca.h"
+#include "src/attest/verifier.h"
+#include "src/core/flicker_platform.h"
+#include "src/net/channel.h"
+
+namespace flicker {
+
+// Serialization for the TPM structures that cross the wire.
+Bytes SerializeQuote(const TpmQuote& quote);
+Result<TpmQuote> DeserializeQuote(const Bytes& data);
+Bytes SerializeAikCertificate(const AikCertificate& certificate);
+Result<AikCertificate> DeserializeAikCertificate(const Bytes& data);
+
+struct AttestationChallenge {
+  Bytes nonce;
+  PcrSelection selection;
+
+  Bytes Serialize() const;
+  static Result<AttestationChallenge> Deserialize(const Bytes& data);
+};
+
+struct AttestationReply {
+  FlickerEventLog log;   // Untrusted session claims.
+  TpmQuote quote;        // TPM-signed PCR state.
+  Bytes aik_public;      // Serialized AIK public key.
+  AikCertificate aik_certificate;
+
+  Bytes Serialize() const;
+  static Result<AttestationReply> Deserialize(const Bytes& data);
+};
+
+// Host side: runs `binary` with `inputs` under the challenge's nonce, then
+// assembles the full reply (session I/O in the event log, fresh quote, the
+// platform's AIK certificate). `pal_extends` lists measurements the PAL
+// extends itself (application-specific; e.g. the rootkit detector's kernel
+// hash equals its outputs).
+class AttestationService {
+ public:
+  AttestationService(FlickerPlatform* platform, AikCertificate aik_certificate);
+
+  Result<Bytes> HandleChallenge(const Bytes& challenge_wire, const PalBinary& binary,
+                                const Bytes& inputs,
+                                const std::vector<Bytes>& pal_extends = {});
+
+ private:
+  FlickerPlatform* platform_;
+  AikCertificate aik_certificate_;
+};
+
+// Verifier side: issues challenges and checks replies against its own
+// (authoritative) copy of the PAL binary.
+class AttestationVerifier {
+ public:
+  AttestationVerifier(const PalBinary* binary, RsaPublicKey privacy_ca_public,
+                      LateLaunchTech tech = LateLaunchTech::kAmdSvm, uint64_t nonce_seed = 0xa77);
+
+  // Builds a fresh challenge; remembers the nonce for the next CheckReply.
+  Bytes MakeChallenge();
+
+  struct Outcome {
+    Status status;       // OK iff everything verified.
+    FlickerEventLog log; // The (now-trustworthy) session facts.
+  };
+  Outcome CheckReply(const Bytes& reply_wire);
+
+ private:
+  const PalBinary* binary_;
+  RsaPublicKey privacy_ca_public_;
+  LateLaunchTech tech_;
+  Drbg nonce_rng_;
+  Bytes pending_nonce_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CORE_REMOTE_ATTESTATION_H_

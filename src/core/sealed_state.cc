@@ -1,0 +1,128 @@
+#include "src/core/sealed_state.h"
+
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+
+Result<SealedBlob> SealForPal(Tpm* tpm, const Bytes& data, const Bytes& release_pcr17,
+                              const Bytes& blob_auth) {
+  if (release_pcr17.size() != kPcrSize) {
+    return InvalidArgumentError("release PCR 17 value must be 20 bytes");
+  }
+  PcrSelection selection({kSkinitPcr});
+  std::map<int, Bytes> release = {{kSkinitPcr, release_pcr17}};
+  return TpmSealData(tpm, data, selection, release, blob_auth);
+}
+
+Result<Bytes> UnsealInPal(Tpm* tpm, const SealedBlob& blob, const Bytes& blob_auth) {
+  return TpmUnsealData(tpm, blob, blob_auth);
+}
+
+Result<ReplayProtectedStorage> ReplayProtectedStorage::Create(Tpm* tpm, const Bytes& counter_auth,
+                                                              const Bytes& owner_secret) {
+  Result<uint32_t> id = TpmCreateCounter(tpm, counter_auth, owner_secret);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return ReplayProtectedStorage(tpm, id.value(), counter_auth);
+}
+
+ReplayProtectedStorage::ReplayProtectedStorage(Tpm* tpm, uint32_t counter_id, Bytes counter_auth)
+    : tpm_(tpm), counter_id_(counter_id), counter_auth_(std::move(counter_auth)) {}
+
+Result<SealedBlob> ReplayProtectedStorage::Seal(const Bytes& data, const Bytes& release_pcr17,
+                                                const Bytes& blob_auth) {
+  Result<uint64_t> version = tpm_->IncrementCounter(counter_id_, counter_auth_);
+  if (!version.ok()) {
+    return version.status();
+  }
+  Bytes payload;
+  PutUint64(&payload, version.value());
+  payload.insert(payload.end(), data.begin(), data.end());
+  return SealForPal(tpm_, payload, release_pcr17, blob_auth);
+}
+
+Result<Bytes> ReplayProtectedStorage::Unseal(const SealedBlob& blob, const Bytes& blob_auth) {
+  Result<Bytes> payload = UnsealInPal(tpm_, blob, blob_auth);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  if (payload.value().size() < 8) {
+    return IntegrityFailureError("replay-protected blob missing version field");
+  }
+  uint64_t sealed_version = GetUint64(payload.value(), 0);
+  Result<uint64_t> live = tpm_->ReadCounter(counter_id_);
+  if (!live.ok()) {
+    return live.status();
+  }
+  if (sealed_version != live.value()) {
+    return ReplayDetectedError("sealed blob version is stale (counter advanced)");
+  }
+  return Bytes(payload.value().begin() + 8, payload.value().end());
+}
+
+Result<NvReplayProtectedStorage> NvReplayProtectedStorage::Provision(Tpm* tpm, uint32_t nv_index,
+                                                                     const Bytes& pal_pcr17,
+                                                                     const Bytes& owner_secret) {
+  PcrSelection gate({kSkinitPcr});
+  std::map<int, Bytes> values = {{kSkinitPcr, pal_pcr17}};
+  FLICKER_RETURN_IF_ERROR(
+      TpmDefineNvSpace(tpm, nv_index, 8, gate, values, gate, values, owner_secret));
+  return NvReplayProtectedStorage(tpm, nv_index);
+}
+
+NvReplayProtectedStorage::NvReplayProtectedStorage(Tpm* tpm, uint32_t nv_index)
+    : tpm_(tpm), nv_index_(nv_index) {}
+
+Result<uint64_t> NvReplayProtectedStorage::ReadCounter() {
+  Result<Bytes> raw = tpm_->NvRead(nv_index_);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (raw.value().empty()) {
+    return uint64_t{0};  // Freshly provisioned space.
+  }
+  if (raw.value().size() != 8) {
+    return IntegrityFailureError("NV counter has unexpected size");
+  }
+  return GetUint64(raw.value(), 0);
+}
+
+Result<SealedBlob> NvReplayProtectedStorage::Seal(const Bytes& data, const Bytes& release_pcr17,
+                                                  const Bytes& blob_auth) {
+  Result<uint64_t> current = ReadCounter();
+  if (!current.ok()) {
+    return current.status();
+  }
+  uint64_t next = current.value() + 1;
+  Bytes encoded;
+  PutUint64(&encoded, next);
+  FLICKER_RETURN_IF_ERROR(tpm_->NvWrite(nv_index_, encoded));
+
+  Bytes payload;
+  PutUint64(&payload, next);
+  payload.insert(payload.end(), data.begin(), data.end());
+  return SealForPal(tpm_, payload, release_pcr17, blob_auth);
+}
+
+Result<Bytes> NvReplayProtectedStorage::Unseal(const SealedBlob& blob, const Bytes& blob_auth) {
+  Result<Bytes> payload = UnsealInPal(tpm_, blob, blob_auth);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  if (payload.value().size() < 8) {
+    return IntegrityFailureError("replay-protected blob missing version field");
+  }
+  uint64_t sealed_version = GetUint64(payload.value(), 0);
+  Result<uint64_t> live = ReadCounter();
+  if (!live.ok()) {
+    return live.status();
+  }
+  if (sealed_version != live.value()) {
+    return ReplayDetectedError(
+        "sealed blob version does not match the NV counter (stale blob or crash desync)");
+  }
+  return Bytes(payload.value().begin() + 8, payload.value().end());
+}
+
+}  // namespace flicker

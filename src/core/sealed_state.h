@@ -1,0 +1,93 @@
+// Cross-session PAL state: TPM sealed storage plus the replay protection of
+// paper §4.3.2 (Fig. 4).
+//
+// TPM_Seal alone guarantees only the *intended PAL* can read a blob; it does
+// not guarantee the blob is the *latest* one - the untrusted OS stores the
+// ciphertexts and can hand back an old version. ReplayProtectedStorage
+// binds each sealed version to a TPM monotonic counter: Seal increments the
+// counter and embeds its value; Unseal compares the embedded value to the
+// live counter and rejects stale blobs.
+
+#ifndef FLICKER_SRC_CORE_SEALED_STATE_H_
+#define FLICKER_SRC_CORE_SEALED_STATE_H_
+
+#include <map>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/tpm/tpm.h"
+#include "src/tpm/tpm_util.h"
+
+namespace flicker {
+
+// Seals `data` so only a PAL whose in-execution PCR 17 equals
+// `release_pcr17` can unseal it - the §4.3.1 pattern ("PCR 17 must have the
+// value V <- H(0x00^20 || H(P')) before the data can be unsealed").
+Result<SealedBlob> SealForPal(Tpm* tpm, const Bytes& data, const Bytes& release_pcr17,
+                              const Bytes& blob_auth);
+
+// Unseals inside the target PAL's session (PCR 17 currently holds the bound
+// value).
+Result<Bytes> UnsealInPal(Tpm* tpm, const SealedBlob& blob, const Bytes& blob_auth);
+
+class ReplayProtectedStorage {
+ public:
+  // Creates the backing monotonic counter (owner-authorized).
+  static Result<ReplayProtectedStorage> Create(Tpm* tpm, const Bytes& counter_auth,
+                                               const Bytes& owner_secret);
+
+  // Rebinds to an existing counter (e.g., in a later session).
+  ReplayProtectedStorage(Tpm* tpm, uint32_t counter_id, Bytes counter_auth);
+
+  // Fig. 4 Seal: IncrementCounter(); c <- TPM_Seal(data || j, PCR list).
+  Result<SealedBlob> Seal(const Bytes& data, const Bytes& release_pcr17, const Bytes& blob_auth);
+
+  // Fig. 4 Unseal: d || j' <- TPM_Unseal(c); output d iff j' == counter.
+  // Returns kReplayDetected for stale versions.
+  Result<Bytes> Unseal(const SealedBlob& blob, const Bytes& blob_auth);
+
+  uint32_t counter_id() const { return counter_id_; }
+
+ private:
+  Tpm* tpm_;
+  uint32_t counter_id_;
+  Bytes counter_auth_;
+};
+
+// The §4.3.2 NV-storage variant: the version counter lives in a TPM
+// non-volatile space whose read AND write access are gated on the owning
+// PAL's PCR 17 value. The OS can neither observe nor advance the counter;
+// only the PAL, inside its Flicker session, can. ("Values placed in
+// non-volatile storage are maintained in the TPM... This, combined with
+// the PCR-based access control, is sufficient to protect a counter value
+// against attacks from the OS.")
+class NvReplayProtectedStorage {
+ public:
+  // Defines the NV space (owner-authorized; done once at provisioning) and
+  // binds access to `pal_pcr17` - the PAL's in-execution PCR 17 value.
+  static Result<NvReplayProtectedStorage> Provision(Tpm* tpm, uint32_t nv_index,
+                                                    const Bytes& pal_pcr17,
+                                                    const Bytes& owner_secret);
+
+  // Rebinds to an existing space (e.g. in a later session).
+  NvReplayProtectedStorage(Tpm* tpm, uint32_t nv_index);
+
+  // Seal: counter <- NV+1 (PAL-gated write), seal data || counter. Must be
+  // called inside the owning PAL's session.
+  Result<SealedBlob> Seal(const Bytes& data, const Bytes& release_pcr17, const Bytes& blob_auth);
+
+  // Unseal: reject unless the embedded version equals the NV counter.
+  Result<Bytes> Unseal(const SealedBlob& blob, const Bytes& blob_auth);
+
+  uint32_t nv_index() const { return nv_index_; }
+
+ private:
+  Result<uint64_t> ReadCounter();
+
+  Tpm* tpm_;
+  uint32_t nv_index_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CORE_SEALED_STATE_H_

@@ -1,0 +1,408 @@
+#include "src/crypto/bigint.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace flicker {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+}  // namespace
+
+BigInt::BigInt(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(value);
+  }
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigInt BigInt::FromBytesBe(const Bytes& bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // bytes[i] is the (size-1-i)-th byte from the least-significant end.
+    size_t pos = bytes.size() - 1 - i;
+    out.limbs_[pos / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (pos % 8));
+  }
+  out.Normalize();
+  return out;
+}
+
+Bytes BigInt::ToBytesBe(size_t min_len) const {
+  size_t bytes_needed = (BitLength() + 7) / 8;
+  size_t len = bytes_needed > min_len ? bytes_needed : min_len;
+  Bytes out(len, 0);
+  for (size_t i = 0; i < bytes_needed; ++i) {
+    uint64_t limb = limbs_[i / 8];
+    out[len - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+BigInt BigInt::FromHex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) {
+    padded.insert(padded.begin(), '0');
+  }
+  bool ok = false;
+  Bytes bytes = flicker::FromHex(padded, &ok);
+  assert(ok && "BigInt::FromHex: malformed hex");
+  return FromBytesBe(bytes);
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) {
+    return "0";
+  }
+  std::string out = flicker::ToHex(ToBytesBe());
+  size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  uint64_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 64;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::GetBit(size_t index) const {
+  size_t limb = index / 64;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (index % 64)) & 1;
+}
+
+uint64_t BigInt::ToUint64() const {
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  size_t n = limbs_.size() > other.limbs_.size() ? limbs_.size() : other.limbs_.size();
+  out.limbs_.assign(n + 1, 0);
+  uint128 carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint128 sum = carry;
+    if (i < limbs_.size()) {
+      sum += limbs_[i];
+    }
+    if (i < other.limbs_.size()) {
+      sum += other.limbs_[i];
+    }
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  out.limbs_[n] = static_cast<uint64_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  assert(Compare(*this, other) >= 0 && "BigInt subtraction underflow");
+  BigInt out;
+  out.limbs_.assign(limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t subtrahend = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    uint64_t a = limbs_[i];
+    uint64_t diff = a - subtrahend - borrow;
+    // Borrow occurred iff a < subtrahend + borrow (computed without overflow).
+    borrow = (a < subtrahend || (a == subtrahend && borrow)) ? 1 : 0;
+    out.limbs_[i] = diff;
+  }
+  assert(borrow == 0);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (IsZero() || other.IsZero()) {
+    return BigInt();
+  }
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint128 carry = 0;
+    uint128 a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint128 cur = static_cast<uint128>(out.limbs_[i + j]) + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint128 cur = static_cast<uint128>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    return *this;
+  }
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) {
+    return BigInt();
+  }
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    out.limbs_[i] = v;
+  }
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor, BigInt* quotient,
+                    BigInt* remainder) {
+  assert(!divisor.IsZero() && "BigInt division by zero");
+  if (Compare(dividend, divisor) < 0) {
+    if (quotient != nullptr) {
+      *quotient = BigInt();
+    }
+    if (remainder != nullptr) {
+      *remainder = dividend;
+    }
+    return;
+  }
+
+  // Single-limb divisor fast path.
+  if (divisor.limbs_.size() == 1) {
+    uint64_t d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    uint128 rem = 0;
+    for (size_t i = dividend.limbs_.size(); i-- > 0;) {
+      uint128 cur = (rem << 64) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    if (quotient != nullptr) {
+      *quotient = q;
+    }
+    if (remainder != nullptr) {
+      *remainder = BigInt(static_cast<uint64_t>(rem));
+    }
+    return;
+  }
+
+  // Knuth Algorithm D with 64-bit digits. Normalize so the divisor's top
+  // limb has its high bit set.
+  size_t shift = 0;
+  uint64_t top = divisor.limbs_.back();
+  while ((top & (1ULL << 63)) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  BigInt u = dividend << shift;
+  BigInt v = divisor << shift;
+  size_t n = v.limbs_.size();
+  size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);  // Extra high limb u_{m+n}.
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  const uint64_t v_top = v.limbs_[n - 1];
+  const uint64_t v_second = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    uint128 numerator = (static_cast<uint128>(u.limbs_[j + n]) << 64) | u.limbs_[j + n - 1];
+    uint128 qhat = numerator / v_top;
+    uint128 rhat = numerator % v_top;
+    const uint128 base = static_cast<uint128>(1) << 64;
+    if (qhat >= base) {
+      qhat = base - 1;
+      rhat = numerator - qhat * v_top;
+    }
+    while (rhat < base &&
+           qhat * v_second > ((rhat << 64) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+    }
+
+    // u[j .. j+n] -= qhat * v.
+    uint64_t borrow = 0;
+    uint128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint128 product = qhat * v.limbs_[i] + carry;
+      carry = product >> 64;
+      uint64_t sub = static_cast<uint64_t>(product);
+      uint64_t a = u.limbs_[i + j];
+      uint64_t diff = a - sub - borrow;
+      borrow = (a < sub || (a == sub && borrow)) ? 1 : 0;
+      u.limbs_[i + j] = diff;
+    }
+    uint64_t carry_limb = static_cast<uint64_t>(carry);
+    uint64_t a = u.limbs_[j + n];
+    uint64_t diff = a - carry_limb - borrow;
+    bool negative = (a < carry_limb || (a == carry_limb && borrow));
+    u.limbs_[j + n] = diff;
+
+    if (negative) {
+      // qhat was one too large; add v back.
+      --qhat;
+      uint128 add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint128 sum = static_cast<uint128>(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<uint64_t>(sum);
+        add_carry = sum >> 64;
+      }
+      u.limbs_[j + n] = static_cast<uint64_t>(u.limbs_[j + n] + static_cast<uint64_t>(add_carry));
+    }
+    q.limbs_[j] = static_cast<uint64_t>(qhat);
+  }
+
+  q.Normalize();
+  if (quotient != nullptr) {
+    *quotient = q;
+  }
+  if (remainder != nullptr) {
+    u.limbs_.resize(n);
+    u.Normalize();
+    *remainder = u >> shift;
+  }
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  DivMod(*this, other, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt r;
+  DivMod(*this, other, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  assert(!modulus.IsZero());
+  if (modulus == BigInt(1)) {
+    return BigInt();
+  }
+  BigInt result(1);
+  BigInt b = base % modulus;
+  size_t bits = exponent.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = (result * result) % modulus;
+    if (exponent.GetBit(i)) {
+      result = (result * b) % modulus;
+    }
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a;
+  BigInt y = b;
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid tracking only the coefficient of `a`, with signs managed
+  // explicitly since BigInt is unsigned.
+  BigInt r0 = m;
+  BigInt r1 = a % m;
+  BigInt t0;     // Coefficient for r0.
+  BigInt t1(1);  // Coefficient for r1.
+  bool t0_neg = false;
+  bool t1_neg = false;
+
+  while (!r1.IsZero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 % r1;
+
+    // t2 = t0 - q * t1 with sign handling.
+    BigInt qt = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (Compare(t0, qt) >= 0) {
+        t2 = t0 - qt;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt;
+      t2_neg = t0_neg;
+    }
+
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+  }
+
+  if (r0 != BigInt(1)) {
+    return BigInt();  // Not invertible.
+  }
+  if (t0_neg) {
+    return m - (t0 % m);
+  }
+  return t0 % m;
+}
+
+}  // namespace flicker

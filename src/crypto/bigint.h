@@ -1,0 +1,81 @@
+// Arbitrary-precision unsigned integers, implemented from scratch.
+//
+// This is the multi-precision library the paper's Crypto PAL module lists
+// (Fig. 6): it backs RSA key generation, PKCS#1 operations, and the TPM's
+// 2048-bit storage/identity keys. Values are unsigned; subtraction below
+// zero is a programming error and asserts.
+
+#ifndef FLICKER_SRC_CRYPTO_BIGINT_H_
+#define FLICKER_SRC_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(uint64_t value);
+
+  // Big-endian byte-string conversions (the TPM wire format for RSA values).
+  static BigInt FromBytesBe(const Bytes& bytes);
+  // Serializes big-endian, left-padded with zeros to at least `min_len`.
+  Bytes ToBytesBe(size_t min_len = 0) const;
+
+  static BigInt FromHex(std::string_view hex);
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1) != 0; }
+  // Number of significant bits; 0 for zero.
+  size_t BitLength() const;
+  bool GetBit(size_t index) const;
+  uint64_t ToUint64() const;  // Truncates to the low 64 bits.
+
+  // Returns <0, 0, >0 like memcmp.
+  static int Compare(const BigInt& a, const BigInt& b);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) { return Compare(a, b) == 0; }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return Compare(a, b) != 0; }
+  friend bool operator<(const BigInt& a, const BigInt& b) { return Compare(a, b) < 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return Compare(a, b) <= 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) { return Compare(a, b) > 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return Compare(a, b) >= 0; }
+
+  BigInt operator+(const BigInt& other) const;
+  // Requires *this >= other.
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  // Computes quotient and remainder simultaneously (Knuth Algorithm D).
+  // `divisor` must be nonzero; either output pointer may be null.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor, BigInt* quotient,
+                     BigInt* remainder);
+
+  // (base ^ exponent) mod modulus, square-and-multiply. modulus must be > 0.
+  static BigInt ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus);
+
+  // Multiplicative inverse of a mod m; returns zero if gcd(a, m) != 1.
+  static BigInt ModInverse(const BigInt& a, const BigInt& m);
+
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+ private:
+  void Normalize();
+
+  // Little-endian 64-bit limbs (128-bit intermediates); empty means zero.
+  std::vector<uint64_t> limbs_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CRYPTO_BIGINT_H_

@@ -1,0 +1,32 @@
+#include "src/crypto/rc4.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flicker {
+
+Rc4::Rc4(const Bytes& key) {
+  assert(!key.empty() && key.size() <= 256);
+  for (int i = 0; i < 256; ++i) {
+    s_[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+Bytes Rc4::Crypt(const Bytes& data) {
+  Bytes out(data.size());
+  for (size_t n = 0; n < data.size(); ++n) {
+    i_ = static_cast<uint8_t>(i_ + 1);
+    j_ = static_cast<uint8_t>(j_ + s_[i_]);
+    std::swap(s_[i_], s_[j_]);
+    uint8_t k = s_[static_cast<uint8_t>(s_[i_] + s_[j_])];
+    out[n] = static_cast<uint8_t>(data[n] ^ k);
+  }
+  return out;
+}
+
+}  // namespace flicker

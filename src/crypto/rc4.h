@@ -1,0 +1,32 @@
+// RC4 stream cipher, implemented from scratch.
+//
+// Listed in the paper's Crypto PAL module (Fig. 6). Kept for fidelity with
+// the 2008 artifact; new code in this tree uses AES.
+
+#ifndef FLICKER_SRC_CRYPTO_RC4_H_
+#define FLICKER_SRC_CRYPTO_RC4_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+
+class Rc4 {
+ public:
+  // Key must be 1..256 bytes; asserts otherwise.
+  explicit Rc4(const Bytes& key);
+
+  // XORs the keystream into `data`; encryption == decryption. The keystream
+  // position advances across calls.
+  Bytes Crypt(const Bytes& data);
+
+ private:
+  uint8_t s_[256];
+  uint8_t i_ = 0;
+  uint8_t j_ = 0;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CRYPTO_RC4_H_

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-2), implemented from scratch.
+//
+// Not required by the TPM v1.2 model itself, but offered by the Crypto PAL
+// module for application use (e.g., integrity tags over distributed-computing
+// state where an application prefers a stronger hash than SHA-1).
+
+#ifndef FLICKER_SRC_CRYPTO_SHA256_H_
+#define FLICKER_SRC_CRYPTO_SHA256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  Bytes Finish();
+
+  static Bytes Digest(const Bytes& data);
+  static Bytes Digest(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CRYPTO_SHA256_H_

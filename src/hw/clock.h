@@ -1,0 +1,53 @@
+// Virtual time for the simulated platform.
+//
+// Every latency the paper measures (SKINIT transfer, TPM command times, PAL
+// compute) is charged to a SimClock by the component that models it. Benches
+// then report simulated milliseconds, which is what reproduces the paper's
+// tables regardless of host speed.
+
+#ifndef FLICKER_SRC_HW_CLOCK_H_
+#define FLICKER_SRC_HW_CLOCK_H_
+
+#include <cstdint>
+
+namespace flicker {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  uint64_t NowMicros() const { return now_micros_; }
+  double NowMillis() const { return static_cast<double>(now_micros_) / 1000.0; }
+  double NowSeconds() const { return static_cast<double>(now_micros_) / 1e6; }
+
+  void AdvanceMicros(uint64_t micros) { now_micros_ += micros; }
+  void AdvanceMillis(double millis) {
+    if (millis > 0) {
+      now_micros_ += static_cast<uint64_t>(millis * 1000.0 + 0.5);
+    }
+  }
+
+ private:
+  uint64_t now_micros_ = 0;
+};
+
+// RAII span measuring elapsed simulated time, used by benches to attribute
+// costs to protocol phases.
+class SimStopwatch {
+ public:
+  explicit SimStopwatch(const SimClock* clock) : clock_(clock), start_micros_(clock->NowMicros()) {}
+
+  double ElapsedMillis() const {
+    return static_cast<double>(clock_->NowMicros() - start_micros_) / 1000.0;
+  }
+
+  void Restart() { start_micros_ = clock_->NowMicros(); }
+
+ private:
+  const SimClock* clock_;
+  uint64_t start_micros_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_HW_CLOCK_H_

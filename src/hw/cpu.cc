@@ -1,0 +1,41 @@
+#include "src/hw/cpu.h"
+
+namespace flicker {
+
+Status Apic::SendInitIpi(int target) {
+  if (target < 0 || target >= static_cast<int>(cpus_->size())) {
+    return InvalidArgumentError("INIT IPI target out of range");
+  }
+  Cpu& cpu = (*cpus_)[target];
+  if (cpu.is_bsp) {
+    return InvalidArgumentError("cannot send INIT IPI to the BSP");
+  }
+  if (cpu.state == CpuState::kRunning) {
+    return FailedPreconditionError("AP still executing processes; deschedule it first");
+  }
+  cpu.state = CpuState::kInit;
+  return Status::Ok();
+}
+
+Status Apic::SendStartupIpi(int target) {
+  if (target < 0 || target >= static_cast<int>(cpus_->size())) {
+    return InvalidArgumentError("Startup IPI target out of range");
+  }
+  Cpu& cpu = (*cpus_)[target];
+  if (cpu.is_bsp) {
+    return InvalidArgumentError("cannot send Startup IPI to the BSP");
+  }
+  cpu.state = CpuState::kRunning;
+  return Status::Ok();
+}
+
+bool Apic::AllApsParked() const {
+  for (const Cpu& cpu : *cpus_) {
+    if (!cpu.is_bsp && cpu.state != CpuState::kInit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flicker

@@ -1,0 +1,88 @@
+// CPU core and APIC models.
+//
+// Only the state SKINIT's security argument touches is modeled: privilege
+// ring, interrupt flag, debug-port availability, paging/segmentation state,
+// and the multiprocessor INIT handshake (paper §4.2 "Suspend OS": SKINIT may
+// only run on the BSP while every AP has accepted an INIT IPI).
+
+#ifndef FLICKER_SRC_HW_CPU_H_
+#define FLICKER_SRC_HW_CPU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace flicker {
+
+enum class CpuState {
+  kRunning,  // Executing OS/process code.
+  kIdle,     // Descheduled by CPU hotplug, no process context.
+  kInit,     // Received INIT IPI; waiting for the SKINIT handshake / SIPI.
+};
+
+// Segment descriptor state loaded into CS/DS/SS. The OS runs with flat
+// segments (base 0, limit 4 GB); the SLB core loads slb_base-relative
+// segments, and the OS Protection module narrows the limit around the PAL.
+struct SegmentState {
+  uint64_t base = 0;
+  uint64_t limit = UINT32_MAX;
+
+  bool Contains(uint64_t linear_addr, size_t len) const {
+    // The segmented address space is [base, base+limit]; an access of `len`
+    // bytes at offset (linear_addr - base) must fit below the limit.
+    if (linear_addr < base) {
+      return false;
+    }
+    uint64_t offset = linear_addr - base;
+    return offset + len <= limit + 1;
+  }
+};
+
+struct Cpu {
+  int id = 0;
+  bool is_bsp = false;
+  CpuState state = CpuState::kRunning;
+
+  int ring = 0;
+  bool interrupts_enabled = true;
+  bool debug_access_enabled = true;
+  bool paging_enabled = true;
+  // Intel SMX (Safer Mode Extensions) enable bit; GETSEC[SENTER] requires
+  // it. Meaningless on SVM machines.
+  bool smx_enabled = true;
+  uint64_t cr3 = 0;  // Opaque page-table root handle for the OS model.
+  SegmentState code_segment;
+  SegmentState data_segment;
+
+  // Loads flat segments covering all of memory (the post-session call-gate
+  // path in the SLB core, §4.2 "Resume OS").
+  void LoadFlatSegments() {
+    code_segment = SegmentState{};
+    data_segment = SegmentState{};
+  }
+};
+
+// Minimal APIC: routes INIT and Startup IPIs between cores.
+class Apic {
+ public:
+  explicit Apic(std::vector<Cpu>* cpus) : cpus_(cpus) {}
+
+  // INIT IPI: parks the target AP. Fails if the target is still running a
+  // process context (the flicker-module must hotplug-deschedule it first)
+  // or is the BSP.
+  Status SendInitIpi(int target);
+
+  // Startup IPI: returns a parked AP to the running state.
+  Status SendStartupIpi(int target);
+
+  // True when every AP has accepted INIT (the SKINIT precondition).
+  bool AllApsParked() const;
+
+ private:
+  std::vector<Cpu>* cpus_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_HW_CPU_H_

@@ -1,0 +1,127 @@
+// The simulated SVM platform: CPUs, physical memory, DEV, APIC and TPM wired
+// together, with the SKINIT instruction's full state machine.
+//
+// SKINIT here enforces exactly the preconditions and effects §2.4 and §4.2
+// describe: ring-0 + BSP-only + APs-parked preconditions; then interrupts
+// off, hardware debug off, DEV armed over the 64 KB SLB region, dynamic PCRs
+// reset, SLB measured into PCR 17, and the CPU dropped into flat 32-bit
+// protected mode at the SLB entry point. Latency is charged per Table 2's
+// calibration (linear in the bytes streamed to the TPM).
+
+#ifndef FLICKER_SRC_HW_MACHINE_H_
+#define FLICKER_SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/hw/clock.h"
+#include "src/hw/cpu.h"
+#include "src/hw/memory.h"
+#include "src/hw/timing.h"
+#include "src/tpm/tpm.h"
+
+namespace flicker {
+
+// The architectural SLB limit: SKINIT measures and protects at most 64 KB.
+constexpr size_t kSlbRegionSize = 64 * 1024;
+
+// Which late-launch technology the platform implements (§2.4). AMD SVM's
+// SKINIT measures the SLB directly into PCR 17. Intel TXT's GETSEC[SENTER]
+// first authenticates and measures the chipset vendor's SINIT ACM, then the
+// launched environment - so the PCR 17 chain gains one extra (well-known)
+// link, and SMX must be enabled.
+enum class LateLaunchTech {
+  kAmdSvm,
+  kIntelTxt,
+};
+
+struct MachineConfig {
+  size_t memory_bytes = 64 * 1024 * 1024;
+  int num_cpus = 2;  // The paper's test machine is a dual-core Athlon64 X2.
+  LateLaunchTech tech = LateLaunchTech::kAmdSvm;
+  TimingModel timing = DefaultTimingModel();
+  TpmConfig tpm = TpmConfig();
+};
+
+// Measurement of the (synthetic) SINIT Authenticated Code Module that TXT
+// platforms load; a verifier must know it to reconstruct PCR 17.
+Bytes SinitAcmMeasurement();
+
+// What SKINIT hands to the secure loader: the validated header and the
+// measurement the TPM now holds.
+struct SkinitLaunch {
+  uint64_t slb_base = 0;
+  uint16_t slb_length = 0;
+  uint16_t entry_point = 0;
+  Bytes measurement;  // SHA-1 of the measured SLB bytes.
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = MachineConfig());
+
+  SimClock* clock() { return &clock_; }
+  const TimingModel& timing() const { return timing_; }
+  PhysicalMemory* memory() { return &memory_; }
+  DeviceExclusionVector* dev() { return &dev_; }
+  Tpm* tpm() { return &tpm_; }
+  Apic* apic() { return &apic_; }
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  Cpu* cpu(int index) { return &cpus_[index]; }
+  Cpu* bsp() { return &cpus_[0]; }
+
+  LateLaunchTech tech() const { return tech_; }
+
+  // ---- The late-launch instruction ----
+  //
+  // On an SVM machine this is SKINIT; on a TXT machine it behaves as
+  // GETSEC[SENTER] (SINIT ACM measured first, SMX required). The bytes
+  // streamed to the TPM are the SLB header's length field, so a small
+  // measurement-stub SLB transfers only its own few KB (§7.2) while the
+  // full 64 KB region is always DEV-protected.
+  Result<SkinitLaunch> Skinit(int cpu_index, uint64_t slb_base);
+  // The Intel spelling; identical semantics modulo the TXT differences.
+  Result<SkinitLaunch> Senter(int cpu_index, uint64_t mle_base) {
+    return Skinit(cpu_index, mle_base);
+  }
+
+  // True while a late-launched environment is active (between Skinit and
+  // ExitSecureMode).
+  bool in_secure_session() const { return in_secure_session_; }
+  uint64_t active_slb_base() const { return active_slb_base_; }
+
+  // The SLB core's resume path: restore flat segments + paging with the
+  // saved cr3, drop DEV protection of the SLB region, re-enable interrupts
+  // and hardware debug. (§4.2 "Resume OS".)
+  Status ExitSecureMode(int cpu_index, uint64_t restored_cr3);
+
+  // ---- DMA port: every simulated DMA-capable device goes through these ----
+  Status DmaWrite(uint64_t addr, const Bytes& data);
+  Result<Bytes> DmaRead(uint64_t addr, size_t len);
+  uint64_t dma_blocked_count() const { return dma_blocked_count_; }
+
+  // Platform reboot: TPM power cycle (dynamic PCRs to -1), CPUs reset, DEV
+  // cleared.
+  void Reboot();
+
+ private:
+  SimClock clock_;
+  LateLaunchTech tech_;
+  TimingModel timing_;
+  PhysicalMemory memory_;
+  DeviceExclusionVector dev_;
+  std::vector<Cpu> cpus_;
+  Apic apic_;
+  Tpm tpm_;
+
+  bool in_secure_session_ = false;
+  uint64_t active_slb_base_ = 0;
+  uint64_t dma_blocked_count_ = 0;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_HW_MACHINE_H_

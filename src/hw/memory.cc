@@ -1,0 +1,57 @@
+#include "src/hw/memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace flicker {
+
+Result<Bytes> PhysicalMemory::Read(uint64_t addr, size_t len) const {
+  if (!InBounds(addr, len)) {
+    return InvalidArgumentError("physical read out of bounds");
+  }
+  return Bytes(data_.begin() + static_cast<long>(addr), data_.begin() + static_cast<long>(addr + len));
+}
+
+Status PhysicalMemory::Write(uint64_t addr, const Bytes& bytes) {
+  if (!InBounds(addr, bytes.size())) {
+    return InvalidArgumentError("physical write out of bounds");
+  }
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + static_cast<long>(addr));
+  return Status::Ok();
+}
+
+Status PhysicalMemory::Erase(uint64_t addr, size_t len) {
+  if (!InBounds(addr, len)) {
+    return InvalidArgumentError("physical erase out of bounds");
+  }
+  std::memset(data_.data() + addr, 0, len);
+  return Status::Ok();
+}
+
+void DeviceExclusionVector::Protect(uint64_t base, size_t len) {
+  ranges_.push_back(Range{base, len});
+}
+
+void DeviceExclusionVector::Unprotect(uint64_t base, size_t len) {
+  for (auto it = ranges_.begin(); it != ranges_.end(); ++it) {
+    if (it->base == base && it->len == len) {
+      ranges_.erase(it);
+      return;
+    }
+  }
+}
+
+void DeviceExclusionVector::Clear() {
+  ranges_.clear();
+}
+
+bool DeviceExclusionVector::Blocks(uint64_t addr, size_t len) const {
+  for (const Range& r : ranges_) {
+    if (addr < r.base + r.len && r.base < addr + len) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace flicker

@@ -1,0 +1,61 @@
+// Physical memory and the Device Exclusion Vector (DEV).
+//
+// The DEV is the SVM mechanism SKINIT programs to block DMA-capable devices
+// from the Secure Loader Block's pages (paper §2.4). Here it is a list of
+// protected physical ranges every simulated DMA transaction is checked
+// against.
+
+#ifndef FLICKER_SRC_HW_MEMORY_H_
+#define FLICKER_SRC_HW_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace flicker {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(size_t size_bytes) : data_(size_bytes, 0) {}
+
+  size_t size() const { return data_.size(); }
+
+  Result<Bytes> Read(uint64_t addr, size_t len) const;
+  Status Write(uint64_t addr, const Bytes& bytes);
+  // Zero-fill, used by the SLB core cleanup phase to erase PAL secrets.
+  Status Erase(uint64_t addr, size_t len);
+
+  bool InBounds(uint64_t addr, size_t len) const {
+    return addr <= data_.size() && len <= data_.size() - addr;
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+class DeviceExclusionVector {
+ public:
+  // Marks [base, base+len) as DMA-protected.
+  void Protect(uint64_t base, size_t len);
+  // Removes protection for ranges exactly matching a prior Protect call.
+  void Unprotect(uint64_t base, size_t len);
+  void Clear();
+
+  // True when [addr, addr+len) overlaps any protected range.
+  bool Blocks(uint64_t addr, size_t len) const;
+
+  size_t protected_range_count() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    uint64_t base;
+    size_t len;
+  };
+  std::vector<Range> ranges_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_HW_MEMORY_H_

@@ -1,0 +1,166 @@
+// Calibrated cost model for the simulated platform.
+//
+// The constants come from the paper's measurements on an HP dc5750
+// (Athlon64 X2 4200+, Broadcom BCM0102 v1.2 TPM), §7:
+//   * Table 1: SKINIT 15.4 ms (64 KB SLB), PCR Extend 1.2 ms, kernel hash
+//     22.0 ms, TPM Quote 972.7 ms.
+//   * Table 2: SKINIT vs SLB size, linear at ~2.77 ms/KB of TPM transfer.
+//   * Table 4 / Fig. 9: Unseal 898-905 ms, Seal 10.2 ms, 1024-bit key
+//     generation 185.7 ms, decrypt 4.6 ms, sign 4.7 ms, GetRandom 1.3 ms.
+// The Infineon profile uses the alternative numbers quoted in §7 (Quote
+// 331 ms, Unseal 391 ms).
+
+#ifndef FLICKER_SRC_HW_TIMING_H_
+#define FLICKER_SRC_HW_TIMING_H_
+
+#include <string>
+
+namespace flicker {
+
+struct TpmTimingProfile {
+  std::string name;
+  double quote_ms;
+  double seal_ms;
+  double unseal_ms;
+  double pcr_extend_ms;
+  double pcr_read_ms;
+  double get_random_ms;
+  double nv_read_ms;
+  double nv_write_ms;
+  double counter_ms;
+  double session_start_ms;
+  // TPM_LoadKey2: unwrapping a key blob (e.g. the AIK) into a key slot.
+  // quote_ms is the *total* measured quote latency including this load, so
+  // the signing step alone costs quote_ms - load_key_ms.
+  double load_key_ms;
+  // SKINIT's dominant cost: streaming the SLB to the TPM for hashing.
+  double skinit_transfer_ms_per_kb;
+};
+
+inline TpmTimingProfile BroadcomBcm0102Profile() {
+  return TpmTimingProfile{
+      .name = "Broadcom BCM0102",
+      .quote_ms = 972.7,
+      .seal_ms = 10.2,
+      .unseal_ms = 898.3,
+      .pcr_extend_ms = 1.2,
+      .pcr_read_ms = 0.4,
+      .get_random_ms = 1.3,
+      .nv_read_ms = 12.0,
+      .nv_write_ms = 25.0,
+      .counter_ms = 8.0,
+      .session_start_ms = 5.0,
+      .load_key_ms = 15.0,
+      .skinit_transfer_ms_per_kb = 2.76,
+  };
+}
+
+inline TpmTimingProfile InfineonProfile() {
+  return TpmTimingProfile{
+      .name = "Infineon",
+      .quote_ms = 331.0,
+      .seal_ms = 8.0,
+      .unseal_ms = 391.0,
+      .pcr_extend_ms = 0.6,
+      .pcr_read_ms = 0.3,
+      .get_random_ms = 0.7,
+      .nv_read_ms = 8.0,
+      .nv_write_ms = 15.0,
+      .counter_ms = 5.0,
+      .session_start_ms = 3.0,
+      .load_key_ms = 8.0,
+      .skinit_transfer_ms_per_kb = 2.76,  // Bus-limited, not TPM-limited.
+  };
+}
+
+struct CpuTimingProfile {
+  std::string name;
+  // Fixed CPU-side cost of SKINIT (entering flat protected mode, arming the
+  // DEV). The paper's zero-length-SLB measurement bounds this under 1 ms.
+  double skinit_cpu_setup_ms;
+  // SHA-1 throughput of the main CPU; calibrated from the 22 ms hash of the
+  // ~2 MB kernel text+syscall+module image in Table 1.
+  double sha1_mb_per_ms;
+  // 1024-bit RSA costs on the main CPU (Fig. 9 breakdown).
+  double rsa1024_keygen_ms;
+  double rsa1024_decrypt_ms;
+  double rsa1024_sign_ms;
+  // Symmetric crypto throughput for PAL-side AES/HMAC over bulk state.
+  double aes_mb_per_ms;
+  // Generic per-byte memory-touch cost for PAL compute loops.
+  double memcpy_mb_per_ms;
+  // Trial-division throughput of the distributed-computing workload
+  // (§6.2/§7.3: 1,500,000 candidate divisors in an ~8.3 s session).
+  double divisor_tests_per_ms;
+  // One md5crypt(3) evaluation (1000 MD5 rounds) on the main CPU.
+  double md5crypt_ms;
+};
+
+inline CpuTimingProfile Athlon64X2Profile() {
+  return CpuTimingProfile{
+      .name = "AMD Athlon64 X2 4200+ (2.2 GHz)",
+      .skinit_cpu_setup_ms = 0.9,
+      .sha1_mb_per_ms = 0.0909,  // ~90.9 MB/s -> 22 ms for 2 MB.
+      .rsa1024_keygen_ms = 185.7,
+      .rsa1024_decrypt_ms = 4.6,
+      .rsa1024_sign_ms = 4.7,
+      .aes_mb_per_ms = 0.15,
+      .memcpy_mb_per_ms = 2.0,
+      .divisor_tests_per_ms = 181.0,
+      .md5crypt_ms = 1.0,
+  };
+}
+
+struct TimingModel {
+  TpmTimingProfile tpm;
+  CpuTimingProfile cpu;
+
+  double SkinitMillis(size_t slb_transfer_bytes) const {
+    return cpu.skinit_cpu_setup_ms +
+           tpm.skinit_transfer_ms_per_kb * (static_cast<double>(slb_transfer_bytes) / 1024.0);
+  }
+  double Sha1Millis(size_t bytes) const {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0) / cpu.sha1_mb_per_ms;
+  }
+};
+
+inline TimingModel DefaultTimingModel() {
+  return TimingModel{.tpm = BroadcomBcm0102Profile(), .cpu = Athlon64X2Profile()};
+}
+
+inline TimingModel InfineonTimingModel() {
+  return TimingModel{.tpm = InfineonProfile(), .cpu = Athlon64X2Profile()};
+}
+
+// The hardware the authors' concurrent work ("How low can you go?", ASPLOS
+// 2008 [19]) recommends: PAL state protected by the CPU instead of TPM
+// sealed storage, measurements kept on-die, attestation-grade signatures in
+// hardware. Late-launch and seal/unseal-equivalents drop from hundreds of
+// milliseconds to microseconds - the "up to six orders of magnitude" claim.
+inline TpmTimingProfile NextGenHardwareProfile() {
+  return TpmTimingProfile{
+      .name = "next-gen (ASPLOS'08 recommendations)",
+      .quote_ms = 1.0,           // Hardware-assisted signing.
+      .seal_ms = 0.001,          // CPU-protected PAL context, no TPM round trip.
+      .unseal_ms = 0.001,
+      .pcr_extend_ms = 0.001,    // On-die measurement registers.
+      .pcr_read_ms = 0.001,
+      .get_random_ms = 0.001,
+      .nv_read_ms = 0.01,
+      .nv_write_ms = 0.01,
+      .counter_ms = 0.001,
+      .session_start_ms = 0.001,
+      .load_key_ms = 0.001,
+      .skinit_transfer_ms_per_kb = 0.0001,  // On-die hashing at memory speed.
+  };
+}
+
+inline TimingModel NextGenTimingModel() {
+  TimingModel model{.tpm = NextGenHardwareProfile(), .cpu = Athlon64X2Profile()};
+  model.cpu.skinit_cpu_setup_ms = 0.001;
+  return model;
+}
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_HW_TIMING_H_

@@ -1,0 +1,22 @@
+#include "src/net/channel.h"
+
+namespace flicker {
+
+double Channel::SampleOneWayMs() {
+  ++messages_delivered_;
+  // Triangular-ish jitter around the average: avg + U[-1,1] * spread, where
+  // spread keeps samples within [min, max].
+  double spread_low = (profile_.avg_rtt_ms - profile_.min_rtt_ms) / 2.0;
+  double spread_high = (profile_.max_rtt_ms - profile_.avg_rtt_ms) / 2.0;
+  uint64_t draw = jitter_.UniformUint64(1000);
+  double u = static_cast<double>(draw) / 999.0;  // [0, 1].
+  double rtt;
+  if (u < 0.5) {
+    rtt = profile_.avg_rtt_ms - spread_low * (1.0 - 2.0 * u);
+  } else {
+    rtt = profile_.avg_rtt_ms + spread_high * (2.0 * u - 1.0);
+  }
+  return rtt / 2.0;
+}
+
+}  // namespace flicker

@@ -1,0 +1,89 @@
+#include "src/os/flicker_module.h"
+
+#include "src/slb/slb_core.h"
+
+namespace flicker {
+
+FlickerModule::FlickerModule(Machine* machine, OsKernel* kernel, Scheduler* scheduler)
+    : machine_(machine), kernel_(kernel), scheduler_(scheduler) {}
+
+Status FlickerModule::WriteSlb(const Bytes& image) {
+  if (image.size() != kSlbRegionSize) {
+    return InvalidArgumentError("SLB image must be exactly 64 KB");
+  }
+  staged_slb_ = image;
+  return Status::Ok();
+}
+
+Status FlickerModule::WriteInputs(const Bytes& inputs) {
+  if (inputs.size() + 4 > kSlbIoPageSize) {
+    return ResourceExhaustedError("inputs exceed the 4 KB input page");
+  }
+  staged_inputs_ = inputs;
+  return Status::Ok();
+}
+
+Result<Bytes> FlickerModule::ReadOutputs() const {
+  return outputs_;
+}
+
+Result<SkinitLaunch> FlickerModule::StartSession() {
+  if (staged_slb_.empty()) {
+    return FailedPreconditionError("no SLB staged; write the slb entry first");
+  }
+  if (machine_->in_secure_session()) {
+    return FailedPreconditionError("a session is already active");
+  }
+
+  // "Initialize the SLB": patch the skeleton GDT/TSS for the load address.
+  Bytes patched = staged_slb_;
+  PatchSlbImage(&patched, kSlbFixedBase);
+  if (corrupt_slb_before_launch_) {
+    patched[kSlbCodeOffset + 100] ^= 0xff;  // Malicious-OS tampering.
+  }
+  FLICKER_RETURN_IF_ERROR(machine_->memory()->Write(kSlbFixedBase, patched));
+  FLICKER_RETURN_IF_ERROR(
+      WriteIoPage(machine_->memory(), kSlbFixedBase + kSlbInputsOffset, staged_inputs_));
+
+  // "Suspend OS": save kernel state to the well-known page, then use CPU
+  // hotplug to idle the APs and park them with INIT IPIs.
+  Bytes saved_state;
+  PutUint64(&saved_state, machine_->bsp()->cr3);
+  FLICKER_RETURN_IF_ERROR(
+      WriteIoPage(machine_->memory(), kSlbFixedBase + kSlbSavedStateOffset, saved_state));
+
+  FLICKER_RETURN_IF_ERROR(scheduler_->DescheduleAps());
+  for (int cpu = 1; cpu < machine_->num_cpus(); ++cpu) {
+    FLICKER_RETURN_IF_ERROR(machine_->apic()->SendInitIpi(cpu));
+  }
+
+  Result<SkinitLaunch> launch = machine_->Skinit(machine_->bsp()->id, kSlbFixedBase);
+  if (!launch.ok()) {
+    // Roll back the suspension so the OS keeps running.
+    Status st = scheduler_->RestoreAps();
+    (void)st;
+    return launch.status();
+  }
+  session_prepared_ = true;
+  return launch;
+}
+
+Status FlickerModule::FinishSession() {
+  if (!session_prepared_) {
+    return FailedPreconditionError("no session to finish");
+  }
+  session_prepared_ = false;
+
+  // Collect outputs from the well-known page into the sysfs buffer.
+  Result<Bytes> outputs = ReadIoPage(*machine_->memory(), kSlbFixedBase + kSlbOutputsOffset);
+  if (!outputs.ok()) {
+    return outputs.status();
+  }
+  outputs_ = outputs.value();
+
+  // Wake the APs and resume multiprocessing.
+  FLICKER_RETURN_IF_ERROR(scheduler_->RestoreAps());
+  return Status::Ok();
+}
+
+}  // namespace flicker

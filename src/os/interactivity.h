@@ -1,0 +1,39 @@
+// User-interactivity impact model for Flicker sessions (§7.5 discussion:
+// "While a Flicker session runs, the user will perceive a hang on the
+// machine. Keyboard and mouse input during the Flicker session may be
+// lost.").
+//
+// Input events arrive at a steady rate; the keyboard/mouse controller
+// buffers a handful while the OS cannot service interrupts, and overflow
+// events are lost. This quantifies the trade-off behind §6.2's advice to
+// break long computations into multiple sessions.
+
+#ifndef FLICKER_SRC_OS_INTERACTIVITY_H_
+#define FLICKER_SRC_OS_INTERACTIVITY_H_
+
+#include <cstdint>
+
+namespace flicker {
+
+struct InteractivityParams {
+  double event_rate_hz = 30.0;  // Sustained typing + mouse movement.
+  // i8042-style controller FIFO: events held while interrupts are off.
+  int controller_buffer_events = 16;
+  // Session pattern, as in the block-device model.
+  double session_ms = 8300.0;
+  double os_window_ms = 37.0;
+  double duration_ms = 60'000.0;
+};
+
+struct InteractivityReport {
+  uint64_t events_total = 0;
+  uint64_t events_lost = 0;
+  double loss_fraction = 0.0;
+  double longest_hang_ms = 0.0;  // Longest stretch without event servicing.
+};
+
+InteractivityReport SimulateUserInputDuringSessions(const InteractivityParams& params);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_OS_INTERACTIVITY_H_

@@ -1,0 +1,118 @@
+#include "src/os/kernel.h"
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+
+OsKernel::OsKernel(Machine* machine, const KernelConfig& config)
+    : machine_(machine), config_(config) {
+  Drbg content(config.content_seed);
+
+  regions_.push_back(KernelRegion{"text", config.text_base, config.text_size});
+  regions_.push_back(
+      KernelRegion{"syscall_table", config.syscall_table_base, config.syscall_table_size});
+  uint64_t module_addr = config.modules_base;
+  for (const auto& [name, size] : config.modules) {
+    regions_.push_back(KernelRegion{"module:" + name, module_addr, size});
+    module_addr += size;
+  }
+
+  for (const KernelRegion& region : regions_) {
+    Status st = machine_->memory()->Write(region.base, content.Generate(region.size));
+    (void)st;  // Config addresses are within the machine by construction.
+  }
+  pristine_measurement_ = CurrentMeasurement();
+  machine_->bsp()->cr3 = cr3_;
+}
+
+std::vector<KernelRegion> OsKernel::MeasuredRegions() const {
+  return regions_;
+}
+
+Bytes OsKernel::SerializeRegions() const {
+  Bytes out;
+  PutUint32(&out, static_cast<uint32_t>(regions_.size()));
+  for (const KernelRegion& region : regions_) {
+    PutUint32(&out, static_cast<uint32_t>(region.name.size()));
+    Bytes name = BytesOf(region.name);
+    out.insert(out.end(), name.begin(), name.end());
+    PutUint64(&out, region.base);
+    PutUint64(&out, region.size);
+  }
+  return out;
+}
+
+Result<std::vector<KernelRegion>> OsKernel::DeserializeRegions(const Bytes& data) {
+  std::vector<KernelRegion> regions;
+  size_t pos = 0;
+  if (data.size() < 4) {
+    return InvalidArgumentError("region list truncated");
+  }
+  uint32_t count = GetUint32(data, pos);
+  pos += 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > data.size()) {
+      return InvalidArgumentError("region list truncated");
+    }
+    uint32_t name_len = GetUint32(data, pos);
+    pos += 4;
+    if (pos + name_len + 16 > data.size()) {
+      return InvalidArgumentError("region list truncated");
+    }
+    KernelRegion region;
+    region.name.assign(data.begin() + static_cast<long>(pos),
+                       data.begin() + static_cast<long>(pos + name_len));
+    pos += name_len;
+    region.base = GetUint64(data, pos);
+    pos += 8;
+    region.size = GetUint64(data, pos);
+    pos += 8;
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+Bytes OsKernel::CurrentMeasurement() const {
+  Sha1 hash;
+  for (const KernelRegion& region : regions_) {
+    Result<Bytes> bytes = machine_->memory()->Read(region.base, region.size);
+    if (bytes.ok()) {
+      hash.Update(bytes.value());
+    }
+  }
+  return hash.Finish();
+}
+
+Status OsKernel::InstallSyscallHook(size_t entry_index) {
+  if (entry_index * 8 + 8 > config_.syscall_table_size) {
+    return InvalidArgumentError("syscall index out of range");
+  }
+  // Point the entry at attacker-controlled memory.
+  Bytes hook;
+  PutUint64(&hook, 0xdeadbeefcafebabeULL);
+  FLICKER_RETURN_IF_ERROR(
+      machine_->memory()->Write(config_.syscall_table_base + entry_index * 8, hook));
+  tampered_ = true;
+  return Status::Ok();
+}
+
+Status OsKernel::PatchText(uint64_t offset, const Bytes& patch) {
+  if (offset + patch.size() > config_.text_size) {
+    return InvalidArgumentError("text patch out of range");
+  }
+  FLICKER_RETURN_IF_ERROR(machine_->memory()->Write(config_.text_base + offset, patch));
+  tampered_ = true;
+  return Status::Ok();
+}
+
+Status OsKernel::RestorePristine() {
+  Drbg content(config_.content_seed);
+  for (const KernelRegion& region : regions_) {
+    FLICKER_RETURN_IF_ERROR(machine_->memory()->Write(region.base, content.Generate(region.size)));
+  }
+  tampered_ = false;
+  return Status::Ok();
+}
+
+}  // namespace flicker

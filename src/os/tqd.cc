@@ -1,0 +1,20 @@
+#include "src/os/tqd.h"
+
+namespace flicker {
+
+Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
+                                                            const PcrSelection& selection) {
+  if (machine_->in_secure_session()) {
+    return FailedPreconditionError("OS suspended: quote daemon not running");
+  }
+  Result<TpmQuote> quote = machine_->tpm()->Quote(nonce, selection);
+  if (!quote.ok()) {
+    return quote.status();
+  }
+  AttestationResponse response;
+  response.quote = quote.take();
+  response.aik_public = machine_->tpm()->aik_public().Serialize();
+  return response;
+}
+
+}  // namespace flicker

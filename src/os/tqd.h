@@ -1,0 +1,39 @@
+// The TPM Quote Daemon (tqd): the userspace attestation service the paper
+// runs on the untrusted OS on top of the TrouSerS TCG software stack (§6).
+//
+// The daemon itself is untrusted: it merely relays nonces to the TPM and
+// quotes back to challengers. Security comes from the TPM's signature.
+
+#ifndef FLICKER_SRC_OS_TQD_H_
+#define FLICKER_SRC_OS_TQD_H_
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/hw/machine.h"
+#include "src/tpm/structures.h"
+
+namespace flicker {
+
+struct AttestationResponse {
+  TpmQuote quote;
+  // The AIK public key, shipped alongside (its certificate chain is checked
+  // by the verifier against the Privacy CA).
+  Bytes aik_public;
+};
+
+class TpmQuoteDaemon {
+ public:
+  explicit TpmQuoteDaemon(Machine* machine) : machine_(machine) {}
+
+  // Handles a challenge: quote the selected PCRs over the verifier's nonce.
+  // Fails while a Flicker session holds the platform (the OS, and hence the
+  // daemon, is suspended).
+  Result<AttestationResponse> HandleChallenge(const Bytes& nonce, const PcrSelection& selection);
+
+ private:
+  Machine* machine_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_OS_TQD_H_

@@ -1,0 +1,72 @@
+#include "src/slb/extractor.h"
+
+#include <algorithm>
+
+namespace flicker {
+
+void CallGraph::AddFunction(SourceFunction function) {
+  functions_[function.name] = std::move(function);
+}
+
+const SourceFunction* CallGraph::Find(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+Result<PalSpec> ExtractPal(const CallGraph& graph, const std::string& target) {
+  if (!graph.Has(target)) {
+    return NotFoundError("target function not found in call graph: " + target);
+  }
+
+  PalSpec spec;
+  spec.target = target;
+
+  // Depth-first closure over in-program functions; out-of-program callees
+  // become external symbols.
+  std::set<std::string> visited;
+  std::set<std::string> externals;
+  std::vector<std::string> stack = {target};
+  while (!stack.empty()) {
+    std::string name = stack.back();
+    stack.pop_back();
+    if (visited.count(name) != 0) {
+      continue;
+    }
+    visited.insert(name);
+    const SourceFunction* function = graph.Find(name);
+    if (function == nullptr) {
+      externals.insert(name);
+      continue;
+    }
+    spec.extracted_functions.push_back(name);
+    spec.extracted_lines += function->lines_of_code;
+    spec.extracted_bytes += function->code_bytes;
+    for (const std::string& callee : function->callees) {
+      stack.push_back(callee);
+    }
+  }
+  std::sort(spec.extracted_functions.begin(), spec.extracted_functions.end());
+
+  // Resolve external symbols against the module registry.
+  ModuleRegistry registry;
+  std::set<std::string> modules;
+  for (const std::string& symbol : externals) {
+    bool resolved = false;
+    for (const PalModule& module : registry.modules()) {
+      if (std::find(module.exported_symbols.begin(), module.exported_symbols.end(), symbol) !=
+          module.exported_symbols.end()) {
+        modules.insert(module.name);
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) {
+      spec.unresolved_symbols.push_back(symbol);
+    }
+  }
+  spec.required_modules.assign(modules.begin(), modules.end());
+  std::sort(spec.unresolved_symbols.begin(), spec.unresolved_symbols.end());
+  return spec;
+}
+
+}  // namespace flicker

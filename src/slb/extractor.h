@@ -1,0 +1,71 @@
+// The PAL extraction tool (paper §5.2): the CIL-based analysis that pulls a
+// target function and its transitive dependencies out of a larger program.
+//
+// The input is a call graph of the existing application (function -> callees,
+// plus per-function size/LOC). Given a target ("rsa_keygen"), the tool:
+//   1. computes the transitive closure of callees,
+//   2. splits it into app code to extract vs. symbols that must come from
+//      PAL library modules,
+//   3. reports unresolvable symbols the programmer must eliminate or replace
+//      (printf) or satisfy by linking a module (malloc -> Memory Management),
+//   4. emits a PalSpec: the module list and size/LOC accounting for the
+//      standalone PAL.
+
+#ifndef FLICKER_SRC_SLB_EXTRACTOR_H_
+#define FLICKER_SRC_SLB_EXTRACTOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/slb/module_registry.h"
+
+namespace flicker {
+
+struct SourceFunction {
+  std::string name;
+  int lines_of_code = 0;
+  size_t code_bytes = 0;
+  std::vector<std::string> callees;
+};
+
+// A program's call graph, as CIL would produce it.
+class CallGraph {
+ public:
+  void AddFunction(SourceFunction function);
+  bool Has(const std::string& name) const { return functions_.count(name) != 0; }
+  const SourceFunction* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, SourceFunction> functions_;
+};
+
+// The extraction result: what becomes the PAL.
+struct PalSpec {
+  std::string target;
+  // Functions lifted from the application into the PAL, in dependency order.
+  std::vector<std::string> extracted_functions;
+  int extracted_lines = 0;
+  size_t extracted_bytes = 0;
+  // Library modules the PAL must link (resolved from leaf symbols).
+  std::vector<std::string> required_modules;
+  // Leaf symbols with no provider: the programmer must eliminate these
+  // (e.g. printf) before the PAL builds.
+  std::vector<std::string> unresolved_symbols;
+
+  bool Buildable() const { return unresolved_symbols.empty(); }
+};
+
+// Extracts `target` and its transitive dependencies from `graph`. Symbols
+// not defined in the graph are treated as external references and resolved
+// against the module registry's exports. Fails only if the target itself is
+// unknown; unresolved leaves are reported in the spec, mirroring the tool's
+// "indicates which additional functions must be eliminated or replaced"
+// behaviour.
+Result<PalSpec> ExtractPal(const CallGraph& graph, const std::string& target);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_SLB_EXTRACTOR_H_

@@ -1,0 +1,88 @@
+#include "src/slb/module_registry.h"
+
+#include "src/crypto/drbg.h"
+
+namespace flicker {
+
+ModuleRegistry::ModuleRegistry() {
+  // LOC and binary sizes from Fig. 6 of the paper.
+  modules_ = {
+      PalModule{
+          .name = kModuleSlbCore,
+          .description = "Prepare environment, execute PAL, clean environment, resume OS",
+          .lines_of_code = 94,
+          .binary_bytes = 312,
+          .mandatory = true,
+          .exported_symbols = {"pal_enter", "slb_exit", "PAL_OUT", "PAL_IN"},
+      },
+      PalModule{
+          .name = kModuleOsProtection,
+          .description = "Memory protection, ring 3 PAL execution",
+          .lines_of_code = 5,
+          .binary_bytes = 46,
+          .mandatory = false,
+          .exported_symbols = {"ring3_enter", "ring3_exit"},
+      },
+      PalModule{
+          .name = kModuleTpmDriver,
+          .description = "Communication with the TPM",
+          .lines_of_code = 216,
+          .binary_bytes = 825,
+          .mandatory = false,
+          .exported_symbols = {"tpm_transmit", "tpm_request_locality", "tpm_release_locality"},
+      },
+      PalModule{
+          .name = kModuleTpmUtilities,
+          .description = "TPM operations: Seal, Unseal, GetRandom, PCR Extend, OIAP/OSAP",
+          .lines_of_code = 889,
+          .binary_bytes = 9427,
+          .mandatory = false,
+          .exported_symbols = {"tpm_seal", "tpm_unseal", "tpm_get_random", "tpm_pcr_extend",
+                               "tpm_pcr_read", "tpm_oiap", "tpm_osap", "tpm_get_capability",
+                               "tpm_nv_read", "tpm_nv_write", "tpm_counter_read",
+                               "tpm_counter_increment"},
+      },
+      PalModule{
+          .name = kModuleCrypto,
+          .description = "RSA, SHA-1, SHA-512, MD5, AES, RC4, multi-precision integers",
+          .lines_of_code = 2262,
+          .binary_bytes = 31380,
+          .mandatory = false,
+          .exported_symbols = {"rsa_keygen", "rsa_encrypt", "rsa_decrypt", "rsa_sign",
+                               "rsa_verify", "sha1", "sha512", "md5", "md5crypt", "aes_cbc",
+                               "rc4", "hmac_sha1", "bigint"},
+      },
+      PalModule{
+          .name = kModuleMemoryManagement,
+          .description = "malloc/free/realloc over a static heap buffer",
+          .lines_of_code = 657,
+          .binary_bytes = 12511,
+          .mandatory = false,
+          .exported_symbols = {"malloc", "free", "realloc"},
+      },
+      PalModule{
+          .name = kModuleSecureChannel,
+          .description = "Generates a keypair, seals private key, returns public key",
+          .lines_of_code = 292,
+          .binary_bytes = 2021,
+          .mandatory = false,
+          .exported_symbols = {"secure_channel_keygen", "secure_channel_decrypt"},
+      },
+  };
+}
+
+Result<const PalModule*> ModuleRegistry::Find(const std::string& name) const {
+  for (const PalModule& m : modules_) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return NotFoundError("unknown PAL module: " + name);
+}
+
+Bytes ModuleRegistry::SyntheticCode(const PalModule& module) {
+  Drbg rng(BytesOf("flicker-module-code:" + module.name));
+  return rng.Generate(module.binary_bytes);
+}
+
+}  // namespace flicker

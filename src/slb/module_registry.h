@@ -1,0 +1,58 @@
+// The PAL module registry and TCB accounting (paper Fig. 6), plus the
+// extraction-tool analog from §5.2.
+//
+// A PAL is assembled from named library modules. Each module contributes
+// lines of code and bytes to the PAL's TCB, and exports a set of symbols a
+// PAL may depend on. The builder rejects PALs that reference symbols no
+// selected module provides - the same "no printf, no malloc unless you link
+// the memory manager" discipline the paper's CIL-based tool enforces.
+
+#ifndef FLICKER_SRC_SLB_MODULE_REGISTRY_H_
+#define FLICKER_SRC_SLB_MODULE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace flicker {
+
+struct PalModule {
+  std::string name;
+  std::string description;
+  int lines_of_code = 0;
+  size_t binary_bytes = 0;
+  bool mandatory = false;
+  std::vector<std::string> exported_symbols;
+};
+
+// The module set from Fig. 6 with the paper's measured LOC / sizes.
+class ModuleRegistry {
+ public:
+  ModuleRegistry();
+
+  const std::vector<PalModule>& modules() const { return modules_; }
+  Result<const PalModule*> Find(const std::string& name) const;
+
+  // Synthetic-but-deterministic code bytes for a module: module identity is
+  // part of the PAL measurement, so the bytes depend only on the module name
+  // and its declared size.
+  static Bytes SyntheticCode(const PalModule& module);
+
+ private:
+  std::vector<PalModule> modules_;
+};
+
+// Canonical module names.
+inline constexpr char kModuleSlbCore[] = "SLB Core";
+inline constexpr char kModuleOsProtection[] = "OS Protection";
+inline constexpr char kModuleTpmDriver[] = "TPM Driver";
+inline constexpr char kModuleTpmUtilities[] = "TPM Utilities";
+inline constexpr char kModuleCrypto[] = "Crypto";
+inline constexpr char kModuleMemoryManagement[] = "Memory Management";
+inline constexpr char kModuleSecureChannel[] = "Secure Channel";
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_SLB_MODULE_REGISTRY_H_

@@ -1,0 +1,151 @@
+#include "src/slb/pal_heap.h"
+
+#include <cstring>
+
+namespace flicker {
+
+namespace {
+
+size_t RoundUp(size_t n, size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+PalHeap::PalHeap(size_t arena_bytes) : arena_(arena_bytes & ~size_t{7}, 0) {
+  if (arena_.size() >= kHeaderSize + kAlign) {
+    BlockHeader* first = HeaderAt(0);
+    first->size = static_cast<uint32_t>(arena_.size() - kHeaderSize);
+    first->free = 1;
+  }
+}
+
+void* PalHeap::Malloc(size_t size) {
+  if (size == 0 || arena_.size() < kHeaderSize) {
+    return nullptr;
+  }
+  size = RoundUp(size, kAlign);
+
+  size_t offset = 0;
+  while (offset + kHeaderSize <= arena_.size()) {
+    BlockHeader* header = HeaderAt(offset);
+    if (header->free && header->size >= size) {
+      // Split when the remainder can hold another block.
+      size_t remainder = header->size - size;
+      if (remainder >= kHeaderSize + kAlign) {
+        header->size = static_cast<uint32_t>(size);
+        BlockHeader* next = HeaderAt(offset + kHeaderSize + size);
+        next->size = static_cast<uint32_t>(remainder - kHeaderSize);
+        next->free = 1;
+      }
+      header->free = 0;
+      return arena_.data() + offset + kHeaderSize;
+    }
+    offset += kHeaderSize + header->size;
+  }
+  return nullptr;
+}
+
+void PalHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  size_t offset = OffsetOf(ptr);
+  BlockHeader* header = HeaderAt(offset);
+  header->free = 1;
+
+  // Coalesce the whole arena in one pass (arenas are tiny; simplicity over
+  // speed, like the original module).
+  size_t scan = 0;
+  while (scan + kHeaderSize <= arena_.size()) {
+    BlockHeader* current = HeaderAt(scan);
+    size_t next_offset = scan + kHeaderSize + current->size;
+    if (current->free && next_offset + kHeaderSize <= arena_.size()) {
+      BlockHeader* next = HeaderAt(next_offset);
+      if (next->free) {
+        current->size += kHeaderSize + next->size;
+        continue;  // Re-check the grown block against its new neighbour.
+      }
+    }
+    scan = next_offset;
+  }
+}
+
+void* PalHeap::Realloc(void* ptr, size_t size) {
+  if (ptr == nullptr) {
+    return Malloc(size);
+  }
+  if (size == 0) {
+    Free(ptr);
+    return nullptr;
+  }
+  size_t offset = OffsetOf(ptr);
+  BlockHeader* header = HeaderAt(offset);
+  size_t rounded = RoundUp(size, kAlign);
+  if (rounded <= header->size) {
+    return ptr;  // Shrink in place (no split, keep it simple).
+  }
+  void* bigger = Malloc(size);
+  if (bigger == nullptr) {
+    return nullptr;  // Original block stays valid, like realloc(3).
+  }
+  std::memcpy(bigger, ptr, header->size);
+  Free(ptr);
+  return bigger;
+}
+
+size_t PalHeap::AllocatedSize(const void* ptr) const {
+  return HeaderAt(OffsetOf(ptr))->size;
+}
+
+size_t PalHeap::BytesInUse() const {
+  size_t used = 0;
+  size_t offset = 0;
+  while (offset + kHeaderSize <= arena_.size()) {
+    const BlockHeader* header = HeaderAt(offset);
+    if (!header->free) {
+      used += header->size;
+    }
+    offset += kHeaderSize + header->size;
+  }
+  return used;
+}
+
+size_t PalHeap::LargestFreeBlock() const {
+  size_t largest = 0;
+  size_t offset = 0;
+  while (offset + kHeaderSize <= arena_.size()) {
+    const BlockHeader* header = HeaderAt(offset);
+    if (header->free && header->size > largest) {
+      largest = header->size;
+    }
+    offset += kHeaderSize + header->size;
+  }
+  return largest;
+}
+
+bool PalHeap::CheckConsistency() const {
+  size_t offset = 0;
+  while (offset + kHeaderSize <= arena_.size()) {
+    const BlockHeader* header = HeaderAt(offset);
+    if (header->size == 0 || header->size % kAlign != 0) {
+      return false;
+    }
+    if (offset + kHeaderSize + header->size > arena_.size()) {
+      return false;
+    }
+    offset += kHeaderSize + header->size;
+  }
+  return offset == arena_.size();
+}
+
+void PalHeap::Wipe() {
+  std::memset(arena_.data(), 0, arena_.size());
+  if (arena_.size() >= kHeaderSize + kAlign) {
+    BlockHeader* first = HeaderAt(0);
+    first->size = static_cast<uint32_t>(arena_.size() - kHeaderSize);
+    first->free = 1;
+  }
+}
+
+}  // namespace flicker

@@ -1,0 +1,71 @@
+// The Memory Management PAL module (paper Fig. 6): malloc/free/realloc over
+// a statically allocated arena.
+//
+// A PAL has no OS services, so the module manages a fixed global buffer with
+// a first-fit free list (with coalescing on free). The arena is part of the
+// PAL's memory and is wiped by the SLB core's cleanup like everything else.
+
+#ifndef FLICKER_SRC_SLB_PAL_HEAP_H_
+#define FLICKER_SRC_SLB_PAL_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flicker {
+
+class PalHeap {
+ public:
+  // Creates a heap over an arena of `arena_bytes` (rounded down to 8-byte
+  // granularity). The paper's module serves PALs within a 64 KB SLB, so
+  // arenas are small.
+  explicit PalHeap(size_t arena_bytes);
+
+  // Returns an 8-byte-aligned block or nullptr when no fit exists.
+  void* Malloc(size_t size);
+  // Frees a block previously returned by Malloc/Realloc; nullptr is a no-op.
+  // Freeing coalesces with adjacent free blocks.
+  void Free(void* ptr);
+  // Grows/shrinks a block, moving it if needed; Realloc(nullptr, n) mallocs,
+  // Realloc(p, 0) frees and returns nullptr.
+  void* Realloc(void* ptr, size_t size);
+
+  // Diagnostics.
+  // The actual payload capacity of an allocated block (may exceed the
+  // requested size when an unsplittable remainder was absorbed).
+  size_t AllocatedSize(const void* ptr) const;
+  size_t BytesInUse() const;
+  size_t LargestFreeBlock() const;
+  size_t arena_size() const { return arena_.size(); }
+  // True when every block header is consistent (tests call this after
+  // workouts to catch corruption).
+  bool CheckConsistency() const;
+
+  // Zeroes the whole arena (the cleanup-phase behaviour).
+  void Wipe();
+
+ private:
+  struct BlockHeader {
+    uint32_t size;  // Payload bytes (multiple of 8).
+    uint32_t free;  // 1 = free, 0 = allocated.
+  };
+  static constexpr size_t kHeaderSize = sizeof(BlockHeader);
+  static constexpr size_t kAlign = 8;
+
+  BlockHeader* HeaderAt(size_t offset) {
+    return reinterpret_cast<BlockHeader*>(arena_.data() + offset);
+  }
+  const BlockHeader* HeaderAt(size_t offset) const {
+    return reinterpret_cast<const BlockHeader*>(arena_.data() + offset);
+  }
+  size_t OffsetOf(const void* payload) const {
+    return static_cast<size_t>(static_cast<const uint8_t*>(payload) - arena_.data()) -
+           kHeaderSize;
+  }
+
+  std::vector<uint8_t> arena_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_SLB_PAL_HEAP_H_

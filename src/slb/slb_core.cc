@@ -1,0 +1,139 @@
+#include "src/slb/slb_core.h"
+
+#include "src/crypto/sha1.h"
+#include "src/slb/pal.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+
+Bytes FlickerTerminationConstant() {
+  // Any fixed public value works; derive it from a tag so it is stable and
+  // self-describing.
+  return Sha1::Digest(BytesOf("flicker-session-termination-constant"));
+}
+
+Status WriteIoPage(PhysicalMemory* memory, uint64_t page_addr, const Bytes& data) {
+  if (data.size() + 4 > kSlbIoPageSize) {
+    return ResourceExhaustedError("payload exceeds 4 KB I/O page");
+  }
+  Bytes page;
+  PutUint32(&page, static_cast<uint32_t>(data.size()));
+  page.insert(page.end(), data.begin(), data.end());
+  return memory->Write(page_addr, page);
+}
+
+Result<Bytes> ReadIoPage(const PhysicalMemory& memory, uint64_t page_addr) {
+  Result<Bytes> header = memory.Read(page_addr, 4);
+  if (!header.ok()) {
+    return header.status();
+  }
+  uint32_t len = GetUint32(header.value(), 0);
+  if (len + 4 > kSlbIoPageSize) {
+    return InvalidArgumentError("corrupt I/O page length");
+  }
+  return memory.Read(page_addr + 4, len);
+}
+
+Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
+                                   const PalBinary& binary, const SlbCoreOptions& options) {
+  if (!machine->in_secure_session() || machine->active_slb_base() != launch.slb_base) {
+    return FailedPreconditionError("SLB core must run inside the SKINIT-launched session");
+  }
+  const uint64_t base = launch.slb_base;
+  Cpu* bsp = machine->bsp();
+  Tpm* tpm = machine->tpm();
+  SessionRecord record;
+
+  // Step 1: measurement-stub path. SKINIT only measured the stub; the stub
+  // now hashes the whole 64 KB region on the (fast) main CPU and extends it.
+  if (binary.options.measurement_stub) {
+    SimStopwatch stub_watch(machine->clock());
+    Result<Bytes> full_region = machine->memory()->Read(base, kSlbRegionSize);
+    if (!full_region.ok()) {
+      return full_region.status();
+    }
+    machine->clock()->AdvanceMillis(machine->timing().Sha1Millis(kSlbRegionSize));
+    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, Sha1::Digest(full_region.value())));
+    record.stub_hash_ms = stub_watch.ElapsedMillis();
+  }
+
+  // Step 2: initialize segmentation - descriptors based at slb_base so the
+  // position-dependent PAL sees itself at offset 0.
+  bsp->code_segment = SegmentState{base, kSlbRegionSize - 1};
+  bsp->data_segment = SegmentState{base, kSlbAllocationSize - 1};
+
+  // Record the PCR 17 value the PAL executes under; sealed storage binds to
+  // exactly this value.
+  Result<Bytes> pcr17 = tpm->PcrRead(kSkinitPcr);
+  if (!pcr17.ok()) {
+    return pcr17.status();
+  }
+  record.pcr17_during_execution = pcr17.value();
+
+  // Step 3: read inputs and call the PAL. With OS Protection the PAL runs in
+  // ring 3 confined to [slb_base, slb_base + allocation).
+  Result<Bytes> inputs = ReadIoPage(*machine->memory(), base + kSlbInputsOffset);
+  if (!inputs.ok()) {
+    return inputs.status();
+  }
+  const bool protect = binary.options.os_protection;
+  SegmentState pal_segment{base, kSlbAllocationSize - 1};
+  uint64_t deadline_micros =
+      options.max_pal_ms > 0
+          ? machine->clock()->NowMicros() + static_cast<uint64_t>(options.max_pal_ms * 1000.0)
+          : 0;
+  PalContext context(machine, base, inputs.value(), protect, pal_segment, deadline_micros);
+  if (protect) {
+    bsp->ring = 3;  // IRET into the PAL (§5.1.2).
+  }
+  SimStopwatch pal_watch(machine->clock());
+  record.pal_status = binary.pal->Execute(&context);
+  if (record.pal_status.ok() && context.deadline_exceeded()) {
+    record.pal_status =
+        ResourceExhaustedError("PAL exceeded its execution budget (SLB-core timer fired)");
+  }
+  record.pal_execute_ms = pal_watch.ElapsedMillis();
+  record.pal_fault_count = context.fault_count();
+  bsp->ring = 0;  // Call gate + TSS return the SLB core to ring 0.
+
+  // Step 4: publish outputs to the well-known page, then erase everything
+  // else the session touched (code, stack, inputs).
+  record.outputs = context.outputs();
+  FLICKER_RETURN_IF_ERROR(WriteIoPage(machine->memory(), base + kSlbOutputsOffset, record.outputs));
+  FLICKER_RETURN_IF_ERROR(machine->memory()->Erase(base, kSlbRegionSize));
+  FLICKER_RETURN_IF_ERROR(machine->memory()->Erase(base + kSlbInputsOffset, kSlbIoPageSize));
+
+  // Step 5: closing extends (§4.4.1): inputs, outputs, nonce, termination
+  // constant - in that order, mirrored by the verifier.
+  SimStopwatch extend_watch(machine->clock());
+  record.inputs_digest = Sha1::Digest(inputs.value());
+  record.outputs_digest = Sha1::Digest(record.outputs);
+  FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.inputs_digest));
+  FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.outputs_digest));
+  if (!options.nonce.empty()) {
+    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, Sha1::Digest(options.nonce)));
+  }
+  FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, FlickerTerminationConstant()));
+  record.extend_ms = extend_watch.ElapsedMillis();
+
+  Result<Bytes> final_pcr = tpm->PcrRead(kSkinitPcr);
+  if (!final_pcr.ok()) {
+    return final_pcr.status();
+  }
+  record.pcr17_final = final_pcr.value();
+
+  // Step 6: resume the OS - reload flat segments via the call gate, rebuild
+  // skeleton page tables, restore the saved CR3 (§4.2 "Resume OS").
+  Result<Bytes> saved = ReadIoPage(*machine->memory(), base + kSlbSavedStateOffset);
+  if (!saved.ok()) {
+    return saved.status();
+  }
+  if (saved.value().size() != 8) {
+    return IntegrityFailureError("saved kernel state page corrupt");
+  }
+  uint64_t saved_cr3 = GetUint64(saved.value(), 0);
+  FLICKER_RETURN_IF_ERROR(machine->ExitSecureMode(bsp->id, saved_cr3));
+  return record;
+}
+
+}  // namespace flicker

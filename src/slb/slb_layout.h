@@ -1,0 +1,120 @@
+// The Secure Loader Block memory layout (paper Fig. 3) and the PAL builder
+// (the "link your PAL against the SLB Core" step from §5.1.2).
+//
+// Layout of the 64 KB SLB region plus the I/O pages above it:
+//
+//   slb_base + 0          u16 length | u16 entry point
+//   slb_base + 4          skeleton GDT (6 descriptors, patched by the
+//                         flicker-module with slb_base)
+//   slb_base + 52         skeleton TSS (patched)
+//   slb_base + 156        SLB Core code (+ optional library modules)
+//   ...                   PAL application code (ends by slb_base + 60 KB)
+//   slb_base + 60 KB      stack space (4 KB, zero, not measured)
+//   slb_base + 64 KB      PAL inputs page (4 KB)
+//   slb_base + 68 KB      PAL outputs page (4 KB) - the paper's PAL_OUT
+//   slb_base + 72 KB      saved kernel state page (4 KB)
+//
+// `length` covers the initialized prefix (header..end of PAL code); SKINIT
+// measures exactly those bytes and DEV-protects the full 64 KB.
+
+#ifndef FLICKER_SRC_SLB_SLB_LAYOUT_H_
+#define FLICKER_SRC_SLB_SLB_LAYOUT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/slb/module_registry.h"
+#include "src/slb/pal.h"
+
+namespace flicker {
+
+// Region geometry.
+inline constexpr size_t kSlbHeaderSize = 4;
+inline constexpr size_t kSlbGdtOffset = 4;
+inline constexpr size_t kSlbGdtSize = 48;  // 6 descriptors x 8 bytes.
+inline constexpr size_t kSlbTssOffset = 52;
+inline constexpr size_t kSlbTssSize = 104;
+inline constexpr size_t kSlbCodeOffset = 156;
+inline constexpr size_t kSlbMaxMeasuredSize = 60 * 1024;  // PAL ends here; stack above.
+inline constexpr size_t kSlbStackOffset = 60 * 1024;
+inline constexpr size_t kSlbInputsOffset = 64 * 1024;
+inline constexpr size_t kSlbOutputsOffset = 68 * 1024;
+inline constexpr size_t kSlbSavedStateOffset = 72 * 1024;
+inline constexpr size_t kSlbIoPageSize = 4096;
+// Total physical region the OS allocates for a session (SLB + I/O pages).
+inline constexpr size_t kSlbAllocationSize = 76 * 1024;
+
+// The well-known physical address the flicker-module loads SLBs at. Fixing
+// it keeps PAL measurements independent of allocator behaviour, so a remote
+// verifier can predict them (the real module reserves a region the same
+// way).
+inline constexpr uint64_t kSlbFixedBase = 0x100000;  // 1 MB.
+
+// The size of the measurement-stub loader (§7.2: "We have constructed such a
+// PAL in 4736 bytes").
+inline constexpr size_t kMeasurementStubSize = 4736;
+
+// TCB accounting for a built PAL (the Fig. 6 style inventory).
+struct TcbStats {
+  int total_lines = 0;
+  size_t total_bytes = 0;
+  std::vector<std::string> linked_modules;
+};
+
+// Options affecting the SLB image and the in-session behaviour.
+struct PalBuildOptions {
+  // Link the OS Protection module: PAL runs in ring 3 confined to its
+  // segment (§5.1.2).
+  bool os_protection = false;
+  // Build with the measurement-stub loader: SKINIT measures only the 4736-
+  // byte stub; the stub hashes the full 64 KB image on the main CPU and
+  // extends it into PCR 17 (§7.2 optimization).
+  bool measurement_stub = false;
+};
+
+// A PAL linked into an executable SLB image.
+struct PalBinary {
+  std::shared_ptr<Pal> pal;
+  PalBuildOptions options;
+
+  // The uninitialized SLB image (GDT/TSS bases zero), exactly
+  // kSlbRegionSize (64 KB) long; only `measured_length` bytes are covered
+  // by the SKINIT measurement.
+  Bytes image;
+  uint16_t measured_length = 0;
+  uint16_t entry_point = 0;
+
+  TcbStats tcb;
+
+  // SHA-1 of the *initialized* measured prefix once patched for
+  // kSlbFixedBase; this is what SKINIT streams to the TPM.
+  Bytes skinit_measurement;
+  // With the measurement stub, the stub extends SHA-1 of the full (patched)
+  // 64 KB image; empty otherwise.
+  Bytes stub_body_measurement;
+
+  // The PAL identity a verifier checks: the full-image hash when using the
+  // stub, otherwise the skinit measurement.
+  const Bytes& identity() const {
+    return options.measurement_stub ? stub_body_measurement : skinit_measurement;
+  }
+};
+
+// Links `pal` against the SLB Core and its required modules, producing the
+// SLB image and TCB accounting. Fails when a required symbol is not
+// exported by any linked module or when the image exceeds the 60 KB limit.
+Result<PalBinary> BuildPal(std::shared_ptr<Pal> pal, const PalBuildOptions& options = {});
+
+// The flicker-module's patch step: fills the skeleton GDT/TSS with
+// descriptors based at `slb_base` (§4.2 "Initialize the SLB"). Idempotent
+// for a given base.
+void PatchSlbImage(Bytes* image, uint64_t slb_base);
+
+// Computes the SKINIT measurement of a patched image prefix.
+Bytes MeasureSlbPrefix(const Bytes& patched_image, uint16_t measured_length);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_SLB_SLB_LAYOUT_H_

@@ -1,0 +1,89 @@
+// TPM v1.2 data structures shared by the device model, the SLB core's TPM
+// driver, and the verifier.
+
+#ifndef FLICKER_SRC_TPM_STRUCTURES_H_
+#define FLICKER_SRC_TPM_STRUCTURES_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+
+// A v1.2 TPM exposes at least 24 PCRs; 17-23 are the dynamic (resettable)
+// registers (paper §2.3).
+constexpr int kNumPcrs = 24;
+constexpr int kFirstDynamicPcr = 17;
+constexpr int kSkinitPcr = 17;  // SKINIT extends the SLB measurement here.
+constexpr size_t kPcrSize = 20;
+
+// Bitmask selection of PCR indices, the argument shape of Quote/Seal.
+class PcrSelection {
+ public:
+  PcrSelection() = default;
+  explicit PcrSelection(std::initializer_list<int> indices) {
+    for (int i : indices) {
+      Select(i);
+    }
+  }
+
+  void Select(int index) { mask_ |= (1u << index); }
+  bool IsSelected(int index) const { return (mask_ >> index) & 1; }
+  bool Empty() const { return mask_ == 0; }
+  uint32_t mask() const { return mask_; }
+
+  std::vector<int> Indices() const {
+    std::vector<int> out;
+    for (int i = 0; i < kNumPcrs; ++i) {
+      if (IsSelected(i)) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  // TPM_PCR_SELECTION wire form: 16-bit size-of-select then the bitmap.
+  Bytes Serialize() const {
+    Bytes out;
+    PutUint16(&out, 3);  // 3 bytes cover 24 PCRs.
+    out.push_back(static_cast<uint8_t>(mask_));
+    out.push_back(static_cast<uint8_t>(mask_ >> 8));
+    out.push_back(static_cast<uint8_t>(mask_ >> 16));
+    return out;
+  }
+
+  friend bool operator==(const PcrSelection& a, const PcrSelection& b) {
+    return a.mask_ == b.mask_;
+  }
+
+ private:
+  uint32_t mask_ = 0;
+};
+
+// The result of TPM_Quote: the signed composite plus the raw PCR values the
+// verifier recomputes the composite from.
+struct TpmQuote {
+  PcrSelection selection;
+  std::vector<Bytes> pcr_values;  // One 20-byte value per selected index.
+  Bytes nonce;
+  Bytes signature;  // PKCS#1 SHA-1 signature by the AIK over the quote info.
+};
+
+// Opaque sealed-storage ciphertext. Kept by untrusted software (paper §2.2);
+// everything security-relevant is inside `ciphertext`.
+struct SealedBlob {
+  Bytes ciphertext;
+
+  Bytes Serialize() const { return ciphertext; }
+  static SealedBlob Deserialize(const Bytes& data) { return SealedBlob{data}; }
+
+  friend bool operator==(const SealedBlob& a, const SealedBlob& b) {
+    return a.ciphertext == b.ciphertext;
+  }
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_TPM_STRUCTURES_H_

@@ -1,0 +1,245 @@
+// Software model of a v1.2 TPM.
+//
+// All cryptography is real (this file's seal blobs are AES-CBC + HMAC-SHA1
+// envelopes whose keys are wrapped by the TPM's real RSA storage key, and
+// quotes are real PKCS#1 signatures by the AIK). Only command *latency* is
+// modeled, by charging the shared SimClock per the TpmTimingProfile; the
+// profile defaults reproduce the Broadcom BCM0102 the paper measured.
+//
+// The hardware-only interface (dynamic PCR reset, locality changes) is
+// reachable through Tpm::HardwareInterface, which only the CPU/chipset model
+// holds - mirroring the property that software cannot reset PCR 17 (§2.3).
+
+#ifndef FLICKER_SRC_TPM_TPM_H_
+#define FLICKER_SRC_TPM_TPM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/rsa.h"
+#include "src/hw/clock.h"
+#include "src/hw/timing.h"
+#include "src/tpm/pcr_bank.h"
+#include "src/tpm/structures.h"
+
+namespace flicker {
+
+struct TpmConfig {
+  // Seed for the manufacture-time entropy pool (EK/SRK/AIK derivation).
+  uint64_t manufacture_seed = 0x7501;
+  // Storage/identity key size. Real v1.2 TPMs use 2048-bit keys; tests may
+  // shrink this for speed.
+  size_t key_bits = 2048;
+};
+
+// Authorization session state (TPM_OIAP / TPM_OSAP).
+struct AuthSessionInfo {
+  uint32_t handle = 0;
+  Bytes nonce_even;       // TPM-chosen rolling nonce.
+  bool osap = false;
+  Bytes shared_secret;    // OSAP only: HMAC(entity secret, nonceEvenOSAP||nonceOddOSAP).
+};
+
+// Authorization data a caller attaches to an authorized command.
+struct CommandAuth {
+  uint32_t session_handle = 0;
+  Bytes nonce_odd;
+  Bytes auth;  // HMAC-SHA1(secret, param_digest || nonce_even || nonce_odd).
+};
+
+// Entities whose usage secrets can authorize commands.
+enum class AuthEntity {
+  kSrk,    // Storage Root Key: authorizes Seal/Unseal.
+  kOwner,  // TPM owner: authorizes NV definition and counter creation.
+};
+
+class Tpm {
+ public:
+  Tpm(SimClock* clock, TpmTimingProfile profile, TpmConfig config = TpmConfig());
+
+  // ---- Software command interface (what drivers may call) ----
+
+  // TPM_GetRandom. Charges get_random_ms per call.
+  Bytes GetRandom(size_t len);
+
+  // TPM_PCRRead / TPM_Extend. Extend requires a 20-byte measurement.
+  Result<Bytes> PcrRead(int index);
+  Status PcrExtend(int index, const Bytes& measurement);
+  // Convenience used throughout: extend with SHA1(data).
+  Status PcrExtendData(int index, const Bytes& data);
+
+  // TPM_OIAP: start an object-independent session.
+  AuthSessionInfo StartOiap();
+  // TPM_OSAP: start an object-specific session bound to `entity`. The caller
+  // supplies nonce_odd_osap; the shared secret is derived on both sides.
+  AuthSessionInfo StartOsap(AuthEntity entity, const Bytes& nonce_odd_osap);
+  void TerminateSession(uint32_t handle);
+
+  // TPM_Seal (authorized by SRK usage secret). Encrypts `data` so it can only
+  // be released when the PCRs in `selection` hold the values in
+  // `release_pcrs` (or, if empty, their current values) and the caller
+  // proves knowledge of `blob_auth`. The blob itself is handled by untrusted
+  // software.
+  Result<SealedBlob> Seal(const Bytes& data, const PcrSelection& selection,
+                          const std::map<int, Bytes>& release_pcrs, const Bytes& blob_auth,
+                          const CommandAuth& auth);
+
+  // TPM_Unseal. Fails with kIntegrityFailure when the current PCR state does
+  // not match the sealed composite, and kPermissionDenied on bad auth.
+  Result<Bytes> Unseal(const SealedBlob& blob, const Bytes& blob_auth, const CommandAuth& auth);
+
+  // TPM_Quote convenience: load the AIK, sign (composite of `selection`,
+  // nonce), flush - charging the full measured quote latency.
+  Result<TpmQuote> Quote(const Bytes& nonce, const PcrSelection& selection);
+
+  // ---- Key slots (TPM_LoadKey2 / TPM_FlushSpecific) ----
+  //
+  // Real TPMs hold the AIK private key wrapped under the SRK; the OS stores
+  // the blob and must load it into a (scarce) key slot before quoting -
+  // "the OS causes the TPM to load its AIK" (§6). The wrapped blob is
+  // opaque to software; tampering is detected at load time.
+
+  // The wrapped AIK blob the OS keeps on disk.
+  Bytes GetAikBlob();
+  // Unwraps a key blob into a slot; charges load_key_ms.
+  Result<uint32_t> LoadKey2(const Bytes& blob);
+  Status FlushKey(uint32_t handle);
+  // Quote with an explicitly loaded key; charges quote_ms - load_key_ms
+  // (quote_ms is calibrated as the total including the load).
+  Result<TpmQuote> QuoteWithKey(uint32_t key_handle, const Bytes& nonce,
+                                const PcrSelection& selection);
+  size_t loaded_key_count() const { return key_slots_.size(); }
+
+  // ---- NV storage (§4.3.2) ----
+
+  // Defines an NV space. Owner-authorized. `read_pcrs`/`write_pcrs` gate
+  // access on the *values the selected PCRs hold at definition time* unless
+  // explicit values are provided.
+  Status NvDefineSpace(uint32_t index, size_t size, const PcrSelection& read_selection,
+                       const std::map<int, Bytes>& read_pcrs, const PcrSelection& write_selection,
+                       const std::map<int, Bytes>& write_pcrs, const CommandAuth& auth);
+  Status NvWrite(uint32_t index, const Bytes& data);
+  Result<Bytes> NvRead(uint32_t index);
+
+  // ---- Monotonic counters (§4.3.2) ----
+
+  // Owner-authorized creation. Returns the counter id.
+  Result<uint32_t> CreateCounter(const Bytes& counter_auth, const CommandAuth& auth);
+  Result<uint64_t> IncrementCounter(uint32_t id, const Bytes& counter_auth);
+  Result<uint64_t> ReadCounter(uint32_t id);
+
+  // ---- Ownership & identity ----
+
+  // Installs the 20-byte owner authorization secret (TPM_TakeOwnership).
+  Status TakeOwnership(const Bytes& owner_auth);
+  const Bytes& owner_auth_digest() const { return owner_auth_; }  // Test hook.
+
+  const RsaPublicKey& aik_public() const { return aik_.pub; }
+  const RsaPublicKey& srk_public() const { return srk_.pub; }
+  // Usage secret of the SRK (the TCG "well-known secret" of 20 zero bytes).
+  static Bytes WellKnownSecret() { return Bytes(kPcrSize, 0x00); }
+
+  // TPM_GetCapability subset.
+  struct Capabilities {
+    int num_pcrs;
+    size_t key_bits;
+    std::string profile_name;
+  };
+  Capabilities GetCapability() const;
+
+  // Current locality (0 = legacy software, 4 = CPU during SKINIT).
+  int locality() const { return locality_; }
+
+  // ---- Hardware interface: held by the chipset/CPU model only ----
+  class HardwareInterface {
+   public:
+    explicit HardwareInterface(Tpm* tpm) : tpm_(tpm) {}
+
+    // The SKINIT handshake: raise locality 4, reset dynamic PCRs, extend the
+    // SLB measurement into PCR 17, drop to locality 2.
+    void SkinitReset(const Bytes& slb_measurement);
+
+    // Additional hardware-path extend into PCR 17 at launch locality; used
+    // by the TXT model for the post-ACM MLE measurement.
+    void ExtendIdentityPcr(const Bytes& measurement);
+
+    // Platform reboot.
+    void PowerCycle();
+
+    void SetLocality(int locality) { tpm_->locality_ = locality; }
+
+   private:
+    Tpm* tpm_;
+  };
+
+  HardwareInterface* hardware() { return &hardware_; }
+
+  // Computes the HMAC a caller must present for an authorized command, and
+  // is reused by driver-side helpers. Exposed so the SLB-core TPM utilities
+  // implement the same computation the TPM checks.
+  static Bytes ComputeCommandAuth(const Bytes& secret, const Bytes& param_digest,
+                                  const Bytes& nonce_even, const Bytes& nonce_odd);
+
+ private:
+  friend class HardwareInterface;
+
+  struct NvSpace {
+    size_t size = 0;
+    PcrSelection read_selection;
+    Bytes read_composite;
+    PcrSelection write_selection;
+    Bytes write_composite;
+    Bytes data;
+  };
+
+  // Verifies `auth` against the entity's secret for a command whose
+  // parameters hash to `param_digest`, then rolls the session nonce.
+  Status CheckAuth(AuthEntity entity, const Bytes& param_digest, const CommandAuth& auth);
+
+  // Computes a composite digest over `selection` using explicit `values`
+  // where provided and current PCR contents otherwise.
+  Result<Bytes> CompositeWithOverrides(const PcrSelection& selection,
+                                       const std::map<int, Bytes>& overrides) const;
+
+  const Bytes& EntitySecret(AuthEntity entity) const;
+
+  void Charge(double ms) { clock_->AdvanceMillis(ms); }
+
+  SimClock* clock_;
+  TpmTimingProfile profile_;
+  TpmConfig config_;
+  HardwareInterface hardware_;
+
+  PcrBank pcrs_;
+  Drbg rng_;
+  RsaPrivateKey srk_;
+  RsaPrivateKey aik_;
+  Bytes srk_usage_auth_;
+  Bytes owner_auth_;
+  bool owned_ = false;
+  int locality_ = 0;
+
+  std::map<uint32_t, AuthSessionInfo> sessions_;
+  uint32_t next_session_handle_ = 0x1000;
+
+  std::map<uint32_t, RsaPrivateKey> key_slots_;
+  uint32_t next_key_handle_ = 0x2000;
+
+  std::map<uint32_t, NvSpace> nv_spaces_;
+
+  struct Counter {
+    uint64_t value = 0;
+    Bytes auth;
+  };
+  std::map<uint32_t, Counter> counters_;
+  uint32_t next_counter_id_ = 1;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_TPM_TPM_H_

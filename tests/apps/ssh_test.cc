@@ -1,0 +1,220 @@
+// The SSH password-authentication application (§6.3.1, Fig. 7).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/ssh.h"
+#include "src/crypto/md5crypt.h"
+
+namespace flicker {
+namespace {
+
+class SshTest : public ::testing::Test {
+ protected:
+  SshTest()
+      : binary_(MakeBinary()),
+        server_(&platform_, &binary_),
+        cert_(ca_.Certify(platform_.tpm()->aik_public(), "ssh-server")),
+        client_(&binary_, ca_.public_key(), cert_) {
+    EXPECT_TRUE(server_.AddUser("alice", "correct horse", "a1b2c3d4").ok());
+  }
+
+  static PalBinary MakeBinary() {
+    PalBuildOptions options;
+    options.measurement_stub = true;
+    return BuildPal(std::make_shared<SshPal>(), options).take();
+  }
+
+  // Runs the full Fig. 7 protocol; returns the login outcome.
+  Result<SshServer::LoginResult> FullLogin(const std::string& user,
+                                           const std::string& password) {
+    Bytes setup_nonce = client_.MakeNonce();
+    Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+    if (!setup.ok()) {
+      return setup.status();
+    }
+    FLICKER_RETURN_IF_ERROR(client_.VerifyServerSetup(setup.value(), setup_nonce));
+
+    Bytes login_nonce = client_.MakeNonce();
+    Result<Bytes> ciphertext = client_.EncryptPassword(password, login_nonce);
+    if (!ciphertext.ok()) {
+      return ciphertext.status();
+    }
+    return server_.HandleLogin(user, ciphertext.value(), login_nonce);
+  }
+
+  FlickerPlatform platform_;
+  PalBinary binary_;
+  SshServer server_;
+  PrivacyCa ca_;
+  AikCertificate cert_;
+  SshClient client_;
+};
+
+TEST_F(SshTest, CorrectPasswordAuthenticates) {
+  Result<SshServer::LoginResult> login = FullLogin("alice", "correct horse");
+  ASSERT_TRUE(login.ok()) << login.status().ToString();
+  EXPECT_TRUE(login.value().authenticated);
+}
+
+TEST_F(SshTest, WrongPasswordRejected) {
+  Result<SshServer::LoginResult> login = FullLogin("alice", "wrong horse");
+  ASSERT_TRUE(login.ok());
+  EXPECT_FALSE(login.value().authenticated);
+}
+
+TEST_F(SshTest, UnknownUserRejected) {
+  Result<SshServer::LoginResult> login = FullLogin("mallory", "whatever");
+  ASSERT_FALSE(login.ok());
+  EXPECT_EQ(login.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SshTest, ReplayedCiphertextRejected) {
+  Bytes setup_nonce = client_.MakeNonce();
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(client_.VerifyServerSetup(setup.value(), setup_nonce).ok());
+
+  Bytes nonce1 = client_.MakeNonce();
+  Result<Bytes> ciphertext = client_.EncryptPassword("correct horse", nonce1);
+  ASSERT_TRUE(ciphertext.ok());
+  Result<SshServer::LoginResult> first = server_.HandleLogin("alice", ciphertext.value(), nonce1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().authenticated);
+
+  // Replay the captured ciphertext against a fresh server nonce: the PAL's
+  // nonce check fires (Fig. 7: "if (nonce' != nonce) then abort").
+  Bytes nonce2 = client_.MakeNonce();
+  Result<SshServer::LoginResult> replay = server_.HandleLogin("alice", ciphertext.value(), nonce2);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kReplayDetected);
+}
+
+TEST_F(SshTest, ClientRejectsCorruptedSetup) {
+  Bytes setup_nonce = client_.MakeNonce();
+  platform_.flicker_module()->set_corrupt_slb_before_launch(true);
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());  // The session runs...
+  Status verdict = client_.VerifyServerSetup(setup.value(), setup_nonce);
+  EXPECT_FALSE(verdict.ok());  // ...but the client sees a different PAL.
+  EXPECT_TRUE(client_.pinned_public_key().empty());
+}
+
+TEST_F(SshTest, ClientRejectsSwappedPublicKey) {
+  Bytes setup_nonce = client_.MakeNonce();
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());
+
+  // Man-in-the-middle OS substitutes its own public key in the outputs.
+  SshServer::SetupResult forged = setup.value();
+  Drbg rng(0xbad);
+  RsaPrivateKey mitm_key = RsaGenerateKey(1024, &rng);
+  SecureChannelKeyMaterial forged_material =
+      SecureChannelKeyMaterial::Deserialize(forged.setup_outputs).take();
+  forged_material.public_key = mitm_key.pub.Serialize();
+  forged.setup_outputs = forged_material.Serialize();
+  forged.public_key = forged_material.public_key;
+
+  Status verdict = client_.VerifyServerSetup(forged, setup_nonce);
+  EXPECT_FALSE(verdict.ok());  // Outputs are covered by PCR 17.
+}
+
+TEST_F(SshTest, EncryptBeforeVerifyRejected) {
+  Result<Bytes> ciphertext = client_.EncryptPassword("pw", client_.MakeNonce());
+  ASSERT_FALSE(ciphertext.ok());
+  EXPECT_EQ(ciphertext.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SshTest, PasswordNeverVisibleToServerInCleartext) {
+  // The server only ever handles the PKCS#1 ciphertext and the md5crypt
+  // hash; check the ciphertext does not contain the password bytes.
+  Bytes setup_nonce = client_.MakeNonce();
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(client_.VerifyServerSetup(setup.value(), setup_nonce).ok());
+  Bytes login_nonce = client_.MakeNonce();
+  Result<Bytes> ciphertext = client_.EncryptPassword("correct horse", login_nonce);
+  ASSERT_TRUE(ciphertext.ok());
+
+  std::string ct(ciphertext.value().begin(), ciphertext.value().end());
+  EXPECT_EQ(ct.find("correct horse"), std::string::npos);
+}
+
+TEST_F(SshTest, Fig9TimingShape) {
+  Bytes setup_nonce = client_.MakeNonce();
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());
+  // PAL 1 (Fig. 9a): SKINIT 14.3 + KeyGen 185.7 + Seal 10.2 ~ 217 ms.
+  EXPECT_NEAR(setup.value().skinit_ms, 14.3, 1.5);
+  EXPECT_NEAR(setup.value().pal1_total_ms, 217.1, 30.0);
+
+  ASSERT_TRUE(client_.VerifyServerSetup(setup.value(), setup_nonce).ok());
+  Bytes login_nonce = client_.MakeNonce();
+  Result<Bytes> ciphertext = client_.EncryptPassword("correct horse", login_nonce);
+  ASSERT_TRUE(ciphertext.ok());
+  Result<SshServer::LoginResult> login =
+      server_.HandleLogin("alice", ciphertext.value(), login_nonce);
+  ASSERT_TRUE(login.ok());
+  // PAL 2 (Fig. 9b): SKINIT 14.3 + Unseal ~900 + Decrypt 4.6 ~ 937 ms.
+  EXPECT_NEAR(login.value().pal2_total_ms, 937.6, 40.0);
+}
+
+TEST_F(SshTest, ReturningClientSkipsSetupSession) {
+  // First connection: full setup + verification.
+  Bytes setup_nonce = client_.MakeNonce();
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(client_.VerifyServerSetup(setup.value(), setup_nonce).ok());
+  ASSERT_TRUE(server_.HasKeyMaterial());
+
+  // Reconnect: the client already pinned K_PAL; it logs in directly with no
+  // new PAL 1 session (the §6.3.1 key-reuse optimization).
+  double t0 = platform_.clock()->NowMillis();
+  Bytes login_nonce = client_.MakeNonce();
+  Result<Bytes> ciphertext = client_.EncryptPassword("correct horse", login_nonce);
+  ASSERT_TRUE(ciphertext.ok());
+  Result<SshServer::LoginResult> login =
+      server_.HandleLogin("alice", ciphertext.value(), login_nonce);
+  double reconnect_ms = platform_.clock()->NowMillis() - t0;
+  ASSERT_TRUE(login.ok());
+  EXPECT_TRUE(login.value().authenticated);
+  // Reconnect cost is one login PAL, not keygen + quote (~2.2 s first time).
+  EXPECT_LT(reconnect_ms, 1000.0);
+}
+
+TEST_F(SshTest, MultipleUsersShareThePalKey) {
+  ASSERT_TRUE(server_.AddUser("bob", "bobs password", "bbbbbbbb").ok());
+  Bytes setup_nonce = client_.MakeNonce();
+  Result<SshServer::SetupResult> setup = server_.Setup(setup_nonce);
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(client_.VerifyServerSetup(setup.value(), setup_nonce).ok());
+
+  for (const auto& [user, password] :
+       std::vector<std::pair<std::string, std::string>>{{"alice", "correct horse"},
+                                                        {"bob", "bobs password"}}) {
+    Bytes nonce = client_.MakeNonce();
+    Result<Bytes> ciphertext = client_.EncryptPassword(password, nonce);
+    ASSERT_TRUE(ciphertext.ok());
+    Result<SshServer::LoginResult> login = server_.HandleLogin(user, ciphertext.value(), nonce);
+    ASSERT_TRUE(login.ok()) << user;
+    EXPECT_TRUE(login.value().authenticated) << user;
+  }
+  // Cross-user: alice's password does not open bob's account.
+  Bytes nonce = client_.MakeNonce();
+  Result<Bytes> wrong = client_.EncryptPassword("correct horse", nonce);
+  Result<SshServer::LoginResult> login = server_.HandleLogin("bob", wrong.value(), nonce);
+  ASSERT_TRUE(login.ok());
+  EXPECT_FALSE(login.value().authenticated);
+}
+
+TEST(SshPalTest, GarbageModeRejected) {
+  FlickerPlatform platform;
+  PalBinary binary = BuildPal(std::make_shared<SshPal>()).take();
+  Result<FlickerSessionResult> result = platform.ExecuteSession(binary, BytesOf("\x09"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+}
+
+}  // namespace
+}  // namespace flicker

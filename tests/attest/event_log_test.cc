@@ -1,0 +1,101 @@
+// The untrusted event log: serialization, expectation reconstruction, and
+// end-to-end use against a real session quote.
+
+#include "src/attest/event_log.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/hello.h"
+#include "src/attest/privacy_ca.h"
+#include "src/core/flicker_platform.h"
+#include "src/crypto/sha1.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace {
+
+TEST(EventLogTest, SerializationRoundTrip) {
+  FlickerEventLog log;
+  log.pal_name = "hello-world";
+  log.claimed_measurement = Sha1::Digest(BytesOf("measurement"));
+  log.inputs = BytesOf("in");
+  log.outputs = BytesOf("out");
+  log.nonce = BytesOf("nonce");
+  log.pal_extends = {Sha1::Digest(BytesOf("e1")), Sha1::Digest(BytesOf("e2"))};
+
+  Result<FlickerEventLog> back = FlickerEventLog::Deserialize(log.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().pal_name, log.pal_name);
+  EXPECT_EQ(back.value().claimed_measurement, log.claimed_measurement);
+  EXPECT_EQ(back.value().inputs, log.inputs);
+  EXPECT_EQ(back.value().outputs, log.outputs);
+  EXPECT_EQ(back.value().nonce, log.nonce);
+  EXPECT_EQ(back.value().pal_extends, log.pal_extends);
+}
+
+TEST(EventLogTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(FlickerEventLog::Deserialize(Bytes(3, 1)).ok());
+  EXPECT_FALSE(FlickerEventLog::Deserialize(BytesOf("nonsense data here")).ok());
+}
+
+TEST(EventLogTest, ExpectationRejectsWrongPalClaim) {
+  PalBinary binary = BuildPal(std::make_shared<HelloWorldPal>()).take();
+  FlickerEventLog log;
+  log.pal_name = "hello-world";
+  log.claimed_measurement = Sha1::Digest(BytesOf("some other PAL"));
+  Result<SessionExpectation> expectation = ExpectationFromLog(log, binary);
+  ASSERT_FALSE(expectation.ok());
+  EXPECT_EQ(expectation.status().code(), StatusCode::kIntegrityFailure);
+}
+
+TEST(EventLogTest, EndToEndVerificationFromLogOnly) {
+  // The verifier receives nothing but the untrusted log and the quote; all
+  // session facts flow through the log.
+  FlickerPlatform platform;
+  PalBinary binary = BuildPal(std::make_shared<HelloWorldPal>()).take();
+  Bytes nonce = Sha1::Digest(BytesOf("log-nonce"));
+
+  SlbCoreOptions options;
+  options.nonce = nonce;
+  Result<FlickerSessionResult> session =
+      platform.ExecuteSession(binary, BytesOf("some input"), options);
+  ASSERT_TRUE(session.ok());
+
+  // Challenged party assembles the log.
+  FlickerEventLog log;
+  log.pal_name = binary.pal->name();
+  log.claimed_measurement = binary.identity();
+  log.inputs = BytesOf("some input");
+  log.outputs = session.value().outputs();
+  log.nonce = nonce;
+  Bytes wire = log.Serialize();
+
+  Result<AttestationResponse> response =
+      platform.tqd()->HandleChallenge(nonce, PcrSelection({kSkinitPcr}));
+  ASSERT_TRUE(response.ok());
+  PrivacyCa ca;
+  AikCertificate cert = ca.Certify(platform.tpm()->aik_public(), "host");
+
+  // Verifier side: parse the log, build the expectation, verify.
+  Result<FlickerEventLog> received = FlickerEventLog::Deserialize(wire);
+  ASSERT_TRUE(received.ok());
+  Result<SessionExpectation> expectation = ExpectationFromLog(received.value(), binary);
+  ASSERT_TRUE(expectation.ok());
+  EXPECT_TRUE(
+      VerifyAttestation(expectation.value(), response.value(), cert, ca.public_key(), nonce)
+          .ok());
+
+  // A lying log (doctored outputs) is caught by the quote.
+  FlickerEventLog lying = received.value();
+  lying.outputs = BytesOf("Hello, forgery");
+  Result<SessionExpectation> lying_expectation = ExpectationFromLog(lying, binary);
+  ASSERT_TRUE(lying_expectation.ok());
+  EXPECT_FALSE(VerifyAttestation(lying_expectation.value(), response.value(), cert,
+                                 ca.public_key(), nonce)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,106 @@
+// OSLO-style dynamic-root-of-trust boot: the BIOS drops out of the TCB.
+
+#include "src/attest/oslo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/slb/slb_layout.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace {
+
+class OsloTest : public ::testing::Test {
+ protected:
+  OsloTest() : machine_(MachineConfig{}), kernel_(&machine_) {
+    machine_.Reboot();  // Boot-time scenario: dynamic PCRs at -1.
+  }
+
+  Machine machine_;
+  OsKernel kernel_;
+};
+
+TEST_F(OsloTest, SecureBootProducesVerifiableChain) {
+  Result<OsloBootReport> report = OsloBootLoader::SecureBoot(&machine_, kernel_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The chain is exactly loader-then-kernel, predictable by any verifier
+  // from public values.
+  EXPECT_EQ(report.value().loader_measurement, OsloBootLoader::LoaderMeasurement());
+  EXPECT_EQ(report.value().kernel_measurement, kernel_.pristine_measurement());
+  EXPECT_EQ(report.value().pcr17_after_boot,
+            OsloBootLoader::ExpectedBootPcr17(kernel_.pristine_measurement()));
+
+  // The machine is usable afterwards: OS running, interrupts on, DEV clear.
+  EXPECT_FALSE(machine_.in_secure_session());
+  EXPECT_TRUE(machine_.bsp()->interrupts_enabled);
+  EXPECT_EQ(machine_.cpu(1)->state, CpuState::kRunning);
+}
+
+TEST_F(OsloTest, TamperedKernelChangesChain) {
+  ASSERT_TRUE(kernel_.InstallSyscallHook(3).ok());
+  Result<OsloBootReport> report = OsloBootLoader::SecureBoot(&machine_, kernel_);
+  ASSERT_TRUE(report.ok());
+  // The boot succeeds (OSLO measures, it does not judge), but the chain no
+  // longer matches the known-good kernel - the verifier notices.
+  EXPECT_NE(report.value().pcr17_after_boot,
+            OsloBootLoader::ExpectedBootPcr17(kernel_.pristine_measurement()));
+  EXPECT_EQ(report.value().pcr17_after_boot,
+            OsloBootLoader::ExpectedBootPcr17(report.value().kernel_measurement));
+}
+
+TEST_F(OsloTest, BiosCannotForgeTheChain) {
+  // A malicious BIOS runs before SKINIT and extends PCR 17 arbitrarily -
+  // irrelevant, because SKINIT resets the dynamic PCRs. (On the -1 reboot
+  // value, software extends cannot reach the chain either.)
+  ASSERT_TRUE(machine_.tpm()->PcrExtend(kSkinitPcr, Bytes(kPcrSize, 0x66)).ok());
+  Result<OsloBootReport> report = OsloBootLoader::SecureBoot(&machine_, kernel_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().pcr17_after_boot,
+            OsloBootLoader::ExpectedBootPcr17(kernel_.pristine_measurement()));
+}
+
+TEST_F(OsloTest, BootTimingIsLoaderSizedSkinitPlusKernelHash) {
+  Result<OsloBootReport> report = OsloBootLoader::SecureBoot(&machine_, kernel_);
+  ASSERT_TRUE(report.ok());
+  // 6 KB loader at ~2.76 ms/KB.
+  EXPECT_NEAR(report.value().skinit_ms,
+              machine_.timing().SkinitMillis(OsloBootLoader::kLoaderImageBytes), 0.01);
+  // ~2.17 MB kernel at ~90.9 MB/s, plus the PCR extend.
+  EXPECT_GT(report.value().kernel_hash_ms, 20.0);
+  EXPECT_LT(report.value().kernel_hash_ms, 30.0);
+}
+
+TEST_F(OsloTest, FlickerSessionsStillWorkAfterSecureBoot) {
+  // OSLO boot and Flicker sessions share PCR 17 across SKINITs: a session
+  // after boot resets the register, so boot-time and run-time attestations
+  // are independent - each rooted in its own SKINIT.
+  Result<OsloBootReport> boot = OsloBootLoader::SecureBoot(&machine_, kernel_);
+  ASSERT_TRUE(boot.ok());
+  Bytes boot_pcr = boot.value().pcr17_after_boot;
+
+  // Launch a trivial SLB as a Flicker session would.
+  for (int cpu = 1; cpu < machine_.num_cpus(); ++cpu) {
+    machine_.cpu(cpu)->state = CpuState::kIdle;
+    ASSERT_TRUE(machine_.apic()->SendInitIpi(cpu).ok());
+  }
+  Bytes image(kSlbRegionSize, 0);
+  image[0] = 0x00;
+  image[1] = 0x10;
+  ASSERT_TRUE(machine_.memory()->Write(kSlbFixedBase, image).ok());
+  ASSERT_TRUE(machine_.Skinit(0, kSlbFixedBase).ok());
+  EXPECT_NE(machine_.tpm()->PcrRead(kSkinitPcr).value(), boot_pcr);
+  ASSERT_TRUE(machine_.ExitSecureMode(0, kernel_.cr3()).ok());
+}
+
+TEST(OsloLoaderTest, ImageIsDeterministicAndSized) {
+  EXPECT_EQ(OsloBootLoader::LoaderImage(), OsloBootLoader::LoaderImage());
+  EXPECT_EQ(OsloBootLoader::LoaderImage().size(), kSlbRegionSize);
+  EXPECT_EQ(OsloBootLoader::LoaderMeasurement().size(), 20u);
+  // OSLO is bigger than Flicker's SLB core but still tiny (§8).
+  EXPECT_GT(OsloBootLoader::kLoaderLinesOfCode, 250);
+  EXPECT_LT(OsloBootLoader::kLoaderLinesOfCode, 2000);
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,86 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace flicker {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(ToHex(data), "0001abff7f");
+  bool ok = false;
+  EXPECT_EQ(FromHex("0001abff7f", &ok), data);
+  EXPECT_TRUE(ok);
+}
+
+TEST(BytesTest, HexUppercaseAccepted) {
+  bool ok = false;
+  EXPECT_EQ(FromHex("ABCD", &ok), (Bytes{0xab, 0xcd}));
+  EXPECT_TRUE(ok);
+}
+
+TEST(BytesTest, HexOddLengthRejected) {
+  bool ok = true;
+  EXPECT_TRUE(FromHex("abc", &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+TEST(BytesTest, HexBadDigitRejected) {
+  bool ok = true;
+  EXPECT_TRUE(FromHex("zz", &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+TEST(BytesTest, EmptyHex) {
+  EXPECT_EQ(ToHex({}), "");
+  bool ok = false;
+  EXPECT_TRUE(FromHex("", &ok).empty());
+  EXPECT_TRUE(ok);
+}
+
+TEST(BytesTest, BytesOfCopiesText) {
+  Bytes b = BytesOf("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(BytesTest, ConcatOrdersParts) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes c = {4, 5, 6};
+  EXPECT_EQ(Concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(Concat(a, b, c), (Bytes{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(Concat({&c, &a}), (Bytes{4, 5, 6, 1, 2}));
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, d));
+  EXPECT_TRUE(ConstantTimeEquals({}, {}));
+}
+
+TEST(BytesTest, SecureEraseClears) {
+  Bytes secret = {9, 9, 9, 9};
+  SecureErase(&secret);
+  EXPECT_TRUE(secret.empty());
+}
+
+TEST(BytesTest, BigEndianIntegerHelpers) {
+  Bytes out;
+  PutUint16(&out, 0x1234);
+  PutUint32(&out, 0xdeadbeef);
+  PutUint64(&out, 0x0102030405060708ULL);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(GetUint16(out, 0), 0x1234);
+  EXPECT_EQ(GetUint32(out, 2), 0xdeadbeefu);
+  EXPECT_EQ(GetUint64(out, 6), 0x0102030405060708ULL);
+}
+
+}  // namespace
+}  // namespace flicker

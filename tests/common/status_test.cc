@@ -1,0 +1,77 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace flicker {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = PermissionDeniedError("SKINIT requires ring 0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(s.message(), "SKINIT requires ring 0");
+  EXPECT_EQ(s.ToString(), "permission denied: SKINIT requires ring 0");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(PermissionDeniedError("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(IntegrityFailureError("").code(), StatusCode::kIntegrityFailure);
+  EXPECT_EQ(ReplayDetectedError("").code(), StatusCode::kReplayDetected);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeMoves) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string v = r.take();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return IntegrityFailureError("tag mismatch"); };
+  auto wrapper = [&]() -> Status {
+    FLICKER_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIntegrityFailure);
+
+  auto succeeds = []() -> Status { return Status::Ok(); };
+  auto wrapper2 = [&]() -> Status {
+    FLICKER_RETURN_IF_ERROR(succeeds());
+    return NotFoundError("fell through");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace flicker

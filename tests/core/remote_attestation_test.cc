@@ -1,0 +1,141 @@
+// The wire-level challenge/response protocol: serialization, end-to-end
+// verification over a Channel, and wire-tampering attacks.
+
+#include "src/core/remote_attestation.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/hello.h"
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+namespace {
+
+class RemoteAttestationTest : public ::testing::Test {
+ protected:
+  RemoteAttestationTest()
+      : binary_(BuildPal(std::make_shared<HelloWorldPal>()).take()),
+        cert_(ca_.Certify(platform_.tpm()->aik_public(), "remote-host")),
+        service_(&platform_, cert_),
+        verifier_(&binary_, ca_.public_key()),
+        channel_(platform_.clock()) {}
+
+  FlickerPlatform platform_;
+  PalBinary binary_;
+  PrivacyCa ca_;
+  AikCertificate cert_;
+  AttestationService service_;
+  AttestationVerifier verifier_;
+  Channel channel_;
+};
+
+TEST_F(RemoteAttestationTest, EndToEndOverTheWire) {
+  Bytes challenge = verifier_.MakeChallenge();
+  channel_.Deliver();
+  Result<Bytes> reply = service_.HandleChallenge(challenge, binary_, BytesOf("input"));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  channel_.Deliver();
+
+  AttestationVerifier::Outcome outcome = verifier_.CheckReply(reply.value());
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.log.outputs, BytesOf("Hello, world"));
+  EXPECT_EQ(outcome.log.inputs, BytesOf("input"));
+  EXPECT_EQ(outcome.log.pal_name, "hello-world");
+}
+
+TEST_F(RemoteAttestationTest, NonceIsSingleUse) {
+  Bytes challenge = verifier_.MakeChallenge();
+  Result<Bytes> reply = service_.HandleChallenge(challenge, binary_, Bytes());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(verifier_.CheckReply(reply.value()).status.ok());
+  // Replaying the same reply fails: the nonce was consumed.
+  EXPECT_EQ(verifier_.CheckReply(reply.value()).status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RemoteAttestationTest, StaleReplyRejected) {
+  // Capture a reply for challenge 1, deliver it against challenge 2.
+  Bytes challenge1 = verifier_.MakeChallenge();
+  Result<Bytes> reply1 = service_.HandleChallenge(challenge1, binary_, Bytes());
+  ASSERT_TRUE(reply1.ok());
+  Bytes challenge2 = verifier_.MakeChallenge();  // Supersedes challenge 1.
+  AttestationVerifier::Outcome outcome = verifier_.CheckReply(reply1.value());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kReplayDetected);
+}
+
+TEST_F(RemoteAttestationTest, TamperedWireRejected) {
+  Bytes challenge = verifier_.MakeChallenge();
+  Result<Bytes> reply = service_.HandleChallenge(challenge, binary_, Bytes());
+  ASSERT_TRUE(reply.ok());
+  Bytes tampered = reply.value();
+  // Flip a byte deep in the payload (somewhere in the quote signature).
+  tampered[tampered.size() - 10] ^= 0x80;
+  AttestationVerifier::Outcome outcome = verifier_.CheckReply(tampered);
+  EXPECT_FALSE(outcome.status.ok());
+}
+
+TEST_F(RemoteAttestationTest, OutputForgeryInLogRejected) {
+  Bytes challenge = verifier_.MakeChallenge();
+  Result<Bytes> reply_wire = service_.HandleChallenge(challenge, binary_, Bytes());
+  ASSERT_TRUE(reply_wire.ok());
+  Result<AttestationReply> reply = AttestationReply::Deserialize(reply_wire.value());
+  ASSERT_TRUE(reply.ok());
+  AttestationReply forged = reply.take();
+  forged.log.outputs = BytesOf("Hello, forgery");
+  AttestationVerifier::Outcome outcome = verifier_.CheckReply(forged.Serialize());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kIntegrityFailure);
+}
+
+TEST_F(RemoteAttestationTest, MalformedChallengeRejectedByService) {
+  Result<Bytes> reply = service_.HandleChallenge(BytesOf("junk"), binary_, Bytes());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RemoteAttestationWireTest, QuoteSerializationRoundTrip) {
+  TpmQuote quote;
+  quote.selection.Select(17);
+  quote.selection.Select(18);
+  quote.pcr_values = {Bytes(20, 1), Bytes(20, 2)};
+  quote.nonce = Bytes(20, 3);
+  quote.signature = Bytes(128, 4);
+
+  Result<TpmQuote> back = DeserializeQuote(SerializeQuote(quote));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().selection.mask(), quote.selection.mask());
+  EXPECT_EQ(back.value().pcr_values, quote.pcr_values);
+  EXPECT_EQ(back.value().nonce, quote.nonce);
+  EXPECT_EQ(back.value().signature, quote.signature);
+  EXPECT_FALSE(DeserializeQuote(Bytes(5, 9)).ok());
+}
+
+TEST(RemoteAttestationWireTest, CertificateSerializationRoundTrip) {
+  AikCertificate certificate;
+  certificate.aik_public = BytesOf("aik bytes");
+  certificate.tpm_label = "host-7";
+  certificate.signature = BytesOf("ca sig");
+  Result<AikCertificate> back =
+      DeserializeAikCertificate(SerializeAikCertificate(certificate));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().aik_public, certificate.aik_public);
+  EXPECT_EQ(back.value().tpm_label, certificate.tpm_label);
+  EXPECT_EQ(back.value().signature, certificate.signature);
+  EXPECT_FALSE(DeserializeAikCertificate(Bytes(2, 1)).ok());
+}
+
+TEST(RemoteAttestationWireTest, ChallengeSerializationRoundTrip) {
+  AttestationChallenge challenge;
+  challenge.nonce = Bytes(20, 0x5e);
+  challenge.selection.Select(17);
+  Result<AttestationChallenge> back =
+      AttestationChallenge::Deserialize(challenge.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().nonce, challenge.nonce);
+  EXPECT_TRUE(back.value().selection.IsSelected(17));
+  EXPECT_FALSE(AttestationChallenge::Deserialize(Bytes(1, 1)).ok());
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,245 @@
+// Unit and property tests for the multi-precision integer library. The
+// randomized sweeps use the deterministic DRBG so failures reproduce.
+
+#include "src/crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+
+namespace flicker {
+namespace {
+
+BigInt RandomBigInt(Drbg* rng, size_t max_bytes) {
+  size_t len = rng->UniformUint64(max_bytes) + 1;
+  return BigInt::FromBytesBe(rng->Generate(len));
+}
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_FALSE(zero.IsOdd());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToHex(), "0");
+  EXPECT_EQ(zero, BigInt(0));
+}
+
+TEST(BigIntTest, Uint64Construction) {
+  BigInt v(0x123456789abcdef0ULL);
+  EXPECT_EQ(v.ToUint64(), 0x123456789abcdef0ULL);
+  EXPECT_EQ(v.ToHex(), "123456789abcdef0");
+  EXPECT_EQ(v.BitLength(), 61u);
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes raw = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::FromBytesBe(raw);
+  EXPECT_EQ(v.ToBytesBe(), raw);
+  EXPECT_EQ(v.ToBytesBe(8), (Bytes{0, 0, 0, 0x01, 0x02, 0x03, 0x04, 0x05}));
+}
+
+TEST(BigIntTest, LeadingZerosNormalized) {
+  BigInt a = BigInt::FromBytesBe({0x00, 0x00, 0x12});
+  BigInt b = BigInt::FromBytesBe({0x12});
+  EXPECT_EQ(a, b);
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  BigInt v = BigInt::FromHex("deadbeefcafebabe0123456789");
+  EXPECT_EQ(v.ToHex(), "deadbeefcafebabe0123456789");
+  EXPECT_EQ(BigInt::FromHex("0"), BigInt(0));
+  EXPECT_EQ(BigInt::FromHex("f"), BigInt(15));
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_GT(BigInt(0x100000000ULL), BigInt(0xffffffffULL));
+  EXPECT_EQ(BigInt::Compare(BigInt(7), BigInt(7)), 0);
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromHex("ffffffffffffffff");
+  EXPECT_EQ((a + BigInt(1)).ToHex(), "10000000000000000");
+}
+
+TEST(BigIntTest, SubtractionBorrowsAcrossLimbs) {
+  BigInt a = BigInt::FromHex("10000000000000000");
+  EXPECT_EQ((a - BigInt(1)).ToHex(), "ffffffffffffffff");
+  EXPECT_TRUE((a - a).IsZero());
+}
+
+TEST(BigIntTest, MultiplicationKnownValue) {
+  BigInt a = BigInt::FromHex("123456789abcdef");
+  BigInt b = BigInt::FromHex("fedcba987654321");
+  EXPECT_EQ((a * b).ToHex(), "121fa00ad77d7422236d88fe5618cf");
+}
+
+TEST(BigIntTest, MultiplyByZeroAndOne) {
+  BigInt a = BigInt::FromHex("abcdef0123456789");
+  EXPECT_TRUE((a * BigInt(0)).IsZero());
+  EXPECT_EQ(a * BigInt(1), a);
+}
+
+TEST(BigIntTest, ShiftLeftRightInverse) {
+  BigInt a = BigInt::FromHex("1234567890abcdef1234567890abcdef");
+  for (size_t s : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((a << s) >> s, a) << "shift " << s;
+  }
+}
+
+TEST(BigIntTest, ShiftLeftMultipliesByPowerOfTwo) {
+  BigInt a(5);
+  EXPECT_EQ(a << 3, BigInt(40));
+  EXPECT_EQ(a << 32, BigInt(5ULL << 32));
+}
+
+TEST(BigIntTest, DivModSmallDivisor) {
+  BigInt a = BigInt::FromHex("deadbeefcafebabe");
+  BigInt q;
+  BigInt r;
+  BigInt::DivMod(a, BigInt(10), &q, &r);
+  EXPECT_EQ(q * BigInt(10) + r, a);
+  EXPECT_LT(r, BigInt(10));
+}
+
+TEST(BigIntTest, DivModDividendSmallerThanDivisor) {
+  BigInt q;
+  BigInt r;
+  BigInt::DivMod(BigInt(5), BigInt::FromHex("100000000000000000000"), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r, BigInt(5));
+}
+
+TEST(BigIntTest, DivModKnuthAddBackCase) {
+  // A case shaped to stress the "add back" correction: divisor with top limb
+  // 0x80000000 pattern and dividend just below a multiple.
+  BigInt divisor = BigInt::FromHex("80000000000000000000000000000001");
+  BigInt quotient = BigInt::FromHex("ffffffffffffffff");
+  BigInt dividend = divisor * quotient + (divisor - BigInt(1));
+  BigInt q;
+  BigInt r;
+  BigInt::DivMod(dividend, divisor, &q, &r);
+  EXPECT_EQ(q, quotient);
+  EXPECT_EQ(r, divisor - BigInt(1));
+}
+
+// Property: for random a, b: a = (a/b)*b + (a%b) and a%b < b.
+TEST(BigIntTest, DivModReconstructionProperty) {
+  Drbg rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    BigInt a = RandomBigInt(&rng, 64);
+    BigInt b = RandomBigInt(&rng, 32);
+    if (b.IsZero()) {
+      continue;
+    }
+    BigInt q;
+    BigInt r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+// Property: (a + b) - b == a; commutativity and associativity of addition.
+TEST(BigIntTest, AdditionProperties) {
+  Drbg rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    BigInt a = RandomBigInt(&rng, 48);
+    BigInt b = RandomBigInt(&rng, 48);
+    BigInt c = RandomBigInt(&rng, 48);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+// Property: distributivity a*(b+c) == a*b + a*c.
+TEST(BigIntTest, MultiplicationDistributes) {
+  Drbg rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigInt a = RandomBigInt(&rng, 24);
+    BigInt b = RandomBigInt(&rng, 24);
+    BigInt c = RandomBigInt(&rng, 24);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigIntTest, ModExpSmallKnownValues) {
+  EXPECT_EQ(BigInt::ModExp(BigInt(2), BigInt(10), BigInt(1000)), BigInt(24));
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(0), BigInt(7)), BigInt(1));
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(3), BigInt(13)), BigInt(125 % 13));
+  EXPECT_TRUE(BigInt::ModExp(BigInt(5), BigInt(3), BigInt(1)).IsZero());
+}
+
+TEST(BigIntTest, ModExpFermatLittleTheorem) {
+  // For prime p and a not divisible by p: a^(p-1) = 1 mod p.
+  BigInt p(1000003);
+  Drbg rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigInt a = BigInt(rng.UniformUint64(1000002) + 1);
+    EXPECT_EQ(BigInt::ModExp(a, p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, ModInverseKnownValues) {
+  EXPECT_EQ(BigInt::ModInverse(BigInt(3), BigInt(7)), BigInt(5));  // 3*5=15=1 mod 7
+  EXPECT_EQ(BigInt::ModInverse(BigInt(65537), BigInt(1000003)) * BigInt(65537) % BigInt(1000003),
+            BigInt(1));
+}
+
+TEST(BigIntTest, ModInverseNotInvertibleReturnsZero) {
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(4), BigInt(8)).IsZero());
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(6), BigInt(9)).IsZero());
+}
+
+// Property: a * ModInverse(a, m) == 1 mod m whenever gcd(a, m) == 1.
+TEST(BigIntTest, ModInverseProperty) {
+  Drbg rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    BigInt m = RandomBigInt(&rng, 24);
+    if (m < BigInt(2)) {
+      continue;
+    }
+    BigInt a = RandomBigInt(&rng, 24) % m;
+    if (a.IsZero() || BigInt::Gcd(a, m) != BigInt(1)) {
+      continue;
+    }
+    BigInt inv = BigInt::ModInverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(5), BigInt(0)), BigInt(5));
+}
+
+TEST(BigIntTest, GetBitMatchesShifting) {
+  BigInt v = BigInt::FromHex("a5");  // 1010 0101
+  EXPECT_TRUE(v.GetBit(0));
+  EXPECT_FALSE(v.GetBit(1));
+  EXPECT_TRUE(v.GetBit(2));
+  EXPECT_TRUE(v.GetBit(7));
+  EXPECT_FALSE(v.GetBit(8));
+  EXPECT_FALSE(v.GetBit(1000));
+}
+
+TEST(BigIntTest, LargeModExpConsistency) {
+  // (a^e1)^e2 == a^(e1*e2) mod m for a 512-bit modulus.
+  Drbg rng(12);
+  BigInt m = BigInt::FromBytesBe(rng.Generate(64));
+  if (!m.IsOdd()) {
+    m = m + BigInt(1);
+  }
+  BigInt a = BigInt::FromBytesBe(rng.Generate(48));
+  BigInt e1(12345);
+  BigInt e2(677);
+  BigInt lhs = BigInt::ModExp(BigInt::ModExp(a, e1, m), e2, m);
+  BigInt rhs = BigInt::ModExp(a, e1 * e2, m);
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,91 @@
+#include "src/crypto/drbg.h"
+
+#include <map>
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+namespace {
+
+TEST(DrbgTest, DeterministicGivenSeed) {
+  Drbg a(42);
+  Drbg b(42);
+  EXPECT_EQ(a.Generate(64), b.Generate(64));
+}
+
+TEST(DrbgTest, DifferentSeedsDiffer) {
+  Drbg a(1);
+  Drbg b(2);
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(DrbgTest, ByteSeedAndIntSeedBothWork) {
+  Drbg a(BytesOf("entropy string"));
+  Drbg b(BytesOf("entropy string"));
+  Drbg c(BytesOf("other entropy"));
+  Bytes out_a = a.Generate(16);
+  EXPECT_EQ(out_a, b.Generate(16));
+  EXPECT_NE(out_a, c.Generate(16));
+}
+
+TEST(DrbgTest, SuccessiveCallsAdvanceState) {
+  Drbg rng(7);
+  Bytes first = rng.Generate(32);
+  Bytes second = rng.Generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(DrbgTest, SplitCallsDifferFromOneCall) {
+  // The ratchet after each Generate means call boundaries matter; this is
+  // intentional (backtrack resistance), so just check no panic and correct
+  // sizes.
+  Drbg rng(7);
+  EXPECT_EQ(rng.Generate(100).size(), 100u);
+  EXPECT_EQ(rng.Generate(0).size(), 0u);
+  EXPECT_EQ(rng.Generate(1).size(), 1u);
+}
+
+TEST(DrbgTest, ReseedChangesStream) {
+  Drbg a(9);
+  Drbg b(9);
+  b.Reseed(BytesOf("new entropy"));
+  EXPECT_NE(a.Generate(32), b.Generate(32));
+}
+
+TEST(DrbgTest, UniformRespectsBound) {
+  Drbg rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+  EXPECT_EQ(rng.UniformUint64(1), 0u);
+}
+
+TEST(DrbgTest, UniformCoversRange) {
+  Drbg rng(14);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    counts[rng.UniformUint64(4)]++;
+  }
+  // All four buckets hit, and no bucket wildly dominant.
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 40) << "bucket " << value;
+  }
+}
+
+TEST(DrbgTest, OutputLooksBalanced) {
+  // Crude sanity check: bit balance within 5% over 64 KB.
+  Drbg rng(15);
+  Bytes data = rng.Generate(65536);
+  size_t ones = 0;
+  for (uint8_t b : data) {
+    ones += static_cast<size_t>(__builtin_popcount(b));
+  }
+  double frac = static_cast<double>(ones) / (data.size() * 8);
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.55);
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,182 @@
+// FIPS / RFC test vectors plus incremental-update properties for the four
+// hash functions.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/crypto/md5.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha512.h"
+
+namespace flicker {
+namespace {
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha1::Digest(BytesOf(""))), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(ToHex(Sha1::Digest(BytesOf("abc"))), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha1::Digest(BytesOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(ToHex(h.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  Bytes msg = BytesOf("The quick brown fox jumps over the lazy dog");
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.Update(msg.data(), split);
+    h.Update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(h.Finish(), Sha1::Digest(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, ResetRestoresInitialState) {
+  Sha1 h;
+  h.Update(BytesOf("garbage"));
+  h.Reset();
+  h.Update(BytesOf("abc"));
+  EXPECT_EQ(ToHex(h.Finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding threshold.
+TEST(Sha1Test, BlockBoundaryLengths) {
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    Bytes msg(len, 0x5a);
+    Sha1 incremental;
+    for (size_t i = 0; i < len; ++i) {
+      incremental.Update(msg.data() + i, 1);
+    }
+    EXPECT_EQ(incremental.Finish(), Sha1::Digest(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha256::Digest(BytesOf(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(ToHex(Sha256::Digest(BytesOf("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      ToHex(Sha256::Digest(BytesOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  Bytes chunk(10000, 'a');
+  for (int i = 0; i < 100; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(ToHex(h.Finish()), "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes msg(200, 0);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  Sha256 h;
+  h.Update(msg.data(), 13);
+  h.Update(msg.data() + 13, 100);
+  h.Update(msg.data() + 113, msg.size() - 113);
+  EXPECT_EQ(h.Finish(), Sha256::Digest(msg));
+}
+
+TEST(Sha512Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha512::Digest(BytesOf(""))),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  EXPECT_EQ(ToHex(Sha512::Digest(BytesOf("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, MillionA) {
+  Sha512 h;
+  Bytes chunk(100000, 'a');
+  for (int i = 0; i < 10; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(ToHex(h.Finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512Test, IncrementalAcrossBlockBoundary) {
+  Bytes msg(300, 0x7e);
+  Sha512 h;
+  h.Update(msg.data(), 127);
+  h.Update(msg.data() + 127, 2);
+  h.Update(msg.data() + 129, msg.size() - 129);
+  EXPECT_EQ(h.Finish(), Sha512::Digest(msg));
+}
+
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(ToHex(Md5::Digest(BytesOf(""))), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(ToHex(Md5::Digest(BytesOf("a"))), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(ToHex(Md5::Digest(BytesOf("abc"))), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(ToHex(Md5::Digest(BytesOf("message digest"))), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(ToHex(Md5::Digest(BytesOf("abcdefghijklmnopqrstuvwxyz"))),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(ToHex(Md5::Digest(
+                BytesOf("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"))),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(ToHex(Md5::Digest(BytesOf(
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890"))),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  Bytes msg(150, 0x11);
+  Md5 h;
+  h.Update(msg.data(), 63);
+  h.Update(msg.data() + 63, 2);
+  h.Update(msg.data() + 65, msg.size() - 65);
+  EXPECT_EQ(h.Finish(), Md5::Digest(msg));
+}
+
+// Distinct inputs must give distinct digests (a smoke test that no internal
+// state is shared between instances).
+TEST(HashTest, InstancesAreIndependent) {
+  Sha1 a;
+  Sha1 b;
+  a.Update(BytesOf("first"));
+  b.Update(BytesOf("second"));
+  Bytes da = a.Finish();
+  Bytes db = b.Finish();
+  EXPECT_NE(da, db);
+  EXPECT_EQ(da, Sha1::Digest(BytesOf("first")));
+  EXPECT_EQ(db, Sha1::Digest(BytesOf("second")));
+}
+
+TEST(HashTest, DigestSizesMatchConstants) {
+  EXPECT_EQ(Sha1::Digest(BytesOf("x")).size(), Sha1::kDigestSize);
+  EXPECT_EQ(Sha256::Digest(BytesOf("x")).size(), Sha256::kDigestSize);
+  EXPECT_EQ(Sha512::Digest(BytesOf("x")).size(), Sha512::kDigestSize);
+  EXPECT_EQ(Md5::Digest(BytesOf("x")).size(), Md5::kDigestSize);
+}
+
+}  // namespace
+}  // namespace flicker

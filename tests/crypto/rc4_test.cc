@@ -1,0 +1,55 @@
+// Classic published RC4 vectors plus stream-position behaviour.
+
+#include "src/crypto/rc4.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+
+namespace flicker {
+namespace {
+
+TEST(Rc4Test, KeyKeyPlaintext) {
+  Rc4 rc4(BytesOf("Key"));
+  EXPECT_EQ(ToHex(rc4.Crypt(BytesOf("Plaintext"))), "bbf316e8d940af0ad3");
+}
+
+TEST(Rc4Test, WikiPedia) {
+  Rc4 rc4(BytesOf("Wiki"));
+  EXPECT_EQ(ToHex(rc4.Crypt(BytesOf("pedia"))), "1021bf0420");
+}
+
+TEST(Rc4Test, SecretAttackAtDawn) {
+  Rc4 rc4(BytesOf("Secret"));
+  EXPECT_EQ(ToHex(rc4.Crypt(BytesOf("Attack at dawn"))), "45a01f645fc35b383552544b9bf5");
+}
+
+TEST(Rc4Test, DecryptIsSameOperation) {
+  Rc4 enc(BytesOf("shared-key"));
+  Bytes ct = enc.Crypt(BytesOf("hello flicker"));
+  Rc4 dec(BytesOf("shared-key"));
+  EXPECT_EQ(dec.Crypt(ct), BytesOf("hello flicker"));
+}
+
+TEST(Rc4Test, StreamPositionAdvancesAcrossCalls) {
+  Rc4 split(BytesOf("k"));
+  Bytes part1 = split.Crypt(BytesOf("abc"));
+  Bytes part2 = split.Crypt(BytesOf("def"));
+
+  Rc4 whole(BytesOf("k"));
+  Bytes all = whole.Crypt(BytesOf("abcdef"));
+
+  Bytes joined = part1;
+  joined.insert(joined.end(), part2.begin(), part2.end());
+  EXPECT_EQ(joined, all);
+}
+
+TEST(Rc4Test, DifferentKeysDifferentStreams) {
+  Rc4 a(BytesOf("key-a"));
+  Rc4 b(BytesOf("key-b"));
+  Bytes zeros(32, 0);
+  EXPECT_NE(a.Crypt(zeros), b.Crypt(zeros));
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,107 @@
+// Parameterized timing-calibration sweeps: the cost model must reproduce
+// the paper's measured latencies across SLB sizes and TPM profiles.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace {
+
+// ---- Table 2 rows as parameters: (slb_kb, paper_ms) ----
+
+class SkinitSweepTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SkinitSweepTest, MatchesPaperWithin15Percent) {
+  auto [kb, paper_ms] = GetParam();
+  Machine machine{MachineConfig{}};
+  uint16_t length = static_cast<uint16_t>(kb * 1024);
+  Bytes image(kSlbRegionSize, 0);
+  image[0] = static_cast<uint8_t>(length);
+  image[1] = static_cast<uint8_t>(length >> 8);
+  ASSERT_TRUE(machine.memory()->Write(0x100000, image).ok());
+  for (int i = 1; i < machine.num_cpus(); ++i) {
+    machine.cpu(i)->state = CpuState::kIdle;
+    ASSERT_TRUE(machine.apic()->SendInitIpi(i).ok());
+  }
+  double before = machine.clock()->NowMillis();
+  ASSERT_TRUE(machine.Skinit(0, 0x100000).ok());
+  double measured = machine.clock()->NowMillis() - before;
+  EXPECT_NEAR(measured, paper_ms, paper_ms * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Rows, SkinitSweepTest,
+                         ::testing::Values(std::make_tuple(4, 11.9), std::make_tuple(16, 45.0),
+                                           std::make_tuple(32, 89.2)));
+
+// ---- TPM command costs per profile ----
+
+struct ProfileCase {
+  const char* name;
+  TpmTimingProfile profile;
+  double quote_ms;
+  double unseal_ms;
+};
+
+class TpmProfileTest : public ::testing::TestWithParam<int> {
+ protected:
+  static ProfileCase Case(int index) {
+    if (index == 0) {
+      return {"broadcom", BroadcomBcm0102Profile(), 972.7, 898.3};
+    }
+    if (index == 1) {
+      return {"infineon", InfineonProfile(), 331.0, 391.0};
+    }
+    return {"nextgen", NextGenHardwareProfile(), 1.0, 0.001};
+  }
+};
+
+TEST_P(TpmProfileTest, QuoteCostMatchesProfile) {
+  ProfileCase test_case = Case(GetParam());
+  SimClock clock;
+  Tpm tpm(&clock, test_case.profile);
+  double before = clock.NowMillis();
+  ASSERT_TRUE(tpm.Quote(Bytes(20, 1), PcrSelection({17})).ok());
+  EXPECT_NEAR(clock.NowMillis() - before, test_case.quote_ms, test_case.quote_ms * 0.01 + 0.001);
+}
+
+TEST_P(TpmProfileTest, ProfilesArePositiveAndOrdered) {
+  ProfileCase test_case = Case(GetParam());
+  EXPECT_GT(test_case.profile.quote_ms, 0.0);
+  EXPECT_GT(test_case.profile.unseal_ms, 0.0);
+  EXPECT_GT(test_case.profile.skinit_transfer_ms_per_kb, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, TpmProfileTest, ::testing::Values(0, 1, 2));
+
+// ---- SKINIT cost model linearity ----
+
+class SkinitLinearityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkinitLinearityTest, CostIsAffineInSize) {
+  TimingModel timing = DefaultTimingModel();
+  int kb = GetParam();
+  double cost_n = timing.SkinitMillis(static_cast<size_t>(kb) * 1024);
+  double cost_2n = timing.SkinitMillis(static_cast<size_t>(kb) * 2048);
+  // Affine: cost(2n) - cost(n) == cost(n) - cost(0).
+  EXPECT_NEAR(cost_2n - cost_n, cost_n - timing.SkinitMillis(0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkinitLinearityTest, ::testing::Values(1, 4, 16, 32));
+
+// ---- The next-generation hardware claim ([19]) ----
+
+TEST(NextGenTest, OrdersOfMagnitudeFaster) {
+  TimingModel old_hw = DefaultTimingModel();
+  TimingModel new_hw = NextGenTimingModel();
+  // Seal/unseal-equivalents improve by >= 5 orders of magnitude.
+  EXPECT_GE(old_hw.tpm.unseal_ms / new_hw.tpm.unseal_ms, 1e5);
+  // Late launch improves by >= 3 orders of magnitude at 64 KB.
+  EXPECT_GE(old_hw.SkinitMillis(64 * 1024) / new_hw.SkinitMillis(64 * 1024), 1e3);
+}
+
+}  // namespace
+}  // namespace flicker

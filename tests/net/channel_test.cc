@@ -1,0 +1,68 @@
+#include "src/net/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace flicker {
+namespace {
+
+TEST(ChannelTest, DeliveryAdvancesClock) {
+  SimClock clock;
+  Channel channel(&clock);
+  channel.Deliver();
+  EXPECT_GT(clock.NowMillis(), 0.0);
+  EXPECT_EQ(channel.messages_delivered(), 1u);
+}
+
+TEST(ChannelTest, LatencyWithinProfileBounds) {
+  SimClock clock;
+  Channel channel(&clock);
+  for (int i = 0; i < 200; ++i) {
+    double one_way = channel.SampleOneWayMs();
+    EXPECT_GE(one_way, channel.profile().min_rtt_ms / 2.0 - 1e-9);
+    EXPECT_LE(one_way, channel.profile().max_rtt_ms / 2.0 + 1e-9);
+  }
+}
+
+TEST(ChannelTest, AverageNearProfileAvg) {
+  SimClock clock;
+  Channel channel(&clock);
+  double total = 0;
+  const int kTrials = 500;
+  for (int i = 0; i < kTrials; ++i) {
+    total += channel.SampleOneWayMs();
+  }
+  double avg_rtt = 2.0 * total / kTrials;
+  EXPECT_NEAR(avg_rtt, channel.profile().avg_rtt_ms, 0.25);
+}
+
+TEST(ChannelTest, RoundTripIsTwoMessages) {
+  SimClock clock;
+  Channel channel(&clock);
+  channel.RoundTrip();
+  EXPECT_EQ(channel.messages_delivered(), 2u);
+  // A 9.45 ms avg RTT: round trip should land in [9.33, 10.10].
+  EXPECT_GE(clock.NowMillis(), 9.0);
+  EXPECT_LE(clock.NowMillis(), 10.2);
+}
+
+TEST(ChannelTest, CustomProfile) {
+  SimClock clock;
+  LatencyProfile lan{0.2, 0.3, 0.5, 1};
+  Channel channel(&clock, lan);
+  double one_way = channel.SampleOneWayMs();
+  EXPECT_GE(one_way, 0.1 - 1e-9);
+  EXPECT_LE(one_way, 0.25 + 1e-9);
+}
+
+TEST(ChannelTest, DeterministicGivenSeed) {
+  SimClock c1;
+  SimClock c2;
+  Channel a(&c1, LatencyProfile(), 42);
+  Channel b(&c2, LatencyProfile(), 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.SampleOneWayMs(), b.SampleOneWayMs());
+  }
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,239 @@
+// The untrusted-OS layer: kernel images, scheduler/hotplug, the
+// flicker-module staging flow, block-device behaviour under suspension, and
+// the quote daemon.
+
+#include <gtest/gtest.h>
+
+#include "src/os/devices.h"
+#include "src/os/flicker_module.h"
+#include "src/os/kernel.h"
+#include "src/os/scheduler.h"
+#include "src/os/tqd.h"
+#include "src/slb/slb_core.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace {
+
+class OsTest : public ::testing::Test {
+ protected:
+  OsTest() : machine_(MachineConfig{}), kernel_(&machine_), scheduler_(&machine_) {}
+
+  Machine machine_;
+  OsKernel kernel_;
+  Scheduler scheduler_;
+};
+
+TEST_F(OsTest, KernelRegionsAndMeasurement) {
+  std::vector<KernelRegion> regions = kernel_.MeasuredRegions();
+  ASSERT_EQ(regions.size(), 5u);  // text + syscall table + 3 modules.
+  EXPECT_EQ(regions[0].name, "text");
+  EXPECT_EQ(regions[1].name, "syscall_table");
+  EXPECT_EQ(regions[2].name, "module:ext3");
+
+  EXPECT_EQ(kernel_.CurrentMeasurement(), kernel_.pristine_measurement());
+  EXPECT_FALSE(kernel_.tampered());
+}
+
+TEST_F(OsTest, RegionSerializationRoundTrip) {
+  Bytes wire = kernel_.SerializeRegions();
+  Result<std::vector<KernelRegion>> back = OsKernel::DeserializeRegions(wire);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), kernel_.MeasuredRegions().size());
+  EXPECT_EQ(back.value()[0].base, kernel_.MeasuredRegions()[0].base);
+  EXPECT_EQ(back.value()[4].size, kernel_.MeasuredRegions()[4].size);
+
+  EXPECT_FALSE(OsKernel::DeserializeRegions(Bytes(2, 0)).ok());
+  EXPECT_FALSE(OsKernel::DeserializeRegions(BytesOf("garbage....")).ok());
+}
+
+TEST_F(OsTest, SyscallHookChangesMeasurement) {
+  Bytes before = kernel_.CurrentMeasurement();
+  ASSERT_TRUE(kernel_.InstallSyscallHook(42).ok());
+  EXPECT_TRUE(kernel_.tampered());
+  EXPECT_NE(kernel_.CurrentMeasurement(), before);
+
+  ASSERT_TRUE(kernel_.RestorePristine().ok());
+  EXPECT_EQ(kernel_.CurrentMeasurement(), before);
+  EXPECT_FALSE(kernel_.tampered());
+}
+
+TEST_F(OsTest, TextPatchChangesMeasurement) {
+  Bytes before = kernel_.CurrentMeasurement();
+  ASSERT_TRUE(kernel_.PatchText(0x1000, BytesOf("\xcc\xcc\xcc\xcc")).ok());
+  EXPECT_NE(kernel_.CurrentMeasurement(), before);
+  EXPECT_FALSE(kernel_.PatchText(3 * 1024 * 1024, Bytes(4, 0)).ok());
+  EXPECT_FALSE(kernel_.InstallSyscallHook(100000).ok());
+}
+
+TEST_F(OsTest, SchedulerRunsTasks) {
+  ASSERT_TRUE(scheduler_.Spawn(0, OsTask{"make", 100}).ok());
+  ASSERT_TRUE(scheduler_.Spawn(1, OsTask{"gcc", 50}).ok());
+  scheduler_.RunFor(60);
+  EXPECT_EQ(scheduler_.QueueDepth(0), 1u);  // make has 40 ms left.
+  EXPECT_EQ(scheduler_.QueueDepth(1), 0u);  // gcc finished.
+  EXPECT_DOUBLE_EQ(scheduler_.TotalCompletedMs(), 110);
+  scheduler_.RunFor(60);
+  EXPECT_EQ(scheduler_.QueueDepth(0), 0u);
+}
+
+TEST_F(OsTest, HotplugMigratesTasksAndParksAps) {
+  ASSERT_TRUE(scheduler_.Spawn(1, OsTask{"worker", 100}).ok());
+  EXPECT_FALSE(scheduler_.ApsIdle());
+  // INIT IPI must fail while the AP runs processes.
+  EXPECT_FALSE(machine_.apic()->SendInitIpi(1).ok());
+
+  ASSERT_TRUE(scheduler_.DescheduleAps().ok());
+  EXPECT_TRUE(scheduler_.ApsIdle());
+  EXPECT_EQ(scheduler_.QueueDepth(0), 1u);  // Migrated to the BSP.
+  EXPECT_EQ(scheduler_.QueueDepth(1), 0u);
+  EXPECT_TRUE(machine_.apic()->SendInitIpi(1).ok());
+
+  ASSERT_TRUE(scheduler_.RestoreAps().ok());
+  EXPECT_EQ(machine_.cpu(1)->state, CpuState::kRunning);
+}
+
+TEST_F(OsTest, SpawnOntoParkedCpuRejected) {
+  ASSERT_TRUE(scheduler_.DescheduleAps().ok());
+  ASSERT_TRUE(machine_.apic()->SendInitIpi(1).ok());
+  EXPECT_FALSE(scheduler_.Spawn(1, OsTask{"late", 10}).ok());
+  EXPECT_FALSE(scheduler_.Spawn(7, OsTask{"bad-cpu", 10}).ok());
+}
+
+class FlickerModuleTest : public ::testing::Test {
+ protected:
+  FlickerModuleTest()
+      : machine_(MachineConfig{}),
+        kernel_(&machine_),
+        scheduler_(&machine_),
+        module_(&machine_, &kernel_, &scheduler_) {}
+
+  Bytes MinimalSlb() {
+    Bytes image(kSlbRegionSize, 0);
+    uint16_t length = 4096;
+    uint16_t entry = kSlbCodeOffset;
+    image[0] = static_cast<uint8_t>(length);
+    image[1] = static_cast<uint8_t>(length >> 8);
+    image[2] = static_cast<uint8_t>(entry);
+    image[3] = static_cast<uint8_t>(entry >> 8);
+    return image;
+  }
+
+  Machine machine_;
+  OsKernel kernel_;
+  Scheduler scheduler_;
+  FlickerModule module_;
+};
+
+TEST_F(FlickerModuleTest, RejectsBadStaging) {
+  EXPECT_FALSE(module_.WriteSlb(Bytes(100, 0)).ok());          // Not 64 KB.
+  EXPECT_FALSE(module_.WriteInputs(Bytes(kSlbIoPageSize, 0)).ok());
+  EXPECT_EQ(module_.StartSession().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(module_.FinishSession().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FlickerModuleTest, FullStagingFlow) {
+  ASSERT_TRUE(module_.WriteSlb(MinimalSlb()).ok());
+  ASSERT_TRUE(module_.WriteInputs(BytesOf("input data")).ok());
+
+  Result<SkinitLaunch> launch = module_.StartSession();
+  ASSERT_TRUE(launch.ok()) << launch.status().ToString();
+  EXPECT_TRUE(machine_.in_secure_session());
+  EXPECT_EQ(launch.value().slb_base, kSlbFixedBase);
+
+  // Inputs and saved state landed on their pages.
+  EXPECT_EQ(ReadIoPage(*machine_.memory(), kSlbFixedBase + kSlbInputsOffset).value(),
+            BytesOf("input data"));
+  Bytes saved = ReadIoPage(*machine_.memory(), kSlbFixedBase + kSlbSavedStateOffset).value();
+  ASSERT_EQ(saved.size(), 8u);
+  EXPECT_EQ(GetUint64(saved, 0), kernel_.cr3());
+
+  // Simulate the SLB core's resume, then teardown.
+  ASSERT_TRUE(WriteIoPage(machine_.memory(), kSlbFixedBase + kSlbOutputsOffset,
+                          BytesOf("output data"))
+                  .ok());
+  ASSERT_TRUE(machine_.ExitSecureMode(0, kernel_.cr3()).ok());
+  ASSERT_TRUE(module_.FinishSession().ok());
+  EXPECT_EQ(module_.ReadOutputs().value(), BytesOf("output data"));
+  EXPECT_EQ(machine_.cpu(1)->state, CpuState::kRunning);
+}
+
+TEST_F(FlickerModuleTest, SkinitFailureRollsBackSuspension) {
+  Bytes bad = MinimalSlb();
+  bad[0] = 2;  // Length below header size.
+  bad[1] = 0;
+  ASSERT_TRUE(module_.WriteSlb(bad).ok());
+  Result<SkinitLaunch> launch = module_.StartSession();
+  ASSERT_FALSE(launch.ok());
+  EXPECT_FALSE(machine_.in_secure_session());
+  EXPECT_EQ(machine_.cpu(1)->state, CpuState::kRunning);  // APs restored.
+}
+
+TEST(BlockCopyTest, NoDataLossDuringSessions) {
+  // §7.5: 1 GB copy while 8.3 s sessions run back to back with 37 ms OS
+  // windows. Integrity must hold (digests equal), with zero I/O errors.
+  BlockCopyParams params;
+  params.total_bytes = 64ULL * 1024 * 1024;  // Scaled for test speed.
+  BlockCopyReport report = SimulateBlockCopyDuringSessions(params);
+
+  EXPECT_EQ(report.io_errors, 0u);
+  EXPECT_EQ(report.bytes_delivered, params.total_bytes);
+  EXPECT_EQ(report.source_digest, report.delivered_digest);
+  EXPECT_GT(report.stall_events, 0u);  // The ring did fill up.
+  EXPECT_GT(report.elapsed_ms, 0.0);
+}
+
+TEST(BlockCopyTest, NoSessionsNoStalls) {
+  BlockCopyParams params;
+  params.total_bytes = 8ULL * 1024 * 1024;
+  params.session_ms = 0.0;
+  params.os_window_ms = 1000.0;
+  BlockCopyReport report = SimulateBlockCopyDuringSessions(params);
+  EXPECT_EQ(report.stall_events, 0u);
+  EXPECT_DOUBLE_EQ(report.stall_ms, 0.0);
+  EXPECT_EQ(report.source_digest, report.delivered_digest);
+}
+
+TEST(BlockCopyTest, BiggerRingFewerStalls) {
+  BlockCopyParams small;
+  small.total_bytes = 32ULL * 1024 * 1024;
+  small.ring_capacity_bytes = 1 * 1024 * 1024;
+  BlockCopyParams big = small;
+  big.ring_capacity_bytes = 16 * 1024 * 1024;
+  EXPECT_GE(SimulateBlockCopyDuringSessions(small).stall_events,
+            SimulateBlockCopyDuringSessions(big).stall_events);
+}
+
+TEST(TqdTest, QuoteWhileOsRuns) {
+  Machine machine{MachineConfig{}};
+  TpmQuoteDaemon tqd(&machine);
+  Result<AttestationResponse> response =
+      tqd.HandleChallenge(Bytes(20, 7), PcrSelection({kSkinitPcr}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().quote.nonce, Bytes(20, 7));
+  EXPECT_EQ(response.value().aik_public, machine.tpm()->aik_public().Serialize());
+}
+
+TEST(TqdTest, RefusesWhileSuspended) {
+  Machine machine{MachineConfig{}};
+  // Enter a session manually.
+  Bytes image(kSlbRegionSize, 0);
+  image[0] = 0x00;
+  image[1] = 0x10;  // length 4096
+  image[2] = 0x9c;
+  image[3] = 0x00;  // entry 156
+  ASSERT_TRUE(machine.memory()->Write(0x100000, image).ok());
+  for (int i = 1; i < machine.num_cpus(); ++i) {
+    machine.cpu(i)->state = CpuState::kIdle;
+    ASSERT_TRUE(machine.apic()->SendInitIpi(i).ok());
+  }
+  ASSERT_TRUE(machine.Skinit(0, 0x100000).ok());
+
+  TpmQuoteDaemon tqd(&machine);
+  Result<AttestationResponse> response = tqd.HandleChallenge(Bytes(20, 7), PcrSelection({17}));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace flicker

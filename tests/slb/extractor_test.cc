@@ -1,0 +1,91 @@
+// The §5.2 extraction tool: transitive closure, module resolution, and the
+// printf/malloc diagnostics the paper describes.
+
+#include "src/slb/extractor.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace flicker {
+namespace {
+
+// A little OpenSSL-ish application call graph.
+CallGraph SampleProgram() {
+  CallGraph graph;
+  graph.AddFunction({"main", 50, 400, {"parse_args", "serve_requests"}});
+  graph.AddFunction({"parse_args", 30, 250, {"printf"}});
+  graph.AddFunction({"serve_requests", 80, 700, {"handle_csr", "log_request"}});
+  graph.AddFunction({"handle_csr", 60, 500, {"ca_sign", "printf"}});
+  graph.AddFunction({"ca_sign", 40, 350, {"rsa_sign", "sha1", "append_db"}});
+  graph.AddFunction({"append_db", 25, 200, {"malloc", "free"}});
+  graph.AddFunction({"log_request", 15, 120, {"printf"}});
+  graph.AddFunction({"keygen_main", 20, 160, {"rsa_keygen", "tpm_seal"}});
+  return graph;
+}
+
+TEST(ExtractorTest, UnknownTargetFails) {
+  CallGraph graph = SampleProgram();
+  EXPECT_FALSE(ExtractPal(graph, "no_such_function").ok());
+}
+
+TEST(ExtractorTest, ClosureIsTransitive) {
+  CallGraph graph = SampleProgram();
+  Result<PalSpec> spec = ExtractPal(graph, "ca_sign");
+  ASSERT_TRUE(spec.ok());
+  // ca_sign pulls in append_db (its callee) but not handle_csr (its caller)
+  // or log_request (unrelated).
+  EXPECT_EQ(spec.value().extracted_functions, (std::vector<std::string>{"append_db", "ca_sign"}));
+  EXPECT_EQ(spec.value().extracted_lines, 40 + 25);
+  EXPECT_EQ(spec.value().extracted_bytes, 350u + 200u);
+}
+
+TEST(ExtractorTest, LeafSymbolsResolveToModules) {
+  CallGraph graph = SampleProgram();
+  Result<PalSpec> spec = ExtractPal(graph, "ca_sign");
+  ASSERT_TRUE(spec.ok());
+  // rsa_sign/sha1 -> Crypto, malloc/free -> Memory Management.
+  const auto& modules = spec.value().required_modules;
+  EXPECT_NE(std::find(modules.begin(), modules.end(), kModuleCrypto), modules.end());
+  EXPECT_NE(std::find(modules.begin(), modules.end(), kModuleMemoryManagement), modules.end());
+  EXPECT_TRUE(spec.value().Buildable());
+}
+
+TEST(ExtractorTest, PrintfIsReportedUnresolved) {
+  // handle_csr calls printf, which no module provides: the tool reports it
+  // so the programmer "can simply eliminate the call" (§5.2).
+  CallGraph graph = SampleProgram();
+  Result<PalSpec> spec = ExtractPal(graph, "handle_csr");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec.value().Buildable());
+  EXPECT_EQ(spec.value().unresolved_symbols, std::vector<std::string>{"printf"});
+}
+
+TEST(ExtractorTest, TpmSymbolsResolve) {
+  CallGraph graph = SampleProgram();
+  Result<PalSpec> spec = ExtractPal(graph, "keygen_main");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.value().Buildable());
+  const auto& modules = spec.value().required_modules;
+  EXPECT_NE(std::find(modules.begin(), modules.end(), kModuleTpmUtilities), modules.end());
+}
+
+TEST(ExtractorTest, CyclicCallGraphTerminates) {
+  CallGraph graph;
+  graph.AddFunction({"a", 10, 80, {"b"}});
+  graph.AddFunction({"b", 10, 80, {"a", "sha1"}});
+  Result<PalSpec> spec = ExtractPal(graph, "a");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().extracted_functions, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(spec.value().extracted_lines, 20);
+}
+
+TEST(ExtractorTest, SelfRecursionHandled) {
+  CallGraph graph;
+  graph.AddFunction({"fact", 8, 64, {"fact"}});
+  Result<PalSpec> spec = ExtractPal(graph, "fact");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().extracted_functions, std::vector<std::string>{"fact"});
+}
+
+}  // namespace
+}  // namespace flicker

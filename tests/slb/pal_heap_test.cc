@@ -1,0 +1,157 @@
+// The Memory Management PAL module: allocator correctness, coalescing, and
+// parameterized stress workouts.
+
+#include "src/slb/pal_heap.h"
+
+#include <cstring>
+#include <map>
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+
+namespace flicker {
+namespace {
+
+TEST(PalHeapTest, MallocReturnsAlignedDistinctBlocks) {
+  PalHeap heap(4096);
+  void* a = heap.Malloc(100);
+  void* b = heap.Malloc(200);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+TEST(PalHeapTest, MallocZeroReturnsNull) {
+  PalHeap heap(4096);
+  EXPECT_EQ(heap.Malloc(0), nullptr);
+}
+
+TEST(PalHeapTest, ExhaustionReturnsNull) {
+  PalHeap heap(256);
+  void* a = heap.Malloc(200);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(heap.Malloc(200), nullptr);
+  heap.Free(a);
+  EXPECT_NE(heap.Malloc(200), nullptr);
+}
+
+TEST(PalHeapTest, FreeCoalescesNeighbours) {
+  PalHeap heap(1024);
+  void* a = heap.Malloc(100);
+  void* b = heap.Malloc(100);
+  void* c = heap.Malloc(100);
+  ASSERT_NE(c, nullptr);
+  size_t before = heap.LargestFreeBlock();
+  heap.Free(a);
+  heap.Free(c);
+  heap.Free(b);  // Middle free must merge all three with the tail.
+  EXPECT_GT(heap.LargestFreeBlock(), before);
+  EXPECT_EQ(heap.BytesInUse(), 0u);
+  EXPECT_TRUE(heap.CheckConsistency());
+  // The fully coalesced arena admits one near-arena-size allocation again.
+  EXPECT_NE(heap.Malloc(900), nullptr);
+}
+
+TEST(PalHeapTest, FreeNullIsNoop) {
+  PalHeap heap(256);
+  heap.Free(nullptr);
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+TEST(PalHeapTest, ReallocPreservesContents) {
+  PalHeap heap(4096);
+  uint8_t* p = static_cast<uint8_t*>(heap.Malloc(64));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    p[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t* q = static_cast<uint8_t*>(heap.Realloc(p, 512));
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(q[i], i);
+  }
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+TEST(PalHeapTest, ReallocSemanticsEdgeCases) {
+  PalHeap heap(1024);
+  // Realloc(nullptr, n) == Malloc(n).
+  void* a = heap.Realloc(nullptr, 32);
+  EXPECT_NE(a, nullptr);
+  // Realloc(p, 0) == Free(p).
+  EXPECT_EQ(heap.Realloc(a, 0), nullptr);
+  EXPECT_EQ(heap.BytesInUse(), 0u);
+  // Shrinking stays in place.
+  void* b = heap.Malloc(128);
+  EXPECT_EQ(heap.Realloc(b, 64), b);
+  // Failed grow keeps the original alive.
+  void* c = heap.Malloc(700);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(heap.Realloc(b, 5000), nullptr);
+  std::memset(b, 0x5a, 64);  // Still writable.
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+TEST(PalHeapTest, WipeZeroesAndResets) {
+  PalHeap heap(512);
+  uint8_t* p = static_cast<uint8_t*>(heap.Malloc(64));
+  std::memset(p, 0xee, 64);
+  heap.Wipe();
+  EXPECT_EQ(heap.BytesInUse(), 0u);
+  EXPECT_NE(heap.Malloc(400), nullptr);
+}
+
+// Parameterized stress: random alloc/free/realloc workouts at several arena
+// sizes; the allocator must never corrupt its headers and BytesInUse must
+// track live allocations exactly.
+class PalHeapStressTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PalHeapStressTest, RandomWorkout) {
+  PalHeap heap(GetParam());
+  Drbg rng(GetParam());
+  std::map<void*, size_t> live;
+  size_t live_bytes = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    uint64_t action = rng.UniformUint64(3);
+    if (action == 0 || live.empty()) {
+      size_t size = rng.UniformUint64(GetParam() / 8) + 1;
+      void* p = heap.Malloc(size);
+      if (p != nullptr) {
+        size_t actual = heap.AllocatedSize(p);
+        live[p] = actual;
+        live_bytes += actual;
+        std::memset(p, 0xab, size);
+      }
+    } else if (action == 1) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformUint64(live.size())));
+      live_bytes -= it->second;
+      heap.Free(it->first);
+      live.erase(it);
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformUint64(live.size())));
+      size_t new_size = rng.UniformUint64(GetParam() / 8) + 1;
+      void* p = heap.Realloc(it->first, new_size);
+      if (p != nullptr) {
+        live_bytes -= it->second;
+        live.erase(it);
+        size_t actual = heap.AllocatedSize(p);
+        live[p] = actual;
+        live_bytes += actual;
+      }
+    }
+    ASSERT_TRUE(heap.CheckConsistency()) << "step " << step;
+    ASSERT_EQ(heap.BytesInUse(), live_bytes) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArenaSizes, PalHeapStressTest,
+                         ::testing::Values(512, 2048, 8192, 32768));
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,138 @@
+// SLB core negative paths and invariants not covered by the end-to-end
+// platform tests.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/hello.h"
+#include "src/core/flicker_platform.h"
+#include "src/slb/slb_core.h"
+
+namespace flicker {
+namespace {
+
+TEST(SlbCoreTest, RunOutsideSessionRejected) {
+  Machine machine{MachineConfig{}};
+  PalBinary binary = BuildPal(std::make_shared<HelloWorldPal>()).take();
+  SkinitLaunch fake_launch;
+  fake_launch.slb_base = kSlbFixedBase;
+  Result<SessionRecord> record = SlbCore::Run(&machine, fake_launch, binary, SlbCoreOptions());
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SlbCoreTest, RunWithMismatchedBaseRejected) {
+  FlickerPlatform platform;
+  PalBinary binary = BuildPal(std::make_shared<HelloWorldPal>()).take();
+  ASSERT_TRUE(platform.flicker_module()->WriteSlb(binary.image).ok());
+  ASSERT_TRUE(platform.flicker_module()->WriteInputs(Bytes()).ok());
+  Result<SkinitLaunch> launch = platform.flicker_module()->StartSession();
+  ASSERT_TRUE(launch.ok());
+
+  SkinitLaunch wrong = launch.value();
+  wrong.slb_base += 0x1000;
+  Result<SessionRecord> record =
+      SlbCore::Run(platform.machine(), wrong, binary, SlbCoreOptions());
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.status().code(), StatusCode::kFailedPrecondition);
+
+  // Clean up the real session so the platform is reusable.
+  ASSERT_TRUE(SlbCore::Run(platform.machine(), launch.value(), binary, SlbCoreOptions()).ok());
+  ASSERT_TRUE(platform.flicker_module()->FinishSession().ok());
+}
+
+TEST(SlbCoreTest, SegmentsLoadedDuringSessionRestoredAfter) {
+  FlickerPlatform platform;
+
+  class SegmentCheckPal : public Pal {
+   public:
+    explicit SegmentCheckPal(Machine* machine) : machine_(machine) {}
+    std::string name() const override { return "segment-check"; }
+    std::vector<std::string> required_modules() const override { return {}; }
+    size_t app_code_bytes() const override { return 64; }
+    Status Execute(PalContext* context) override {
+      // Inside the session: segments based at slb_base (position-dependent
+      // PAL sees itself at offset 0).
+      base_during_session_ = machine_->bsp()->code_segment.base;
+      return context->SetOutputs(BytesOf("ok"));
+    }
+    uint64_t base_during_session_ = 0;
+
+   private:
+    Machine* machine_;
+  };
+
+  auto pal = std::make_shared<SegmentCheckPal>(platform.machine());
+  PalBinary binary = BuildPal(pal).take();
+  Result<FlickerSessionResult> result = platform.ExecuteSession(binary, Bytes());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok());
+  EXPECT_EQ(pal->base_during_session_, kSlbFixedBase);
+  // After resume: flat segments again.
+  EXPECT_EQ(platform.machine()->bsp()->code_segment.base, 0u);
+  EXPECT_EQ(platform.machine()->bsp()->data_segment.base, 0u);
+}
+
+TEST(SlbCoreTest, RingDropsToThreeOnlyWithOsProtection) {
+  FlickerPlatform platform;
+
+  class RingCheckPal : public Pal {
+   public:
+    explicit RingCheckPal(Machine* machine) : machine_(machine) {}
+    std::string name() const override { return "ring-check"; }
+    std::vector<std::string> required_modules() const override { return {}; }
+    size_t app_code_bytes() const override { return 64; }
+    Status Execute(PalContext* context) override {
+      ring_during_session_ = machine_->bsp()->ring;
+      return context->SetOutputs(BytesOf("ok"));
+    }
+    int ring_during_session_ = -1;
+
+   private:
+    Machine* machine_;
+  };
+
+  // Without OS protection: ring 0.
+  auto pal0 = std::make_shared<RingCheckPal>(platform.machine());
+  PalBinary plain = BuildPal(pal0).take();
+  ASSERT_TRUE(platform.ExecuteSession(plain, Bytes()).ok());
+  EXPECT_EQ(pal0->ring_during_session_, 0);
+
+  // With OS protection: ring 3, back to 0 after.
+  auto pal3 = std::make_shared<RingCheckPal>(platform.machine());
+  PalBuildOptions options;
+  options.os_protection = true;
+  PalBinary guarded = BuildPal(pal3, options).take();
+  ASSERT_TRUE(platform.ExecuteSession(guarded, Bytes()).ok());
+  EXPECT_EQ(pal3->ring_during_session_, 3);
+  EXPECT_EQ(platform.machine()->bsp()->ring, 0);
+}
+
+TEST(SlbCoreTest, OutputsOverflowFailsSessionButPlatformRecovers) {
+  FlickerPlatform platform;
+  class ChattyPal : public Pal {
+   public:
+    std::string name() const override { return "chatty"; }
+    std::vector<std::string> required_modules() const override { return {}; }
+    size_t app_code_bytes() const override { return 64; }
+    Status Execute(PalContext* context) override {
+      return context->SetOutputs(Bytes(5000, 0x41));  // > 4 KB page.
+    }
+  };
+  PalBinary binary = BuildPal(std::make_shared<ChattyPal>()).take();
+  Result<FlickerSessionResult> result = platform.ExecuteSession(binary, Bytes());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+  EXPECT_EQ(result.value().record.pal_status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(platform.machine()->in_secure_session());
+
+  // The next session runs fine.
+  PalBinary hello = BuildPal(std::make_shared<HelloWorldPal>()).take();
+  Result<FlickerSessionResult> next = platform.ExecuteSession(hello, Bytes());
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next.value().ok());
+}
+
+}  // namespace
+}  // namespace flicker

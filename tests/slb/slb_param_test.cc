@@ -1,0 +1,137 @@
+// Parameterized SLB builds: PAL app-code sizes, module combinations, and
+// SKINIT cost scaling through the full pipeline.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/flicker_platform.h"
+#include "src/slb/slb_core.h"
+#include "src/slb/slb_layout.h"
+
+namespace flicker {
+namespace {
+
+class SizedPal : public Pal {
+ public:
+  SizedPal(size_t code_bytes, std::vector<std::string> modules)
+      : code_bytes_(code_bytes), modules_(std::move(modules)) {}
+  std::string name() const override { return "sized-" + std::to_string(code_bytes_); }
+  std::vector<std::string> required_modules() const override { return modules_; }
+  size_t app_code_bytes() const override { return code_bytes_; }
+  Status Execute(PalContext* context) override {
+    return context->SetOutputs(BytesOf(name()));
+  }
+
+ private:
+  size_t code_bytes_;
+  std::vector<std::string> modules_;
+};
+
+// ---- App-code size sweep: geometry, measurement, and end-to-end runs ----
+
+class PalSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PalSizeTest, BuildsAndRuns) {
+  size_t code = GetParam();
+  Result<PalBinary> binary = BuildPal(std::make_shared<SizedPal>(code, std::vector<std::string>{}));
+  ASSERT_TRUE(binary.ok());
+  EXPECT_EQ(binary.value().measured_length, kSlbCodeOffset + 312 + code);
+
+  FlickerPlatform platform;
+  Result<FlickerSessionResult> result = platform.ExecuteSession(binary.value(), Bytes());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+  // SKINIT cost scales with measured length.
+  double expected = platform.machine()->timing().SkinitMillis(binary.value().measured_length);
+  EXPECT_NEAR(result.value().skinit_ms, expected, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PalSizeTest,
+                         ::testing::Values(16, 512, 4096, 16384, 40000, 60000));
+
+TEST(PalSizeBoundary, ExactLimitAcceptedOverLimitRejected) {
+  size_t max_code = kSlbMaxMeasuredSize - kSlbCodeOffset - 312;
+  EXPECT_TRUE(BuildPal(std::make_shared<SizedPal>(max_code, std::vector<std::string>{})).ok());
+  EXPECT_FALSE(
+      BuildPal(std::make_shared<SizedPal>(max_code + 1, std::vector<std::string>{})).ok());
+}
+
+// ---- Module-combination sweep: TCB accounting is additive and distinct ----
+
+class ModuleComboTest : public ::testing::TestWithParam<int> {
+ protected:
+  static std::vector<std::string> Combo(int index) {
+    switch (index) {
+      case 0:
+        return {};
+      case 1:
+        return {kModuleTpmDriver};
+      case 2:
+        return {kModuleTpmDriver, kModuleTpmUtilities};
+      case 3:
+        return {kModuleCrypto};
+      case 4:
+        return {kModuleTpmDriver, kModuleTpmUtilities, kModuleCrypto, kModuleSecureChannel};
+      default:
+        return {};
+    }
+  }
+};
+
+TEST_P(ModuleComboTest, TcbMatchesLinkedModules) {
+  std::vector<std::string> combo = Combo(GetParam());
+  Result<PalBinary> binary = BuildPal(std::make_shared<SizedPal>(100, combo));
+  ASSERT_TRUE(binary.ok());
+
+  ModuleRegistry registry;
+  int expected_lines = registry.Find(kModuleSlbCore).value()->lines_of_code;
+  for (const std::string& name : combo) {
+    expected_lines += registry.Find(name).value()->lines_of_code;
+  }
+  EXPECT_EQ(binary.value().tcb.total_lines, expected_lines);
+  EXPECT_EQ(binary.value().tcb.linked_modules.size(), combo.size() + 1);
+}
+
+TEST_P(ModuleComboTest, MeasurementsDistinctAcrossCombos) {
+  Result<PalBinary> this_combo = BuildPal(std::make_shared<SizedPal>(100, Combo(GetParam())));
+  ASSERT_TRUE(this_combo.ok());
+  for (int other = 0; other < 5; ++other) {
+    if (other == GetParam()) {
+      continue;
+    }
+    Result<PalBinary> other_combo = BuildPal(std::make_shared<SizedPal>(100, Combo(other)));
+    ASSERT_TRUE(other_combo.ok());
+    EXPECT_NE(this_combo.value().skinit_measurement, other_combo.value().skinit_measurement)
+        << "combos " << GetParam() << " vs " << other;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, ModuleComboTest, ::testing::Values(0, 1, 2, 3, 4));
+
+// ---- Stub builds across sizes ----
+
+class StubSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StubSizeTest, StubKeepsSkinitConstant) {
+  PalBuildOptions options;
+  options.measurement_stub = true;
+  Result<PalBinary> binary =
+      BuildPal(std::make_shared<SizedPal>(GetParam(), std::vector<std::string>{}), options);
+  ASSERT_TRUE(binary.ok());
+  // SKINIT streams only the stub regardless of app size.
+  EXPECT_EQ(binary.value().measured_length, kMeasurementStubSize);
+
+  FlickerPlatform platform;
+  Result<FlickerSessionResult> result = platform.ExecuteSession(binary.value(), Bytes());
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok());
+  EXPECT_NEAR(result.value().skinit_ms,
+              platform.machine()->timing().SkinitMillis(kMeasurementStubSize), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StubSizeTest, ::testing::Values(64, 4096, 30000, 50000));
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,235 @@
+// SLB image construction, module linking, TCB accounting, patching, and
+// measurement determinism.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/hello.h"
+#include "src/slb/module_registry.h"
+#include "src/slb/slb_core.h"
+#include "src/slb/slb_layout.h"
+
+namespace flicker {
+namespace {
+
+// A PAL that references a symbol no module provides.
+class PrintfPal : public Pal {
+ public:
+  std::string name() const override { return "printf-user"; }
+  std::vector<std::string> required_modules() const override { return {}; }
+  std::vector<std::string> required_symbols() const override { return {"printf"}; }
+  size_t app_code_bytes() const override { return 64; }
+  Status Execute(PalContext*) override { return Status::Ok(); }
+};
+
+// malloc resolves only when the Memory Management module is linked.
+class MallocPal : public Pal {
+ public:
+  explicit MallocPal(bool link_mm) : link_mm_(link_mm) {}
+  std::string name() const override { return "malloc-user"; }
+  std::vector<std::string> required_modules() const override {
+    return link_mm_ ? std::vector<std::string>{kModuleMemoryManagement}
+                    : std::vector<std::string>{};
+  }
+  std::vector<std::string> required_symbols() const override { return {"malloc", "free"}; }
+  size_t app_code_bytes() const override { return 64; }
+  Status Execute(PalContext*) override { return Status::Ok(); }
+
+ private:
+  bool link_mm_;
+};
+
+class HugePal : public Pal {
+ public:
+  std::string name() const override { return "huge"; }
+  std::vector<std::string> required_modules() const override { return {}; }
+  size_t app_code_bytes() const override { return 61 * 1024; }
+  Status Execute(PalContext*) override { return Status::Ok(); }
+};
+
+TEST(ModuleRegistryTest, PaperModuleTableIsPresent) {
+  ModuleRegistry registry;
+  ASSERT_EQ(registry.modules().size(), 7u);
+
+  // Fig. 6 values.
+  const PalModule* slb_core = registry.Find(kModuleSlbCore).value();
+  EXPECT_EQ(slb_core->lines_of_code, 94);
+  EXPECT_EQ(slb_core->binary_bytes, 312u);
+  EXPECT_TRUE(slb_core->mandatory);
+
+  const PalModule* crypto = registry.Find(kModuleCrypto).value();
+  EXPECT_EQ(crypto->lines_of_code, 2262);
+  EXPECT_EQ(crypto->binary_bytes, 31380u);
+
+  const PalModule* tpm_util = registry.Find(kModuleTpmUtilities).value();
+  EXPECT_EQ(tpm_util->lines_of_code, 889);
+
+  EXPECT_FALSE(registry.Find("No Such Module").ok());
+}
+
+TEST(ModuleRegistryTest, SyntheticCodeDeterministicAndSized) {
+  ModuleRegistry registry;
+  const PalModule* module = registry.Find(kModuleTpmDriver).value();
+  Bytes code1 = ModuleRegistry::SyntheticCode(*module);
+  Bytes code2 = ModuleRegistry::SyntheticCode(*module);
+  EXPECT_EQ(code1, code2);
+  EXPECT_EQ(code1.size(), module->binary_bytes);
+}
+
+TEST(PalBuilderTest, MinimalPalTcbIsTiny) {
+  Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(binary.ok());
+  // "as few as 250 lines": SLB Core (94) + hello world (6).
+  EXPECT_EQ(binary.value().tcb.total_lines, 94 + 6);
+  EXPECT_LE(binary.value().tcb.total_lines, 250);
+  EXPECT_EQ(binary.value().tcb.linked_modules, std::vector<std::string>{kModuleSlbCore});
+}
+
+TEST(PalBuilderTest, ImageGeometry) {
+  Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(binary.ok());
+  const PalBinary& b = binary.value();
+  EXPECT_EQ(b.image.size(), kSlbRegionSize);
+  EXPECT_EQ(b.entry_point, kSlbCodeOffset);
+  EXPECT_EQ(b.measured_length, kSlbCodeOffset + 312 + 96);  // Core + app code.
+  // Header encodes length and entry little-endian.
+  EXPECT_EQ(static_cast<uint16_t>(b.image[0] | (b.image[1] << 8)), b.measured_length);
+  EXPECT_EQ(static_cast<uint16_t>(b.image[2] | (b.image[3] << 8)), b.entry_point);
+}
+
+TEST(PalBuilderTest, UnresolvedSymbolRejected) {
+  Result<PalBinary> binary = BuildPal(std::make_shared<PrintfPal>());
+  ASSERT_FALSE(binary.ok());
+  EXPECT_EQ(binary.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PalBuilderTest, MallocNeedsMemoryManagementModule) {
+  EXPECT_FALSE(BuildPal(std::make_shared<MallocPal>(false)).ok());
+  Result<PalBinary> with_mm = BuildPal(std::make_shared<MallocPal>(true));
+  ASSERT_TRUE(with_mm.ok());
+  // TCB grows by exactly the Memory Management module.
+  EXPECT_EQ(with_mm.value().tcb.total_lines, 94 + 657);
+}
+
+TEST(PalBuilderTest, OversizedPalRejected) {
+  Result<PalBinary> binary = BuildPal(std::make_shared<HugePal>());
+  ASSERT_FALSE(binary.ok());
+  EXPECT_EQ(binary.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PalBuilderTest, MeasurementIsDeterministic) {
+  Result<PalBinary> a = BuildPal(std::make_shared<HelloWorldPal>());
+  Result<PalBinary> b = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().skinit_measurement, b.value().skinit_measurement);
+  EXPECT_EQ(a.value().image, b.value().image);
+}
+
+TEST(PalBuilderTest, DifferentPalsDifferentMeasurements) {
+  Result<PalBinary> hello = BuildPal(std::make_shared<HelloWorldPal>());
+  Result<PalBinary> malloc_pal = BuildPal(std::make_shared<MallocPal>(true));
+  ASSERT_TRUE(hello.ok());
+  ASSERT_TRUE(malloc_pal.ok());
+  EXPECT_NE(hello.value().skinit_measurement, malloc_pal.value().skinit_measurement);
+}
+
+// Version bumps change identity - the recompiled-binary property.
+TEST(PalBuilderTest, CodeVersionChangesMeasurement) {
+  class V2Hello : public HelloWorldPal {
+   public:
+    std::string code_version() const override { return "2"; }
+  };
+  Result<PalBinary> v1 = BuildPal(std::make_shared<HelloWorldPal>());
+  Result<PalBinary> v2 = BuildPal(std::make_shared<V2Hello>());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_NE(v1.value().skinit_measurement, v2.value().skinit_measurement);
+}
+
+TEST(PalBuilderTest, OsProtectionChangesImageAndTcb) {
+  PalBuildOptions options;
+  options.os_protection = true;
+  Result<PalBinary> with = BuildPal(std::make_shared<HelloWorldPal>(), options);
+  Result<PalBinary> without = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NE(with.value().skinit_measurement, without.value().skinit_measurement);
+  EXPECT_EQ(with.value().tcb.total_lines, 94 + 5 + 6);  // + OS Protection (5 LOC).
+}
+
+TEST(PalBuilderTest, PatchingIsDeterministicPerBase) {
+  Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(binary.ok());
+  Bytes img1 = binary.value().image;
+  Bytes img2 = binary.value().image;
+  PatchSlbImage(&img1, kSlbFixedBase);
+  PatchSlbImage(&img2, kSlbFixedBase);
+  EXPECT_EQ(img1, img2);
+  EXPECT_NE(img1, binary.value().image);  // Patch actually wrote something.
+
+  Bytes img3 = binary.value().image;
+  PatchSlbImage(&img3, 0x200000);
+  EXPECT_NE(img1, img3);  // Different base, different descriptors.
+  EXPECT_NE(MeasureSlbPrefix(img1, binary.value().measured_length),
+            MeasureSlbPrefix(img3, binary.value().measured_length));
+}
+
+TEST(PalBuilderTest, SkinitMeasurementMatchesPatchedPrefix) {
+  Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(binary.ok());
+  Bytes patched = binary.value().image;
+  PatchSlbImage(&patched, kSlbFixedBase);
+  EXPECT_EQ(binary.value().skinit_measurement,
+            MeasureSlbPrefix(patched, binary.value().measured_length));
+}
+
+TEST(PalBuilderTest, MeasurementStubGeometry) {
+  PalBuildOptions options;
+  options.measurement_stub = true;
+  Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>(), options);
+  ASSERT_TRUE(binary.ok());
+  // SKINIT only streams the 4736-byte stub (§7.2).
+  EXPECT_EQ(binary.value().measured_length, kMeasurementStubSize);
+  EXPECT_FALSE(binary.value().stub_body_measurement.empty());
+  EXPECT_NE(binary.value().stub_body_measurement, binary.value().skinit_measurement);
+  // Identity under the stub covers the full image.
+  EXPECT_EQ(binary.value().identity(), binary.value().stub_body_measurement);
+}
+
+TEST(PalBuilderTest, StubSkinitMeasurementIndependentOfPal) {
+  // The stub prefix is the same bytes for every PAL; only the full-image
+  // hash differs. (That is what makes the optimization sound: SKINIT
+  // attests the stub, the stub attests the PAL.)
+  PalBuildOptions options;
+  options.measurement_stub = true;
+  Result<PalBinary> hello = BuildPal(std::make_shared<HelloWorldPal>(), options);
+  Result<PalBinary> malloc_pal = BuildPal(std::make_shared<MallocPal>(true), options);
+  ASSERT_TRUE(hello.ok());
+  ASSERT_TRUE(malloc_pal.ok());
+  EXPECT_EQ(hello.value().skinit_measurement, malloc_pal.value().skinit_measurement);
+  EXPECT_NE(hello.value().stub_body_measurement, malloc_pal.value().stub_body_measurement);
+}
+
+TEST(IoPageTest, RoundTripAndBounds) {
+  PhysicalMemory memory(64 * 1024);
+  ASSERT_TRUE(WriteIoPage(&memory, 0, BytesOf("hello")).ok());
+  EXPECT_EQ(ReadIoPage(memory, 0).value(), BytesOf("hello"));
+  ASSERT_TRUE(WriteIoPage(&memory, 0, Bytes()).ok());
+  EXPECT_EQ(ReadIoPage(memory, 0).value(), Bytes());
+  EXPECT_FALSE(WriteIoPage(&memory, 0, Bytes(kSlbIoPageSize, 1)).ok());
+  // Corrupt length field.
+  Bytes bad;
+  PutUint32(&bad, 100000);
+  ASSERT_TRUE(memory.Write(0, bad).ok());
+  EXPECT_FALSE(ReadIoPage(memory, 0).ok());
+}
+
+TEST(TerminationConstantTest, StableAndSized) {
+  EXPECT_EQ(FlickerTerminationConstant().size(), 20u);
+  EXPECT_EQ(FlickerTerminationConstant(), FlickerTerminationConstant());
+}
+
+}  // namespace
+}  // namespace flicker

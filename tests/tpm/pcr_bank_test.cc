@@ -1,0 +1,124 @@
+// PCR bank semantics: the §2.3 static/dynamic rules everything else builds
+// on.
+
+#include "src/tpm/pcr_bank.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+namespace {
+
+TEST(PcrBankTest, PowerCycleValues) {
+  PcrBank bank;
+  // Static PCRs boot to zero.
+  for (int i = 0; i < kFirstDynamicPcr; ++i) {
+    EXPECT_EQ(bank.Read(i).value(), Bytes(kPcrSize, 0x00)) << "PCR " << i;
+  }
+  // Dynamic PCRs boot to -1 so a verifier can distinguish reboot from
+  // dynamic reset.
+  for (int i = kFirstDynamicPcr; i < kNumPcrs; ++i) {
+    EXPECT_EQ(bank.Read(i).value(), Bytes(kPcrSize, 0xff)) << "PCR " << i;
+  }
+}
+
+TEST(PcrBankTest, DynamicResetZeroesOnlyDynamic) {
+  PcrBank bank;
+  Bytes m(kPcrSize, 0x11);
+  ASSERT_TRUE(bank.Extend(3, m).ok());
+  Bytes static_value = bank.Read(3).value();
+
+  bank.DynamicReset();
+  EXPECT_EQ(bank.Read(17).value(), Bytes(kPcrSize, 0x00));
+  EXPECT_EQ(bank.Read(23).value(), Bytes(kPcrSize, 0x00));
+  EXPECT_EQ(bank.Read(3).value(), static_value);  // Static untouched.
+}
+
+TEST(PcrBankTest, ExtendIsHashChain) {
+  PcrBank bank;
+  bank.DynamicReset();
+  Bytes m(kPcrSize, 0xaa);
+  ASSERT_TRUE(bank.Extend(17, m).ok());
+  Bytes expected = Sha1::Digest(Concat(Bytes(kPcrSize, 0x00), m));
+  EXPECT_EQ(bank.Read(17).value(), expected);
+
+  Bytes m2(kPcrSize, 0xbb);
+  ASSERT_TRUE(bank.Extend(17, m2).ok());
+  EXPECT_EQ(bank.Read(17).value(), Sha1::Digest(Concat(expected, m2)));
+}
+
+TEST(PcrBankTest, ExtendOrderMatters) {
+  PcrBank a;
+  PcrBank b;
+  a.DynamicReset();
+  b.DynamicReset();
+  Bytes m1(kPcrSize, 0x01);
+  Bytes m2(kPcrSize, 0x02);
+  ASSERT_TRUE(a.Extend(17, m1).ok());
+  ASSERT_TRUE(a.Extend(17, m2).ok());
+  ASSERT_TRUE(b.Extend(17, m2).ok());
+  ASSERT_TRUE(b.Extend(17, m1).ok());
+  EXPECT_NE(a.Read(17).value(), b.Read(17).value());
+}
+
+TEST(PcrBankTest, ExtendRejectsBadArguments) {
+  PcrBank bank;
+  EXPECT_FALSE(bank.Extend(-1, Bytes(kPcrSize, 0)).ok());
+  EXPECT_FALSE(bank.Extend(kNumPcrs, Bytes(kPcrSize, 0)).ok());
+  EXPECT_FALSE(bank.Extend(0, Bytes(19, 0)).ok());
+  EXPECT_FALSE(bank.Extend(0, Bytes(21, 0)).ok());
+  EXPECT_FALSE(bank.Read(24).ok());
+  EXPECT_FALSE(bank.Read(-1).ok());
+}
+
+TEST(PcrBankTest, CompositeDependsOnSelectionAndValues) {
+  PcrBank bank;
+  Bytes c17 = bank.ComputeComposite(PcrSelection({17})).value();
+  Bytes c18 = bank.ComputeComposite(PcrSelection({18})).value();
+  Bytes c17_18 = bank.ComputeComposite(PcrSelection({17, 18})).value();
+  EXPECT_NE(c17, c18);  // Same values, different selection -> different hash.
+  EXPECT_NE(c17, c17_18);
+
+  ASSERT_TRUE(bank.Extend(17, Bytes(kPcrSize, 0x42)).ok());
+  EXPECT_NE(bank.ComputeComposite(PcrSelection({17})).value(), c17);
+}
+
+TEST(PcrBankTest, CompositeEmptySelectionRejected) {
+  PcrBank bank;
+  EXPECT_FALSE(bank.ComputeComposite(PcrSelection()).ok());
+}
+
+TEST(PcrBankTest, ExpectedPcr17Formula) {
+  // V = H(0^20 || H(SLB)) - §4.3.1's "H(0x00^20 || H(P))".
+  Bytes slb_measurement = Sha1::Digest(BytesOf("some PAL"));
+  PcrBank bank;
+  bank.DynamicReset();
+  ASSERT_TRUE(bank.Extend(17, slb_measurement).ok());
+  EXPECT_EQ(bank.Read(17).value(), ExpectedPcr17AfterSkinit(slb_measurement));
+}
+
+TEST(PcrSelectionTest, MaskAndIndices) {
+  PcrSelection sel({17, 0, 23});
+  EXPECT_TRUE(sel.IsSelected(0));
+  EXPECT_TRUE(sel.IsSelected(17));
+  EXPECT_TRUE(sel.IsSelected(23));
+  EXPECT_FALSE(sel.IsSelected(1));
+  EXPECT_EQ(sel.Indices(), (std::vector<int>{0, 17, 23}));
+  EXPECT_FALSE(sel.Empty());
+  EXPECT_TRUE(PcrSelection().Empty());
+}
+
+TEST(PcrSelectionTest, SerializeIsStable) {
+  PcrSelection sel({17});
+  Bytes wire = sel.Serialize();
+  ASSERT_EQ(wire.size(), 5u);
+  EXPECT_EQ(wire[0], 0x00);
+  EXPECT_EQ(wire[1], 0x03);  // 3-byte bitmap.
+  EXPECT_EQ(wire[2], 0x00);  // PCRs 0-7.
+  EXPECT_EQ(wire[3], 0x00);  // PCRs 8-15.
+  EXPECT_EQ(wire[4], 0x02);  // PCRs 16-23: bit 1 = PCR 17.
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,415 @@
+// The TPM device model: sessions, seal/unseal PCR binding, quotes, NV
+// storage, monotonic counters, ownership, and command timing.
+
+#include "src/tpm/tpm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha1.h"
+#include "src/tpm/pcr_bank.h"
+#include "src/tpm/tpm_util.h"
+
+namespace flicker {
+namespace {
+
+class TpmTest : public ::testing::Test {
+ protected:
+  TpmTest() : tpm_(&clock_, BroadcomBcm0102Profile()) {}
+
+  Bytes OwnerAuth() { return Sha1::Digest(BytesOf("owner")); }
+
+  void TakeOwnership() { ASSERT_TRUE(tpm_.TakeOwnership(OwnerAuth()).ok()); }
+
+  SimClock clock_;
+  Tpm tpm_;
+};
+
+TEST_F(TpmTest, GetRandomReturnsRequestedLengthAndAdvancesClock) {
+  double before = clock_.NowMillis();
+  Bytes r = tpm_.GetRandom(128);
+  EXPECT_EQ(r.size(), 128u);
+  EXPECT_NEAR(clock_.NowMillis() - before, 1.3, 0.01);  // Broadcom GetRandom.
+  EXPECT_NE(tpm_.GetRandom(128), r);
+}
+
+TEST_F(TpmTest, PcrExtendChargesPaperLatency) {
+  double before = clock_.NowMillis();
+  ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 1)).ok());
+  EXPECT_NEAR(clock_.NowMillis() - before, 1.2, 0.01);  // Table 1 PCR Extend.
+}
+
+TEST_F(TpmTest, SealUnsealRoundTripCurrentPcrs) {
+  Bytes secret = BytesOf("the CA's private key");
+  Bytes auth = Sha1::Digest(BytesOf("blob auth"));
+  Result<SealedBlob> blob =
+      TpmSealData(&tpm_, secret, PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+  Result<Bytes> back = TpmUnsealData(&tpm_, blob.value(), auth);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), secret);
+}
+
+TEST_F(TpmTest, UnsealFailsAfterPcrChanges) {
+  Bytes auth = Sha1::Digest(BytesOf("blob auth"));
+  Result<SealedBlob> blob =
+      TpmSealData(&tpm_, BytesOf("secret"), PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+
+  // Extending PCR 17 revokes access - the termination-constant mechanism.
+  ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x77)).ok());
+  Result<Bytes> back = TpmUnsealData(&tpm_, blob.value(), auth);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIntegrityFailure);
+}
+
+TEST_F(TpmTest, SealToExplicitTargetPcrValue) {
+  // Seal for a *different* future PCR 17 value (the P -> P' pattern of
+  // §4.3.1): unseal must fail now and succeed once PCR 17 holds the target.
+  Bytes target = Sha1::Digest(BytesOf("the other PAL's V"));
+  Bytes auth = Sha1::Digest(BytesOf("auth"));
+  Result<SealedBlob> blob = TpmSealData(&tpm_, BytesOf("for P' only"), PcrSelection({17}),
+                                        {{17, target}}, auth);
+  ASSERT_TRUE(blob.ok());
+
+  EXPECT_FALSE(TpmUnsealData(&tpm_, blob.value(), auth).ok());
+
+  // Force PCR 17 to the target via hardware reset + extend chain:
+  // target = SHA1(0^20 || m) for m = the extend below.
+  tpm_.hardware()->SkinitReset(target);  // PCR17 = H(0 || target)... not equal.
+  // Construct properly instead: reset to zero then find no preimage - so
+  // emulate by sealing to the value PCR 17 *will* have after a known extend.
+  Bytes m = Sha1::Digest(BytesOf("slb"));
+  Bytes v = Sha1::Digest(Concat(Bytes(kPcrSize, 0x00), m));
+  Result<SealedBlob> blob2 =
+      TpmSealData(&tpm_, BytesOf("for P' only"), PcrSelection({17}), {{17, v}}, auth);
+  ASSERT_TRUE(blob2.ok());
+  tpm_.hardware()->SkinitReset(m);  // PCR17 = H(0^20 || m) = v.
+  Result<Bytes> back = TpmUnsealData(&tpm_, blob2.value(), auth);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), BytesOf("for P' only"));
+}
+
+TEST_F(TpmTest, UnsealRejectsWrongBlobAuth) {
+  Bytes auth = Sha1::Digest(BytesOf("right"));
+  Result<SealedBlob> blob = TpmSealData(&tpm_, BytesOf("s"), PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+  Result<Bytes> back = TpmUnsealData(&tpm_, blob.value(), Sha1::Digest(BytesOf("wrong")));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(TpmTest, UnsealRejectsTamperedBlob) {
+  Bytes auth = Sha1::Digest(BytesOf("auth"));
+  Result<SealedBlob> blob = TpmSealData(&tpm_, BytesOf("s"), PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+  SealedBlob tampered = blob.value();
+  tampered.ciphertext[tampered.ciphertext.size() / 2] ^= 1;
+  EXPECT_FALSE(TpmUnsealData(&tpm_, tampered, auth).ok());
+}
+
+TEST_F(TpmTest, UnsealRejectsTruncatedBlob) {
+  Bytes auth = Sha1::Digest(BytesOf("auth"));
+  Result<SealedBlob> blob = TpmSealData(&tpm_, BytesOf("s"), PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+  SealedBlob truncated = blob.value();
+  truncated.ciphertext.resize(truncated.ciphertext.size() / 2);
+  EXPECT_FALSE(TpmUnsealData(&tpm_, truncated, auth).ok());
+  EXPECT_FALSE(TpmUnsealData(&tpm_, SealedBlob{Bytes(3, 0)}, auth).ok());
+}
+
+TEST_F(TpmTest, SealedBlobsAreRandomized) {
+  Bytes auth = Sha1::Digest(BytesOf("auth"));
+  Result<SealedBlob> b1 = TpmSealData(&tpm_, BytesOf("same"), PcrSelection({17}), {}, auth);
+  Result<SealedBlob> b2 = TpmSealData(&tpm_, BytesOf("same"), PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_FALSE(b1.value() == b2.value());
+}
+
+TEST_F(TpmTest, SealLargePayloadUsesHybridEnvelope) {
+  Bytes auth = Sha1::Digest(BytesOf("auth"));
+  Bytes big(3000, 0x5c);  // Far beyond an RSA block.
+  Result<SealedBlob> blob = TpmSealData(&tpm_, big, PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+  Result<Bytes> back = TpmUnsealData(&tpm_, blob.value(), auth);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), big);
+}
+
+TEST_F(TpmTest, SealUnsealTimingMatchesBroadcom) {
+  Bytes auth = Sha1::Digest(BytesOf("auth"));
+  double t0 = clock_.NowMillis();
+  Result<SealedBlob> blob = TpmSealData(&tpm_, BytesOf("x"), PcrSelection({17}), {}, auth);
+  ASSERT_TRUE(blob.ok());
+  double seal_elapsed = clock_.NowMillis() - t0;
+  // Seal itself is 10.2 ms; the OIAP session start and GetRandom add a few.
+  EXPECT_GT(seal_elapsed, 10.0);
+  EXPECT_LT(seal_elapsed, 25.0);
+
+  double t1 = clock_.NowMillis();
+  ASSERT_TRUE(TpmUnsealData(&tpm_, blob.value(), auth).ok());
+  double unseal_elapsed = clock_.NowMillis() - t1;
+  EXPECT_GT(unseal_elapsed, 898.0);  // Table 4: 898.3 ms.
+  EXPECT_LT(unseal_elapsed, 915.0);
+}
+
+TEST_F(TpmTest, AuthFailureTerminatesSession) {
+  AuthSessionInfo session = tpm_.StartOiap();
+  CommandAuth bad;
+  bad.session_handle = session.handle;
+  bad.nonce_odd = Bytes(kPcrSize, 1);
+  bad.auth = Bytes(kPcrSize, 2);  // Garbage HMAC.
+  Result<SealedBlob> blob = tpm_.Seal(BytesOf("x"), PcrSelection({17}), {},
+                                      Sha1::Digest(BytesOf("a")), bad);
+  ASSERT_FALSE(blob.ok());
+  EXPECT_EQ(blob.status().code(), StatusCode::kPermissionDenied);
+
+  // The session is gone: reusing the handle also fails.
+  Result<SealedBlob> blob2 = tpm_.Seal(BytesOf("x"), PcrSelection({17}), {},
+                                       Sha1::Digest(BytesOf("a")), bad);
+  ASSERT_FALSE(blob2.ok());
+}
+
+TEST_F(TpmTest, OsapSessionSealWorks) {
+  Bytes nonce_odd_osap = Bytes(kPcrSize, 0x31);
+  AuthSessionInfo session = tpm_.StartOsap(AuthEntity::kSrk, nonce_odd_osap);
+  EXPECT_TRUE(session.osap);
+  EXPECT_FALSE(session.shared_secret.empty());
+
+  Bytes data = BytesOf("osap sealed");
+  Bytes param_digest =
+      Sha1::Digest(Concat(BytesOf("TPM_Seal"), data, PcrSelection({17}).Serialize()));
+  CommandAuth auth;
+  auth.session_handle = session.handle;
+  auth.nonce_odd = Bytes(kPcrSize, 0x32);
+  auth.auth = Tpm::ComputeCommandAuth(session.shared_secret, param_digest, session.nonce_even,
+                                      auth.nonce_odd);
+  Result<SealedBlob> blob =
+      tpm_.Seal(data, PcrSelection({17}), {}, Sha1::Digest(BytesOf("a")), auth);
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+}
+
+TEST_F(TpmTest, QuoteVerifiesAndCoversNonce) {
+  Bytes nonce = tpm_.GetRandom(20);
+  Result<TpmQuote> quote = tpm_.Quote(nonce, PcrSelection({17, 18}));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_EQ(quote.value().pcr_values.size(), 2u);
+  EXPECT_EQ(quote.value().nonce, nonce);
+
+  // Signature checks out against the AIK over QUOT || composite || nonce.
+  Bytes values;
+  for (const Bytes& v : quote.value().pcr_values) {
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  Bytes buffer = quote.value().selection.Serialize();
+  PutUint32(&buffer, static_cast<uint32_t>(values.size()));
+  buffer.insert(buffer.end(), values.begin(), values.end());
+  Bytes composite = Sha1::Digest(buffer);
+  Bytes info = BytesOf("QUOT");
+  info.insert(info.end(), composite.begin(), composite.end());
+  info.insert(info.end(), nonce.begin(), nonce.end());
+  EXPECT_TRUE(RsaVerifySha1(tpm_.aik_public(), info, quote.value().signature));
+}
+
+TEST_F(TpmTest, QuoteChargesPaperLatency) {
+  double before = clock_.NowMillis();
+  ASSERT_TRUE(tpm_.Quote(Bytes(20, 1), PcrSelection({17})).ok());
+  EXPECT_NEAR(clock_.NowMillis() - before, 972.7, 0.01);  // Table 1.
+}
+
+TEST_F(TpmTest, QuoteEmptySelectionRejected) {
+  EXPECT_FALSE(tpm_.Quote(Bytes(20, 1), PcrSelection()).ok());
+}
+
+TEST_F(TpmTest, NvRequiresOwnership) {
+  Status st = TpmDefineNvSpace(&tpm_, 1, 64, PcrSelection(), {}, PcrSelection(), {}, OwnerAuth());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TpmTest, NvDefineWriteRead) {
+  TakeOwnership();
+  ASSERT_TRUE(
+      TpmDefineNvSpace(&tpm_, 1, 64, PcrSelection(), {}, PcrSelection(), {}, OwnerAuth()).ok());
+  ASSERT_TRUE(tpm_.NvWrite(1, BytesOf("nv payload")).ok());
+  Result<Bytes> back = tpm_.NvRead(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), BytesOf("nv payload"));
+}
+
+TEST_F(TpmTest, NvDefineRejectsWrongOwnerAuth) {
+  TakeOwnership();
+  Status st = TpmDefineNvSpace(&tpm_, 1, 64, PcrSelection(), {}, PcrSelection(), {},
+                               Sha1::Digest(BytesOf("not the owner")));
+  EXPECT_EQ(st.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(TpmTest, NvPcrGatingEnforced) {
+  TakeOwnership();
+  // Gate reads on the current PCR 17 value.
+  ASSERT_TRUE(TpmDefineNvSpace(&tpm_, 2, 64, PcrSelection({17}), {}, PcrSelection(), {},
+                               OwnerAuth())
+                  .ok());
+  ASSERT_TRUE(tpm_.NvWrite(2, BytesOf("gated")).ok());
+  EXPECT_TRUE(tpm_.NvRead(2).ok());
+
+  // Change PCR 17: reads must now fail.
+  ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x01)).ok());
+  Result<Bytes> denied = tpm_.NvRead(2);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(TpmTest, NvWriteGatingEnforced) {
+  TakeOwnership();
+  ASSERT_TRUE(TpmDefineNvSpace(&tpm_, 3, 64, PcrSelection(), {}, PcrSelection({17}), {},
+                               OwnerAuth())
+                  .ok());
+  ASSERT_TRUE(tpm_.NvWrite(3, BytesOf("v1")).ok());
+  ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x01)).ok());
+  EXPECT_EQ(tpm_.NvWrite(3, BytesOf("v2")).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(tpm_.NvRead(3).value(), BytesOf("v1"));
+}
+
+TEST_F(TpmTest, NvBoundsAndDuplicates) {
+  TakeOwnership();
+  ASSERT_TRUE(
+      TpmDefineNvSpace(&tpm_, 4, 8, PcrSelection(), {}, PcrSelection(), {}, OwnerAuth()).ok());
+  EXPECT_EQ(tpm_.NvWrite(4, Bytes(9, 0)).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(TpmDefineNvSpace(&tpm_, 4, 8, PcrSelection(), {}, PcrSelection(), {}, OwnerAuth())
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tpm_.NvRead(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tpm_.NvWrite(99, Bytes()).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TpmTest, MonotonicCounterLifecycle) {
+  TakeOwnership();
+  Bytes counter_auth = Sha1::Digest(BytesOf("counter"));
+  Result<uint32_t> id = TpmCreateCounter(&tpm_, counter_auth, OwnerAuth());
+  ASSERT_TRUE(id.ok());
+
+  EXPECT_EQ(tpm_.ReadCounter(id.value()).value(), 0u);
+  EXPECT_EQ(tpm_.IncrementCounter(id.value(), counter_auth).value(), 1u);
+  EXPECT_EQ(tpm_.IncrementCounter(id.value(), counter_auth).value(), 2u);
+  EXPECT_EQ(tpm_.ReadCounter(id.value()).value(), 2u);
+}
+
+TEST_F(TpmTest, CounterRejectsWrongAuth) {
+  TakeOwnership();
+  Bytes counter_auth = Sha1::Digest(BytesOf("counter"));
+  Result<uint32_t> id = TpmCreateCounter(&tpm_, counter_auth, OwnerAuth());
+  ASSERT_TRUE(id.ok());
+  Result<uint64_t> r = tpm_.IncrementCounter(id.value(), Sha1::Digest(BytesOf("wrong")));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(tpm_.ReadCounter(id.value()).value(), 0u);  // Unchanged.
+}
+
+TEST_F(TpmTest, CounterUnknownIdRejected) {
+  EXPECT_EQ(tpm_.ReadCounter(1234).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TpmTest, TakeOwnershipRules) {
+  EXPECT_EQ(tpm_.TakeOwnership(Bytes(10, 0)).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(tpm_.TakeOwnership(OwnerAuth()).ok());
+  EXPECT_EQ(tpm_.TakeOwnership(OwnerAuth()).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TpmTest, HardwareSkinitResetSetsLocalityAndPcr17) {
+  Bytes measurement = Sha1::Digest(BytesOf("slb"));
+  tpm_.hardware()->SkinitReset(measurement);
+  EXPECT_EQ(tpm_.locality(), 2);
+  EXPECT_EQ(tpm_.PcrRead(17).value(), ExpectedPcr17AfterSkinit(measurement));
+  // Other dynamic PCRs are zero, not -1.
+  EXPECT_EQ(tpm_.PcrRead(18).value(), Bytes(kPcrSize, 0x00));
+}
+
+TEST_F(TpmTest, PowerCycleRestoresBootState) {
+  tpm_.hardware()->SkinitReset(Sha1::Digest(BytesOf("slb")));
+  tpm_.hardware()->PowerCycle();
+  EXPECT_EQ(tpm_.locality(), 0);
+  EXPECT_EQ(tpm_.PcrRead(17).value(), Bytes(kPcrSize, 0xff));
+}
+
+TEST_F(TpmTest, GetCapabilityReportsProfile) {
+  Tpm::Capabilities caps = tpm_.GetCapability();
+  EXPECT_EQ(caps.num_pcrs, 24);
+  EXPECT_EQ(caps.key_bits, 2048u);
+  EXPECT_EQ(caps.profile_name, "Broadcom BCM0102");
+}
+
+TEST_F(TpmTest, AikBlobLoadsIntoSlot) {
+  Bytes blob = tpm_.GetAikBlob();
+  EXPECT_GT(blob.size(), 100u);
+  Result<uint32_t> handle = tpm_.LoadKey2(blob);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(tpm_.loaded_key_count(), 1u);
+
+  Result<TpmQuote> quote = tpm_.QuoteWithKey(handle.value(), Bytes(20, 3), PcrSelection({17}));
+  ASSERT_TRUE(quote.ok());
+  // The signature verifies against the AIK public key.
+  Bytes buffer = quote.value().selection.Serialize();
+  Bytes values = quote.value().pcr_values[0];
+  PutUint32(&buffer, static_cast<uint32_t>(values.size()));
+  buffer.insert(buffer.end(), values.begin(), values.end());
+  Bytes info = BytesOf("QUOT");
+  Bytes composite = Sha1::Digest(buffer);
+  info.insert(info.end(), composite.begin(), composite.end());
+  info.insert(info.end(), quote.value().nonce.begin(), quote.value().nonce.end());
+  EXPECT_TRUE(RsaVerifySha1(tpm_.aik_public(), info, quote.value().signature));
+
+  ASSERT_TRUE(tpm_.FlushKey(handle.value()).ok());
+  EXPECT_EQ(tpm_.loaded_key_count(), 0u);
+  // A flushed handle no longer quotes.
+  EXPECT_FALSE(tpm_.QuoteWithKey(handle.value(), Bytes(20, 3), PcrSelection({17})).ok());
+}
+
+TEST_F(TpmTest, TamperedAikBlobRejected) {
+  Bytes blob = tpm_.GetAikBlob();
+  blob[blob.size() / 2] ^= 1;
+  Result<uint32_t> handle = tpm_.LoadKey2(blob);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kIntegrityFailure);
+  EXPECT_FALSE(tpm_.LoadKey2(Bytes(3, 0)).ok());
+  EXPECT_FALSE(tpm_.LoadKey2(Bytes()).ok());
+}
+
+TEST_F(TpmTest, FlushUnknownHandleFails) {
+  EXPECT_EQ(tpm_.FlushKey(0x9999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TpmTest, ExplicitLoadQuoteFlushCostsSameAsConvenienceQuote) {
+  double t0 = clock_.NowMillis();
+  ASSERT_TRUE(tpm_.Quote(Bytes(20, 1), PcrSelection({17})).ok());
+  double convenience = clock_.NowMillis() - t0;
+
+  double t1 = clock_.NowMillis();
+  Result<uint32_t> handle = tpm_.LoadKey2(tpm_.GetAikBlob());
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(tpm_.QuoteWithKey(handle.value(), Bytes(20, 1), PcrSelection({17})).ok());
+  ASSERT_TRUE(tpm_.FlushKey(handle.value()).ok());
+  double explicit_path = clock_.NowMillis() - t1;
+  EXPECT_NEAR(convenience, explicit_path, 0.01);
+  EXPECT_NEAR(convenience, 972.7, 0.01);  // Calibration preserved.
+}
+
+TEST(TpmProfileTest, InfineonIsFaster) {
+  SimClock clock;
+  Tpm tpm(&clock, InfineonProfile());
+  double t0 = clock.NowMillis();
+  ASSERT_TRUE(tpm.Quote(Bytes(20, 1), PcrSelection({17})).ok());
+  EXPECT_NEAR(clock.NowMillis() - t0, 331.0, 0.01);  // §7.2: Infineon quote.
+}
+
+TEST(TpmDeterminismTest, SameSeedSameKeys) {
+  SimClock c1;
+  SimClock c2;
+  Tpm a(&c1, BroadcomBcm0102Profile(), TpmConfig{.manufacture_seed = 99});
+  Tpm b(&c2, BroadcomBcm0102Profile(), TpmConfig{.manufacture_seed = 99});
+  EXPECT_EQ(a.aik_public().Serialize(), b.aik_public().Serialize());
+  Tpm c(&c2, BroadcomBcm0102Profile(), TpmConfig{.manufacture_seed = 100});
+  EXPECT_NE(c.aik_public().Serialize(), a.aik_public().Serialize());
+}
+
+}  // namespace
+}  // namespace flicker
