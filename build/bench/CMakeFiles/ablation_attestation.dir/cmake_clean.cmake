@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attestation.dir/ablation_attestation.cc.o"
+  "CMakeFiles/ablation_attestation.dir/ablation_attestation.cc.o.d"
+  "ablation_attestation"
+  "ablation_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

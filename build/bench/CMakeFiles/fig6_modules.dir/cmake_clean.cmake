@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_modules.dir/fig6_modules.cc.o"
+  "CMakeFiles/fig6_modules.dir/fig6_modules.cc.o.d"
+  "fig6_modules"
+  "fig6_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

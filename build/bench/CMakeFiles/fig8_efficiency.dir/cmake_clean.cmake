@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_efficiency.dir/fig8_efficiency.cc.o"
+  "CMakeFiles/fig8_efficiency.dir/fig8_efficiency.cc.o.d"
+  "fig8_efficiency"
+  "fig8_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

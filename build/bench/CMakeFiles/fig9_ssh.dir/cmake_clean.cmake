@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ssh.dir/fig9_ssh.cc.o"
+  "CMakeFiles/fig9_ssh.dir/fig9_ssh.cc.o.d"
+  "fig9_ssh"
+  "fig9_ssh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ssh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

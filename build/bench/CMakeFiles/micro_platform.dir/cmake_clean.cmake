@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_platform.dir/micro_platform.cc.o"
+  "CMakeFiles/micro_platform.dir/micro_platform.cc.o.d"
+  "micro_platform"
+  "micro_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

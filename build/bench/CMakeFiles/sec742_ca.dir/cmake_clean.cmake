@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec742_ca.dir/sec742_ca.cc.o"
+  "CMakeFiles/sec742_ca.dir/sec742_ca.cc.o.d"
+  "sec742_ca"
+  "sec742_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec742_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

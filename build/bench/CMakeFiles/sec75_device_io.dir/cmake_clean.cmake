@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec75_device_io.dir/sec75_device_io.cc.o"
+  "CMakeFiles/sec75_device_io.dir/sec75_device_io.cc.o.d"
+  "sec75_device_io"
+  "sec75_device_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec75_device_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

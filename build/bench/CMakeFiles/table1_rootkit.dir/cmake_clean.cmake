@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rootkit.dir/table1_rootkit.cc.o"
+  "CMakeFiles/table1_rootkit.dir/table1_rootkit.cc.o.d"
+  "table1_rootkit"
+  "table1_rootkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rootkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

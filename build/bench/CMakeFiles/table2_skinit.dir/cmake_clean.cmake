@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_skinit.dir/table2_skinit.cc.o"
+  "CMakeFiles/table2_skinit.dir/table2_skinit.cc.o.d"
+  "table2_skinit"
+  "table2_skinit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_skinit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_build_impact.dir/table3_build_impact.cc.o"
+  "CMakeFiles/table3_build_impact.dir/table3_build_impact.cc.o.d"
+  "table3_build_impact"
+  "table3_build_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_build_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_distributed.dir/table4_distributed.cc.o"
+  "CMakeFiles/table4_distributed.dir/table4_distributed.cc.o.d"
+  "table4_distributed"
+  "table4_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

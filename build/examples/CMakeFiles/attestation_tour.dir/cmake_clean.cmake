@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attestation_tour.dir/attestation_tour.cpp.o"
+  "CMakeFiles/attestation_tour.dir/attestation_tour.cpp.o.d"
+  "attestation_tour"
+  "attestation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attestation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificate_authority.dir/certificate_authority.cpp.o"
+  "CMakeFiles/certificate_authority.dir/certificate_authority.cpp.o.d"
+  "certificate_authority"
+  "certificate_authority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificate_authority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

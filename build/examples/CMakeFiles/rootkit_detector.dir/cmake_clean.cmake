@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootkit_detector.dir/rootkit_detector.cpp.o"
+  "CMakeFiles/rootkit_detector.dir/rootkit_detector.cpp.o.d"
+  "rootkit_detector"
+  "rootkit_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootkit_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

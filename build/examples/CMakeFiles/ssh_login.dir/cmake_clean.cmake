@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssh_login.dir/ssh_login.cpp.o"
+  "CMakeFiles/ssh_login.dir/ssh_login.cpp.o.d"
+  "ssh_login"
+  "ssh_login.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssh_login.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

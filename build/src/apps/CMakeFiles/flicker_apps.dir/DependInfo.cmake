@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ca.cc" "src/apps/CMakeFiles/flicker_apps.dir/ca.cc.o" "gcc" "src/apps/CMakeFiles/flicker_apps.dir/ca.cc.o.d"
+  "/root/repo/src/apps/distributed.cc" "src/apps/CMakeFiles/flicker_apps.dir/distributed.cc.o" "gcc" "src/apps/CMakeFiles/flicker_apps.dir/distributed.cc.o.d"
+  "/root/repo/src/apps/rootkit_detector.cc" "src/apps/CMakeFiles/flicker_apps.dir/rootkit_detector.cc.o" "gcc" "src/apps/CMakeFiles/flicker_apps.dir/rootkit_detector.cc.o.d"
+  "/root/repo/src/apps/ssh.cc" "src/apps/CMakeFiles/flicker_apps.dir/ssh.cc.o" "gcc" "src/apps/CMakeFiles/flicker_apps.dir/ssh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flicker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/flicker_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flicker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flicker_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/slb/CMakeFiles/flicker_slb.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flicker_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/flicker_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/flicker_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flicker_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

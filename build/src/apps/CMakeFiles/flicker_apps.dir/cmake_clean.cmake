@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_apps.dir/ca.cc.o"
+  "CMakeFiles/flicker_apps.dir/ca.cc.o.d"
+  "CMakeFiles/flicker_apps.dir/distributed.cc.o"
+  "CMakeFiles/flicker_apps.dir/distributed.cc.o.d"
+  "CMakeFiles/flicker_apps.dir/rootkit_detector.cc.o"
+  "CMakeFiles/flicker_apps.dir/rootkit_detector.cc.o.d"
+  "CMakeFiles/flicker_apps.dir/ssh.cc.o"
+  "CMakeFiles/flicker_apps.dir/ssh.cc.o.d"
+  "libflicker_apps.a"
+  "libflicker_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

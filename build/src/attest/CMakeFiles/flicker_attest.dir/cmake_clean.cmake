@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_attest.dir/event_log.cc.o"
+  "CMakeFiles/flicker_attest.dir/event_log.cc.o.d"
+  "CMakeFiles/flicker_attest.dir/ima.cc.o"
+  "CMakeFiles/flicker_attest.dir/ima.cc.o.d"
+  "CMakeFiles/flicker_attest.dir/oslo.cc.o"
+  "CMakeFiles/flicker_attest.dir/oslo.cc.o.d"
+  "CMakeFiles/flicker_attest.dir/privacy_ca.cc.o"
+  "CMakeFiles/flicker_attest.dir/privacy_ca.cc.o.d"
+  "CMakeFiles/flicker_attest.dir/verifier.cc.o"
+  "CMakeFiles/flicker_attest.dir/verifier.cc.o.d"
+  "libflicker_attest.a"
+  "libflicker_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_common.dir/bytes.cc.o"
+  "CMakeFiles/flicker_common.dir/bytes.cc.o.d"
+  "CMakeFiles/flicker_common.dir/status.cc.o"
+  "CMakeFiles/flicker_common.dir/status.cc.o.d"
+  "libflicker_common.a"
+  "libflicker_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flicker_platform.cc" "src/core/CMakeFiles/flicker_core.dir/flicker_platform.cc.o" "gcc" "src/core/CMakeFiles/flicker_core.dir/flicker_platform.cc.o.d"
+  "/root/repo/src/core/remote_attestation.cc" "src/core/CMakeFiles/flicker_core.dir/remote_attestation.cc.o" "gcc" "src/core/CMakeFiles/flicker_core.dir/remote_attestation.cc.o.d"
+  "/root/repo/src/core/sealed_state.cc" "src/core/CMakeFiles/flicker_core.dir/sealed_state.cc.o" "gcc" "src/core/CMakeFiles/flicker_core.dir/sealed_state.cc.o.d"
+  "/root/repo/src/core/secure_channel.cc" "src/core/CMakeFiles/flicker_core.dir/secure_channel.cc.o" "gcc" "src/core/CMakeFiles/flicker_core.dir/secure_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attest/CMakeFiles/flicker_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flicker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flicker_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/slb/CMakeFiles/flicker_slb.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flicker_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/flicker_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/flicker_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flicker_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

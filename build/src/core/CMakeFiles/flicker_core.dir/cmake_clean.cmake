@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_core.dir/flicker_platform.cc.o"
+  "CMakeFiles/flicker_core.dir/flicker_platform.cc.o.d"
+  "CMakeFiles/flicker_core.dir/remote_attestation.cc.o"
+  "CMakeFiles/flicker_core.dir/remote_attestation.cc.o.d"
+  "CMakeFiles/flicker_core.dir/sealed_state.cc.o"
+  "CMakeFiles/flicker_core.dir/sealed_state.cc.o.d"
+  "CMakeFiles/flicker_core.dir/secure_channel.cc.o"
+  "CMakeFiles/flicker_core.dir/secure_channel.cc.o.d"
+  "libflicker_core.a"
+  "libflicker_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/md5.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/md5.cc.o.d"
+  "/root/repo/src/crypto/md5crypt.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/md5crypt.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/md5crypt.cc.o.d"
+  "/root/repo/src/crypto/rc4.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/rc4.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/rc4.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/sha1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/sha512.cc" "src/crypto/CMakeFiles/flicker_crypto.dir/sha512.cc.o" "gcc" "src/crypto/CMakeFiles/flicker_crypto.dir/sha512.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flicker_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

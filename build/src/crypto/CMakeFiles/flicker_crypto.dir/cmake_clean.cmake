@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_crypto.dir/aes.cc.o"
+  "CMakeFiles/flicker_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/bigint.cc.o"
+  "CMakeFiles/flicker_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/drbg.cc.o"
+  "CMakeFiles/flicker_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/hmac.cc.o"
+  "CMakeFiles/flicker_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/md5.cc.o"
+  "CMakeFiles/flicker_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/md5crypt.cc.o"
+  "CMakeFiles/flicker_crypto.dir/md5crypt.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/rc4.cc.o"
+  "CMakeFiles/flicker_crypto.dir/rc4.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/rsa.cc.o"
+  "CMakeFiles/flicker_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/sha1.cc.o"
+  "CMakeFiles/flicker_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/sha256.cc.o"
+  "CMakeFiles/flicker_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/flicker_crypto.dir/sha512.cc.o"
+  "CMakeFiles/flicker_crypto.dir/sha512.cc.o.d"
+  "libflicker_crypto.a"
+  "libflicker_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_hw.dir/cpu.cc.o"
+  "CMakeFiles/flicker_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/flicker_hw.dir/machine.cc.o"
+  "CMakeFiles/flicker_hw.dir/machine.cc.o.d"
+  "CMakeFiles/flicker_hw.dir/memory.cc.o"
+  "CMakeFiles/flicker_hw.dir/memory.cc.o.d"
+  "libflicker_hw.a"
+  "libflicker_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_net.dir/channel.cc.o"
+  "CMakeFiles/flicker_net.dir/channel.cc.o.d"
+  "libflicker_net.a"
+  "libflicker_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

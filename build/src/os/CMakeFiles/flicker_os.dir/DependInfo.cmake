@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/devices.cc" "src/os/CMakeFiles/flicker_os.dir/devices.cc.o" "gcc" "src/os/CMakeFiles/flicker_os.dir/devices.cc.o.d"
+  "/root/repo/src/os/flicker_module.cc" "src/os/CMakeFiles/flicker_os.dir/flicker_module.cc.o" "gcc" "src/os/CMakeFiles/flicker_os.dir/flicker_module.cc.o.d"
+  "/root/repo/src/os/interactivity.cc" "src/os/CMakeFiles/flicker_os.dir/interactivity.cc.o" "gcc" "src/os/CMakeFiles/flicker_os.dir/interactivity.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/flicker_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/flicker_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/flicker_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/flicker_os.dir/scheduler.cc.o.d"
+  "/root/repo/src/os/tqd.cc" "src/os/CMakeFiles/flicker_os.dir/tqd.cc.o" "gcc" "src/os/CMakeFiles/flicker_os.dir/tqd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slb/CMakeFiles/flicker_slb.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flicker_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/flicker_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/flicker_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flicker_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

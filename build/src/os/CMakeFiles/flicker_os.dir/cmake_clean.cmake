@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_os.dir/devices.cc.o"
+  "CMakeFiles/flicker_os.dir/devices.cc.o.d"
+  "CMakeFiles/flicker_os.dir/flicker_module.cc.o"
+  "CMakeFiles/flicker_os.dir/flicker_module.cc.o.d"
+  "CMakeFiles/flicker_os.dir/interactivity.cc.o"
+  "CMakeFiles/flicker_os.dir/interactivity.cc.o.d"
+  "CMakeFiles/flicker_os.dir/kernel.cc.o"
+  "CMakeFiles/flicker_os.dir/kernel.cc.o.d"
+  "CMakeFiles/flicker_os.dir/scheduler.cc.o"
+  "CMakeFiles/flicker_os.dir/scheduler.cc.o.d"
+  "CMakeFiles/flicker_os.dir/tqd.cc.o"
+  "CMakeFiles/flicker_os.dir/tqd.cc.o.d"
+  "libflicker_os.a"
+  "libflicker_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slb/extractor.cc" "src/slb/CMakeFiles/flicker_slb.dir/extractor.cc.o" "gcc" "src/slb/CMakeFiles/flicker_slb.dir/extractor.cc.o.d"
+  "/root/repo/src/slb/module_registry.cc" "src/slb/CMakeFiles/flicker_slb.dir/module_registry.cc.o" "gcc" "src/slb/CMakeFiles/flicker_slb.dir/module_registry.cc.o.d"
+  "/root/repo/src/slb/pal.cc" "src/slb/CMakeFiles/flicker_slb.dir/pal.cc.o" "gcc" "src/slb/CMakeFiles/flicker_slb.dir/pal.cc.o.d"
+  "/root/repo/src/slb/pal_heap.cc" "src/slb/CMakeFiles/flicker_slb.dir/pal_heap.cc.o" "gcc" "src/slb/CMakeFiles/flicker_slb.dir/pal_heap.cc.o.d"
+  "/root/repo/src/slb/slb_core.cc" "src/slb/CMakeFiles/flicker_slb.dir/slb_core.cc.o" "gcc" "src/slb/CMakeFiles/flicker_slb.dir/slb_core.cc.o.d"
+  "/root/repo/src/slb/slb_layout.cc" "src/slb/CMakeFiles/flicker_slb.dir/slb_layout.cc.o" "gcc" "src/slb/CMakeFiles/flicker_slb.dir/slb_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/flicker_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/flicker_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/flicker_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flicker_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_slb.dir/extractor.cc.o"
+  "CMakeFiles/flicker_slb.dir/extractor.cc.o.d"
+  "CMakeFiles/flicker_slb.dir/module_registry.cc.o"
+  "CMakeFiles/flicker_slb.dir/module_registry.cc.o.d"
+  "CMakeFiles/flicker_slb.dir/pal.cc.o"
+  "CMakeFiles/flicker_slb.dir/pal.cc.o.d"
+  "CMakeFiles/flicker_slb.dir/pal_heap.cc.o"
+  "CMakeFiles/flicker_slb.dir/pal_heap.cc.o.d"
+  "CMakeFiles/flicker_slb.dir/slb_core.cc.o"
+  "CMakeFiles/flicker_slb.dir/slb_core.cc.o.d"
+  "CMakeFiles/flicker_slb.dir/slb_layout.cc.o"
+  "CMakeFiles/flicker_slb.dir/slb_layout.cc.o.d"
+  "libflicker_slb.a"
+  "libflicker_slb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_slb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flicker_tpm.dir/pcr_bank.cc.o"
+  "CMakeFiles/flicker_tpm.dir/pcr_bank.cc.o.d"
+  "CMakeFiles/flicker_tpm.dir/tpm.cc.o"
+  "CMakeFiles/flicker_tpm.dir/tpm.cc.o.d"
+  "CMakeFiles/flicker_tpm.dir/tpm_util.cc.o"
+  "CMakeFiles/flicker_tpm.dir/tpm_util.cc.o.d"
+  "libflicker_tpm.a"
+  "libflicker_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flicker_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

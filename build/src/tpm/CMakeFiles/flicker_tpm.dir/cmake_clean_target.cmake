@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflicker_tpm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_ca_test.dir/apps/ca_test.cc.o"
+  "CMakeFiles/apps_ca_test.dir/apps/ca_test.cc.o.d"
+  "apps_ca_test"
+  "apps_ca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_ca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_distributed_test.dir/apps/distributed_test.cc.o"
+  "CMakeFiles/apps_distributed_test.dir/apps/distributed_test.cc.o.d"
+  "apps_distributed_test"
+  "apps_distributed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

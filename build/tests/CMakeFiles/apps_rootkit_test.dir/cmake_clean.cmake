@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_rootkit_test.dir/apps/rootkit_test.cc.o"
+  "CMakeFiles/apps_rootkit_test.dir/apps/rootkit_test.cc.o.d"
+  "apps_rootkit_test"
+  "apps_rootkit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_rootkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_ssh_test.dir/apps/ssh_test.cc.o"
+  "CMakeFiles/apps_ssh_test.dir/apps/ssh_test.cc.o.d"
+  "apps_ssh_test"
+  "apps_ssh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_ssh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

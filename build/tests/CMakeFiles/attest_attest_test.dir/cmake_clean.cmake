@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_attest_test.dir/attest/attest_test.cc.o"
+  "CMakeFiles/attest_attest_test.dir/attest/attest_test.cc.o.d"
+  "attest_attest_test"
+  "attest_attest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_attest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

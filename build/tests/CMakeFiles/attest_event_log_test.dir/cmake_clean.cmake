@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_event_log_test.dir/attest/event_log_test.cc.o"
+  "CMakeFiles/attest_event_log_test.dir/attest/event_log_test.cc.o.d"
+  "attest_event_log_test"
+  "attest_event_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

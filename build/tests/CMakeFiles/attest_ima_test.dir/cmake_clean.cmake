@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_ima_test.dir/attest/ima_test.cc.o"
+  "CMakeFiles/attest_ima_test.dir/attest/ima_test.cc.o.d"
+  "attest_ima_test"
+  "attest_ima_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_ima_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_oslo_test.dir/attest/oslo_test.cc.o"
+  "CMakeFiles/attest_oslo_test.dir/attest/oslo_test.cc.o.d"
+  "attest_oslo_test"
+  "attest_oslo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_oslo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

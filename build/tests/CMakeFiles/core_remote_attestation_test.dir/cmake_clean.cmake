@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_remote_attestation_test.dir/core/remote_attestation_test.cc.o"
+  "CMakeFiles/core_remote_attestation_test.dir/core/remote_attestation_test.cc.o.d"
+  "core_remote_attestation_test"
+  "core_remote_attestation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_remote_attestation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

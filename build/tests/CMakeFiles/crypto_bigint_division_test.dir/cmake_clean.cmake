@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_bigint_division_test.dir/crypto/bigint_division_test.cc.o"
+  "CMakeFiles/crypto_bigint_division_test.dir/crypto/bigint_division_test.cc.o.d"
+  "crypto_bigint_division_test"
+  "crypto_bigint_division_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_bigint_division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

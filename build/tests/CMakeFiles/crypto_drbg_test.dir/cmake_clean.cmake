@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_drbg_test.dir/crypto/drbg_test.cc.o"
+  "CMakeFiles/crypto_drbg_test.dir/crypto/drbg_test.cc.o.d"
+  "crypto_drbg_test"
+  "crypto_drbg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_drbg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_hash_test.dir/crypto/hash_test.cc.o"
+  "CMakeFiles/crypto_hash_test.dir/crypto/hash_test.cc.o.d"
+  "crypto_hash_test"
+  "crypto_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

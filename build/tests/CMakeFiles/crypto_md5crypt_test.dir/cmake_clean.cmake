@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_md5crypt_test.dir/crypto/md5crypt_test.cc.o"
+  "CMakeFiles/crypto_md5crypt_test.dir/crypto/md5crypt_test.cc.o.d"
+  "crypto_md5crypt_test"
+  "crypto_md5crypt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_md5crypt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

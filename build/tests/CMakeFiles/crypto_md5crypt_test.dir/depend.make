@@ -1,0 +1,2 @@
+# Empty dependencies file for crypto_md5crypt_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_param_test.dir/crypto/crypto_param_test.cc.o"
+  "CMakeFiles/crypto_param_test.dir/crypto/crypto_param_test.cc.o.d"
+  "crypto_param_test"
+  "crypto_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_rc4_test.dir/crypto/rc4_test.cc.o"
+  "CMakeFiles/crypto_rc4_test.dir/crypto/rc4_test.cc.o.d"
+  "crypto_rc4_test"
+  "crypto_rc4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_rc4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_timing_param_test.dir/hw/timing_param_test.cc.o"
+  "CMakeFiles/hw_timing_param_test.dir/hw/timing_param_test.cc.o.d"
+  "hw_timing_param_test"
+  "hw_timing_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_timing_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_adversary_test.dir/integration/adversary_test.cc.o"
+  "CMakeFiles/integration_adversary_test.dir/integration/adversary_test.cc.o.d"
+  "integration_adversary_test"
+  "integration_adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_lifecycle_test.dir/integration/lifecycle_test.cc.o"
+  "CMakeFiles/integration_lifecycle_test.dir/integration/lifecycle_test.cc.o.d"
+  "integration_lifecycle_test"
+  "integration_lifecycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

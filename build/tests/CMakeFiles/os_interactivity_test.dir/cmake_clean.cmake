@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_interactivity_test.dir/os/interactivity_test.cc.o"
+  "CMakeFiles/os_interactivity_test.dir/os/interactivity_test.cc.o.d"
+  "os_interactivity_test"
+  "os_interactivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_interactivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

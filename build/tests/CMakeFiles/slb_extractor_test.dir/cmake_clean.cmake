@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_extractor_test.dir/slb/extractor_test.cc.o"
+  "CMakeFiles/slb_extractor_test.dir/slb/extractor_test.cc.o.d"
+  "slb_extractor_test"
+  "slb_extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

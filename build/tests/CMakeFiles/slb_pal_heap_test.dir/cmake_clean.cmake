@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_pal_heap_test.dir/slb/pal_heap_test.cc.o"
+  "CMakeFiles/slb_pal_heap_test.dir/slb/pal_heap_test.cc.o.d"
+  "slb_pal_heap_test"
+  "slb_pal_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_pal_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

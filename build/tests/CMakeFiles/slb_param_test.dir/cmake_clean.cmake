@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_param_test.dir/slb/slb_param_test.cc.o"
+  "CMakeFiles/slb_param_test.dir/slb/slb_param_test.cc.o.d"
+  "slb_param_test"
+  "slb_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slb_slb_core_test.dir/slb/slb_core_test.cc.o"
+  "CMakeFiles/slb_slb_core_test.dir/slb/slb_core_test.cc.o.d"
+  "slb_slb_core_test"
+  "slb_slb_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slb_slb_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_param_test.dir/tpm/tpm_param_test.cc.o"
+  "CMakeFiles/tpm_param_test.dir/tpm/tpm_param_test.cc.o.d"
+  "tpm_param_test"
+  "tpm_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_pcr_bank_test.dir/tpm/pcr_bank_test.cc.o"
+  "CMakeFiles/tpm_pcr_bank_test.dir/tpm/pcr_bank_test.cc.o.d"
+  "tpm_pcr_bank_test"
+  "tpm_pcr_bank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_pcr_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

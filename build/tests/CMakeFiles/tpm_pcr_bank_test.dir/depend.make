@@ -1,0 +1,2 @@
+# Empty dependencies file for tpm_pcr_bank_test.
+# This may be replaced when dependencies are built.

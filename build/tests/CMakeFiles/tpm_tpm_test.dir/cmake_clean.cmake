@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_tpm_test.dir/tpm/tpm_test.cc.o"
+  "CMakeFiles/tpm_tpm_test.dir/tpm/tpm_test.cc.o.d"
+  "tpm_tpm_test"
+  "tpm_tpm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_tpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
