@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "src/common/bytes.h"
 #include "src/crypto/aes.h"
 #include "src/crypto/bigint.h"
@@ -16,9 +21,19 @@
 #include "src/crypto/sha1.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha512.h"
+#include "src/hw/clock.h"
+#include "src/tpm/tpm.h"
 
 namespace flicker {
 namespace {
+
+const RsaPrivateKey& Rsa2048Key() {
+  static const RsaPrivateKey key = [] {
+    Drbg rng(20260805);
+    return RsaGenerateKey(2048, &rng);
+  }();
+  return key;
+}
 
 void BM_Sha1(benchmark::State& state) {
   Drbg rng(1);
@@ -103,6 +118,54 @@ void BM_BigIntModExp1024(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntModExp1024);
 
+void BM_ModExp2048_Montgomery(benchmark::State& state) {
+  Drbg rng(11);
+  BigInt base = BigInt::FromBytesBe(rng.Generate(256));
+  BigInt exp = BigInt::FromBytesBe(rng.Generate(256));
+  BigInt mod = BigInt::FromBytesBe(rng.Generate(256));
+  if (!mod.IsOdd()) {
+    mod = mod + BigInt(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModExp(base, exp, mod));
+  }
+}
+BENCHMARK(BM_ModExp2048_Montgomery)->Unit(benchmark::kMillisecond);
+
+void BM_ModExp2048_Reference(benchmark::State& state) {
+  Drbg rng(11);
+  BigInt base = BigInt::FromBytesBe(rng.Generate(256));
+  BigInt exp = BigInt::FromBytesBe(rng.Generate(256));
+  BigInt mod = BigInt::FromBytesBe(rng.Generate(256));
+  if (!mod.IsOdd()) {
+    mod = mod + BigInt(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModExpReference(base, exp, mod));
+  }
+}
+BENCHMARK(BM_ModExp2048_Reference)->Unit(benchmark::kMillisecond);
+
+void BM_RsaSignSha1_2048(benchmark::State& state) {
+  const RsaPrivateKey& key = Rsa2048Key();
+  Bytes msg = BytesOf("certificate payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaSignSha1(key, msg));
+  }
+}
+BENCHMARK(BM_RsaSignSha1_2048)->Unit(benchmark::kMillisecond);
+
+void BM_TpmQuoteEndToEnd(benchmark::State& state) {
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  Bytes nonce(20, 1);
+  PcrSelection selection({17});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpm.Quote(nonce, selection));
+  }
+}
+BENCHMARK(BM_TpmQuoteEndToEnd)->Unit(benchmark::kMillisecond);
+
 void BM_RsaKeygen1024(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
@@ -132,7 +195,118 @@ void BM_RsaSignSha1_1024(benchmark::State& state) {
 }
 BENCHMARK(BM_RsaSignSha1_1024);
 
+// --- machine-readable mode -------------------------------------------------
+//
+// `micro_crypto --bench_json=PATH` skips google-benchmark and writes a small
+// fixed-schema JSON report (ops/sec for the PR-relevant hot paths plus the
+// Montgomery-vs-reference speedup and a bit-exactness check) that CI and the
+// bench_json CMake target consume.
+
+// Runs `fn` until `min_seconds` of wall time or `max_iters` iterations have
+// elapsed (whichever comes first, but always at least one), returns ops/sec.
+template <typename Fn>
+double MeasureOpsPerSec(Fn&& fn, double min_seconds, int max_iters) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // Warm-up iteration, untimed.
+  int iters = 0;
+  Clock::time_point start = Clock::now();
+  double elapsed = 0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds && iters < max_iters);
+  return iters / elapsed;
+}
+
+int RunJsonBench(const std::string& path) {
+  // Open up front so a bad path fails before minutes of measurement.
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_crypto: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  Drbg rng(11);
+  BigInt base = BigInt::FromBytesBe(rng.Generate(256));
+  BigInt exp = BigInt::FromBytesBe(rng.Generate(256));
+  BigInt mod = BigInt::FromBytesBe(rng.Generate(256));
+  if (!mod.IsOdd()) {
+    mod = mod + BigInt(1);
+  }
+
+  // Bit-exactness proof on the benchmarked operands plus a short sweep.
+  bool bit_exact = BigInt::ModExp(base, exp, mod) == BigInt::ModExpReference(base, exp, mod);
+  Drbg sweep(0xd1ff);
+  for (int i = 0; i < 16 && bit_exact; ++i) {
+    BigInt b = BigInt::FromBytesBe(sweep.Generate(96));
+    BigInt e = BigInt::FromBytesBe(sweep.Generate(96));
+    BigInt m = BigInt::FromBytesBe(sweep.Generate(96));
+    if (!m.IsOdd()) {
+      m = m + BigInt(1);
+    }
+    bit_exact = BigInt::ModExp(b, e, m) == BigInt::ModExpReference(b, e, m);
+  }
+
+  double mont_ops = MeasureOpsPerSec(
+      [&] { benchmark::DoNotOptimize(BigInt::ModExp(base, exp, mod)); }, 1.0, 2000);
+  double ref_ops = MeasureOpsPerSec(
+      [&] { benchmark::DoNotOptimize(BigInt::ModExpReference(base, exp, mod)); }, 2.0, 200);
+
+  const RsaPrivateKey& key = Rsa2048Key();
+  Bytes msg = BytesOf("certificate payload");
+  double sign_ops =
+      MeasureOpsPerSec([&] { benchmark::DoNotOptimize(RsaSignSha1(key, msg)); }, 1.0, 2000);
+
+  Drbg sha_rng(1);
+  Bytes block = sha_rng.Generate(65536);
+  double sha_ops =
+      MeasureOpsPerSec([&] { benchmark::DoNotOptimize(Sha1::Digest(block)); }, 1.0, 20000);
+
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  Bytes nonce(20, 1);
+  PcrSelection selection({17});
+  double quote_ops =
+      MeasureOpsPerSec([&] { benchmark::DoNotOptimize(tpm.Quote(nonce, selection)); }, 1.0, 2000);
+
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"flicker-bench-crypto-v1\",\n"
+               "  \"unit\": \"ops_per_sec\",\n"
+               "  \"modexp2048_montgomery\": %.3f,\n"
+               "  \"modexp2048_reference\": %.3f,\n"
+               "  \"modexp2048_speedup\": %.2f,\n"
+               "  \"modexp2048_bit_exact\": %s,\n"
+               "  \"rsa2048_crt_sign\": %.3f,\n"
+               "  \"sha1_64kb\": %.3f,\n"
+               "  \"tpm_quote_end_to_end\": %.3f\n"
+               "}\n",
+               mont_ops, ref_ops, mont_ops / ref_ops, bit_exact ? "true" : "false", sign_ops,
+               sha_ops, quote_ops);
+  std::fclose(out);
+  std::printf("modexp2048: montgomery %.1f ops/s, reference %.1f ops/s (%.1fx, bit_exact=%s)\n",
+              mont_ops, ref_ops, mont_ops / ref_ops, bit_exact ? "true" : "false");
+  std::printf("rsa2048 CRT sign: %.1f ops/s; sha1 64KB: %.1f ops/s; quote: %.1f ops/s\n",
+              sign_ops, sha_ops, quote_ops);
+  std::printf("wrote %s\n", path.c_str());
+  return bit_exact ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace flicker
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--bench_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return flicker::RunJsonBench(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

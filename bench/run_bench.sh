@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Builds the benches in Release and refreshes the committed machine-readable
+# crypto report (BENCH_crypto.json at the repo root), then prints the usual
+# google-benchmark table for eyeballing.
+#
+# Usage: bench/run_bench.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target micro_crypto -j "$(nproc 2>/dev/null || echo 4)"
+
+"$build_dir/bench/micro_crypto" --bench_json="$repo_root/BENCH_crypto.json"
+"$build_dir/bench/micro_crypto" --benchmark_filter='ModExp2048|RsaSignSha1_2048|Sha1/65536|TpmQuoteEndToEnd'

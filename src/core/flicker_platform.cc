@@ -7,7 +7,9 @@ FlickerPlatform::FlickerPlatform(const FlickerPlatformConfig& config)
       kernel_(&machine_, config.kernel),
       scheduler_(&machine_),
       module_(&machine_, &kernel_, &scheduler_),
-      tqd_(&machine_) {}
+      tqd_(&machine_) {
+  machine_.set_measurement_engine(&measurement_cache_);
+}
 
 Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& binary,
                                                              const Bytes& inputs,

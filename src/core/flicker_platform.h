@@ -24,6 +24,7 @@
 #include "src/os/kernel.h"
 #include "src/os/scheduler.h"
 #include "src/os/tqd.h"
+#include "src/slb/measurement_cache.h"
 #include "src/slb/slb_core.h"
 #include "src/slb/slb_layout.h"
 
@@ -52,6 +53,7 @@ class FlickerPlatform {
   explicit FlickerPlatform(const FlickerPlatformConfig& config = FlickerPlatformConfig());
 
   Machine* machine() { return &machine_; }
+  SlbMeasurementCache* measurement_cache() { return &measurement_cache_; }
   OsKernel* kernel() { return &kernel_; }
   Scheduler* scheduler() { return &scheduler_; }
   FlickerModule* flicker_module() { return &module_; }
@@ -66,6 +68,7 @@ class FlickerPlatform {
 
  private:
   Machine machine_;
+  SlbMeasurementCache measurement_cache_;
   OsKernel kernel_;
   Scheduler scheduler_;
   FlickerModule module_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/montgomery.h"
+
 namespace flicker {
 
 namespace {
@@ -329,9 +331,9 @@ BigInt BigInt::operator%(const BigInt& other) const {
   return r;
 }
 
-BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
-  assert(!modulus.IsZero());
-  if (modulus == BigInt(1)) {
+BigInt BigInt::ModExpReference(const BigInt& base, const BigInt& exponent,
+                               const BigInt& modulus) {
+  if (modulus.IsZero() || modulus == BigInt(1)) {
     return BigInt();
   }
   BigInt result(1);
@@ -344,6 +346,31 @@ BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent, const BigInt& 
     }
   }
   return result;
+}
+
+Result<BigInt> BigInt::ModExpChecked(const BigInt& base, const BigInt& exponent,
+                                     const BigInt& modulus) {
+  if (modulus.IsZero()) {
+    return InvalidArgumentError("ModExp: modulus must be nonzero");
+  }
+  if (modulus == BigInt(1)) {
+    return BigInt();
+  }
+  if (modulus.IsOdd()) {
+    Result<MontgomeryContext> ctx = MontgomeryContext::Create(modulus);
+    if (ctx.ok()) {
+      return ctx.value().ModExp(base, exponent);
+    }
+  }
+  return ModExpReference(base, exponent, modulus);
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  Result<BigInt> result = ModExpChecked(base, exponent, modulus);
+  if (!result.ok()) {
+    return BigInt();
+  }
+  return result.take();
 }
 
 BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {

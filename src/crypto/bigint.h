@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/status.h"
 
 namespace flicker {
 
@@ -61,8 +62,22 @@ class BigInt {
   static void DivMod(const BigInt& dividend, const BigInt& divisor, BigInt* quotient,
                      BigInt* remainder);
 
-  // (base ^ exponent) mod modulus, square-and-multiply. modulus must be > 0.
+  // (base ^ exponent) mod modulus. Odd moduli > 1 run on the Montgomery
+  // engine (MontgomeryContext); even moduli fall back to the generic
+  // square-and-multiply path. A zero modulus yields zero (use ModExpChecked
+  // where callers can surface the error).
   static BigInt ModExp(const BigInt& base, const BigInt& exponent, const BigInt& modulus);
+
+  // Same, but reports a zero modulus as kInvalidArgument instead of
+  // asserting or folding it into a sentinel value.
+  static Result<BigInt> ModExpChecked(const BigInt& base, const BigInt& exponent,
+                                      const BigInt& modulus);
+
+  // The plain square-and-multiply implementation, one DivMod per exponent
+  // bit. Retained as the even-modulus path and as the oracle the
+  // differential tests compare the Montgomery engine against.
+  static BigInt ModExpReference(const BigInt& base, const BigInt& exponent,
+                                const BigInt& modulus);
 
   // Multiplicative inverse of a mod m; returns zero if gcd(a, m) != 1.
   static BigInt ModInverse(const BigInt& a, const BigInt& m);
@@ -70,6 +85,8 @@ class BigInt {
   static BigInt Gcd(const BigInt& a, const BigInt& b);
 
  private:
+  friend class MontgomeryContext;  // Operates on the raw limb vector.
+
   void Normalize();
 
   // Little-endian 64-bit limbs (128-bit intermediates); empty means zero.

@@ -1,0 +1,78 @@
+// Montgomery-form modular arithmetic over 64-bit limbs.
+//
+// This is the performance engine behind every RSA operation in the tree:
+// TPM Quote/Seal/Unseal signatures, the AIK handshake, PAL keypairs and
+// Miller-Rabin key generation all bottom out in 2048-bit modular
+// exponentiation. The context precomputes everything that depends only on
+// the modulus - n0' = -n^{-1} mod 2^64 and R^2 mod n with R = 2^(64k) - so
+// each multiplication is a single CIOS pass with no long division at all.
+//
+// Contexts require an odd modulus > 1 (Montgomery reduction needs
+// gcd(n, 2^64) = 1); BigInt::ModExp falls back to the generic
+// square-and-multiply path for even moduli.
+//
+// On x86-64 hosts with AVX512-IFMA the context additionally precomputes a
+// radix-2^52 representation and runs exponentiation through a vpmadd52
+// kernel (8 products per instruction); everything else falls back to the
+// scalar FIOS kernel, which is also the correctness oracle in tests.
+
+#ifndef FLICKER_SRC_CRYPTO_MONTGOMERY_H_
+#define FLICKER_SRC_CRYPTO_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/bigint.h"
+
+namespace flicker {
+
+class MontgomeryContext {
+ public:
+  // Builds a context for `modulus`. Fails with kInvalidArgument when the
+  // modulus is even or <= 1.
+  static Result<MontgomeryContext> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  // (base ^ exponent) mod modulus. Fixed 4-bit-window exponentiation over a
+  // precomputed odd-power table, entirely in Montgomery form: ~bits
+  // squarings plus one table multiply per nonzero window.
+  BigInt ModExp(const BigInt& base, const BigInt& exponent) const;
+
+  // (a * b) mod modulus without long division (two Montgomery products).
+  BigInt ModMul(const BigInt& a, const BigInt& b) const;
+
+ private:
+  using Limbs = std::vector<uint64_t>;
+
+  MontgomeryContext() = default;
+
+  // out = a * b * R^-1 mod n via CIOS; a, b, out hold exactly k limbs and
+  // must be < n. `scratch` provides k + 2 limbs of working space.
+  void MontMul(const Limbs& a, const Limbs& b, Limbs* out, Limbs* scratch) const;
+
+  // Value reduced mod n, widened to k limbs.
+  Limbs ToLimbs(const BigInt& value) const;
+  BigInt FromLimbs(const Limbs& limbs) const;
+
+  // Radix-2^52 exponentiation via AVX512-IFMA; only called when nd52_ != 0.
+  BigInt ModExpIfma(const BigInt& base, const BigInt& exponent) const;
+
+  BigInt modulus_;
+  Limbs n_;             // Modulus limbs (k of them, n_[k-1] != 0).
+  Limbs rr_;            // R^2 mod n, k limbs.
+  uint64_t n0inv_ = 0;  // -n^{-1} mod 2^64.
+
+  // AVX512-IFMA engine state (radix 2^52); nd52_ == 0 when the host lacks
+  // the ISA, the build is not x86-64, or the modulus is small enough that
+  // the scalar kernel wins.
+  size_t nd52_ = 0;        // 52-bit digit count of the modulus.
+  uint64_t n0inv52_ = 0;   // -n^{-1} mod 2^52.
+  Limbs n52_;              // Modulus digits, zero-padded to 8-lane multiple.
+  Limbs rr52_;             // (2^(52*nd52_))^2 mod n, same padding.
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CRYPTO_MONTGOMERY_H_

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/crypto/montgomery.h"
 #include "src/crypto/sha1.h"
 
 namespace flicker {
@@ -138,6 +139,11 @@ bool IsProbablePrime(const BigInt& candidate, Drbg* rng) {
     ++r;
   }
 
+  // One Montgomery context per candidate, shared by every round's
+  // exponentiation and squaring chain (candidate is odd > 2 here).
+  Result<MontgomeryContext> mont = MontgomeryContext::Create(candidate);
+  const MontgomeryContext& ctx = mont.value();
+
   // Rounds follow Handbook of Applied Cryptography Table 4.4: large random
   // candidates need very few rounds for a negligible error bound; small
   // inputs (where adversarial composites are plausible) get the full 40.
@@ -152,13 +158,13 @@ bool IsProbablePrime(const BigInt& candidate, Drbg* rng) {
       a = BigInt::FromBytesBe(raw) % n_minus_1;
     } while (a < BigInt(2));
 
-    BigInt x = BigInt::ModExp(a, d, candidate);
+    BigInt x = ctx.ModExp(a, d);
     if (x == BigInt(1) || x == n_minus_1) {
       continue;
     }
     bool composite = true;
     for (size_t i = 0; i + 1 < r; ++i) {
-      x = (x * x) % candidate;
+      x = ctx.ModMul(x, x);
       if (x == n_minus_1) {
         composite = false;
         break;
@@ -230,16 +236,24 @@ BigInt RsaPublicOp(const RsaPublicKey& key, const BigInt& m) {
 }
 
 BigInt RsaPrivateOp(const RsaPrivateKey& key, const BigInt& c) {
-  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv (m1 - m2) mod p.
-  BigInt m1 = BigInt::ModExp(c % key.p, key.dp, key.p);
-  BigInt m2 = BigInt::ModExp(c % key.q, key.dq, key.q);
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv (m1 - m2) mod p, with a
+  // Montgomery context per prime half.
+  Result<MontgomeryContext> mont_p = MontgomeryContext::Create(key.p);
+  Result<MontgomeryContext> mont_q = MontgomeryContext::Create(key.q);
+  if (!mont_p.ok() || !mont_q.ok()) {
+    // Degenerate key material (e.g. deserialized without CRT parameters):
+    // fall back to the non-CRT private exponentiation.
+    return BigInt::ModExp(c, key.d, key.pub.n);
+  }
+  BigInt m1 = mont_p.value().ModExp(c % key.p, key.dp);
+  BigInt m2 = mont_q.value().ModExp(c % key.q, key.dq);
   BigInt diff;
   if (m1 >= m2 % key.p) {
     diff = m1 - (m2 % key.p);
   } else {
     diff = (m1 + key.p) - (m2 % key.p);
   }
-  BigInt h = (key.qinv * diff) % key.p;
+  BigInt h = mont_p.value().ModMul(key.qinv, diff);
   return m2 + h * key.q;
 }
 

@@ -73,6 +73,12 @@ class Machine {
   Cpu* cpu(int index) { return &cpus_[index]; }
   Cpu* bsp() { return &cpus_[0]; }
 
+  // Optional measurement engine (the SLB measurement cache). When set, the
+  // SKINIT and SLB-core hash paths route through it; when null they hash
+  // directly. The engine must outlive the machine's use of it.
+  void set_measurement_engine(MeasurementEngine* engine) { measurement_engine_ = engine; }
+  MeasurementEngine* measurement_engine() { return measurement_engine_; }
+
   LateLaunchTech tech() const { return tech_; }
 
   // ---- The late-launch instruction ----
@@ -116,6 +122,8 @@ class Machine {
   std::vector<Cpu> cpus_;
   Apic apic_;
   Tpm tpm_;
+
+  MeasurementEngine* measurement_engine_ = nullptr;
 
   bool in_secure_session_ = false;
   uint64_t active_slb_base_ = 0;

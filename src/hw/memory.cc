@@ -17,6 +17,7 @@ Status PhysicalMemory::Write(uint64_t addr, const Bytes& bytes) {
     return InvalidArgumentError("physical write out of bounds");
   }
   std::copy(bytes.begin(), bytes.end(), data_.begin() + static_cast<long>(addr));
+  MarkWatches(addr, bytes.size());
   return Status::Ok();
 }
 
@@ -25,7 +26,29 @@ Status PhysicalMemory::Erase(uint64_t addr, size_t len) {
     return InvalidArgumentError("physical erase out of bounds");
   }
   std::memset(data_.data() + addr, 0, len);
+  MarkWatches(addr, len);
   return Status::Ok();
+}
+
+int PhysicalMemory::RegisterWatch(uint64_t base, size_t len) {
+  watches_.push_back(Watch{base, len, false});
+  return static_cast<int>(watches_.size()) - 1;
+}
+
+bool PhysicalMemory::IsWatchDirty(int id) const {
+  return watches_[static_cast<size_t>(id)].dirty;
+}
+
+void PhysicalMemory::ClearWatchDirty(int id) {
+  watches_[static_cast<size_t>(id)].dirty = false;
+}
+
+void PhysicalMemory::MarkWatches(uint64_t addr, size_t len) {
+  for (Watch& w : watches_) {
+    if (addr < w.base + w.len && w.base < addr + len) {
+      w.dirty = true;
+    }
+  }
 }
 
 void DeviceExclusionVector::Protect(uint64_t base, size_t len) {

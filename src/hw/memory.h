@@ -31,8 +31,47 @@ class PhysicalMemory {
     return addr <= data_.size() && len <= data_.size() - addr;
   }
 
+  // ---- Dirty watches ----
+  //
+  // A watch covers [base, base+len); every Write or Erase overlapping it
+  // sets its dirty flag. The SLB measurement cache keys its entries on
+  // these, so a cached digest can never outlive a memory mutation.
+  int RegisterWatch(uint64_t base, size_t len);
+  bool IsWatchDirty(int id) const;
+  void ClearWatchDirty(int id);
+
  private:
+  struct Watch {
+    uint64_t base;
+    size_t len;
+    bool dirty;
+  };
+
+  void MarkWatches(uint64_t addr, size_t len);
+
   std::vector<uint8_t> data_;
+  std::vector<Watch> watches_;
+};
+
+// How a measurement was produced, so callers can charge the right simulated
+// cost: a full hash, a memcmp against the cached snapshot, or nothing.
+enum class MeasureOutcome {
+  kHashed,
+  kVerifiedHit,
+  kCleanHit,
+};
+
+// Hook the chipset/SLB-core measurement paths call instead of hashing
+// directly. Implemented by the SLB measurement cache (src/slb); a null
+// engine means "hash every time".
+class MeasurementEngine {
+ public:
+  virtual ~MeasurementEngine() = default;
+
+  // SHA-1 of memory [base, base+len), possibly served from cache. `outcome`
+  // may be null.
+  virtual Result<Bytes> Measure(PhysicalMemory* memory, uint64_t base, size_t len,
+                                MeasureOutcome* outcome) = 0;
 };
 
 class DeviceExclusionVector {

@@ -122,6 +122,11 @@ struct TimingModel {
   double Sha1Millis(size_t bytes) const {
     return static_cast<double>(bytes) / (1024.0 * 1024.0) / cpu.sha1_mb_per_ms;
   }
+  // Cost of touching (comparing/copying) a memory range without hashing it;
+  // what a verified measurement-cache hit pays instead of Sha1Millis.
+  double MemTouchMillis(size_t bytes) const {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0) / cpu.memcpy_mb_per_ms;
+  }
 };
 
 inline TimingModel DefaultTimingModel() {

@@ -1,0 +1,56 @@
+#include "src/slb/measurement_cache.h"
+
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+
+Result<Bytes> SlbMeasurementCache::Measure(PhysicalMemory* memory, uint64_t base, size_t len,
+                                           MeasureOutcome* outcome) {
+  auto key = std::make_pair(base, len);
+  auto it = entries_.find(key);
+
+  if (it != entries_.end() && !memory->IsWatchDirty(it->second.watch_id)) {
+    ++clean_hit_count_;
+    if (outcome != nullptr) {
+      *outcome = MeasureOutcome::kCleanHit;
+    }
+    return it->second.digest;
+  }
+
+  Result<Bytes> region = memory->Read(base, len);
+  if (!region.ok()) {
+    return region.status();
+  }
+
+  if (it != entries_.end()) {
+    memory->ClearWatchDirty(it->second.watch_id);
+    if (region.value() == it->second.snapshot) {
+      ++verified_hit_count_;
+      if (outcome != nullptr) {
+        *outcome = MeasureOutcome::kVerifiedHit;
+      }
+      return it->second.digest;
+    }
+    it->second.digest = Sha1::Digest(region.value());
+    it->second.snapshot = region.take();
+    ++hash_count_;
+    if (outcome != nullptr) {
+      *outcome = MeasureOutcome::kHashed;
+    }
+    return it->second.digest;
+  }
+
+  Entry entry;
+  entry.watch_id = memory->RegisterWatch(base, len);
+  entry.digest = Sha1::Digest(region.value());
+  entry.snapshot = region.take();
+  ++hash_count_;
+  if (outcome != nullptr) {
+    *outcome = MeasureOutcome::kHashed;
+  }
+  Bytes digest = entry.digest;
+  entries_.emplace(key, std::move(entry));
+  return digest;
+}
+
+}  // namespace flicker

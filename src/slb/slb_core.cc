@@ -46,14 +46,37 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
 
   // Step 1: measurement-stub path. SKINIT only measured the stub; the stub
   // now hashes the whole 64 KB region on the (fast) main CPU and extends it.
+  // When the measurement cache serves the digest, the session is charged the
+  // (much cheaper) snapshot-compare cost instead of a full SHA-1 pass.
   if (binary.options.measurement_stub) {
     SimStopwatch stub_watch(machine->clock());
-    Result<Bytes> full_region = machine->memory()->Read(base, kSlbRegionSize);
-    if (!full_region.ok()) {
-      return full_region.status();
+    Bytes region_digest;
+    MeasureOutcome outcome = MeasureOutcome::kHashed;
+    if (machine->measurement_engine() != nullptr) {
+      Result<Bytes> cached =
+          machine->measurement_engine()->Measure(machine->memory(), base, kSlbRegionSize, &outcome);
+      if (!cached.ok()) {
+        return cached.status();
+      }
+      region_digest = cached.take();
+    } else {
+      Result<Bytes> full_region = machine->memory()->Read(base, kSlbRegionSize);
+      if (!full_region.ok()) {
+        return full_region.status();
+      }
+      region_digest = Sha1::Digest(full_region.value());
     }
-    machine->clock()->AdvanceMillis(machine->timing().Sha1Millis(kSlbRegionSize));
-    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, Sha1::Digest(full_region.value())));
+    switch (outcome) {
+      case MeasureOutcome::kHashed:
+        machine->clock()->AdvanceMillis(machine->timing().Sha1Millis(kSlbRegionSize));
+        break;
+      case MeasureOutcome::kVerifiedHit:
+        machine->clock()->AdvanceMillis(machine->timing().MemTouchMillis(kSlbRegionSize));
+        break;
+      case MeasureOutcome::kCleanHit:
+        break;
+    }
+    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, region_digest));
     record.stub_hash_ms = stub_watch.ElapsedMillis();
   }
 

@@ -1,0 +1,158 @@
+// The SLB measurement cache: repeated launches of an unchanged SLB must be
+// served from cache, and any mutation of the region - a staged-image change,
+// a direct memory write, an erase - must invalidate it so PCR 17 always
+// reflects the bytes actually in memory (no stale-measurement attestation).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/flicker_platform.h"
+#include "src/crypto/sha1.h"
+#include "src/hw/memory.h"
+#include "src/slb/measurement_cache.h"
+#include "src/slb/slb_layout.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace {
+
+class EchoPal : public Pal {
+ public:
+  std::string name() const override { return "echo"; }
+  std::vector<std::string> required_modules() const override { return {}; }
+  size_t app_code_bytes() const override { return 128; }
+  Status Execute(PalContext* context) override {
+    return context->SetOutputs(context->inputs());
+  }
+};
+
+Bytes Pattern(size_t len, uint8_t seed) {
+  Bytes out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return out;
+}
+
+TEST(MeasurementCacheTest, CleanHitSkipsRehash) {
+  PhysicalMemory memory(1 << 20);
+  SlbMeasurementCache cache;
+  Bytes content = Pattern(4096, 1);
+  ASSERT_TRUE(memory.Write(0x1000, content).ok());
+
+  MeasureOutcome outcome;
+  Result<Bytes> first = cache.Measure(&memory, 0x1000, 4096, &outcome);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(MeasureOutcome::kHashed, outcome);
+  EXPECT_EQ(Sha1::Digest(content), first.value());
+
+  Result<Bytes> second = cache.Measure(&memory, 0x1000, 4096, &outcome);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(MeasureOutcome::kCleanHit, outcome);
+  EXPECT_EQ(first.value(), second.value());
+  EXPECT_EQ(1u, cache.hash_count());
+  EXPECT_EQ(1u, cache.clean_hit_count());
+}
+
+TEST(MeasurementCacheTest, IdenticalRewriteVerifiesWithoutRehash) {
+  PhysicalMemory memory(1 << 20);
+  SlbMeasurementCache cache;
+  Bytes content = Pattern(4096, 9);
+  ASSERT_TRUE(memory.Write(0x1000, content).ok());
+  MeasureOutcome outcome;
+  ASSERT_TRUE(cache.Measure(&memory, 0x1000, 4096, &outcome).ok());
+
+  // The steady-state session cycle: erase, then restage identical bytes.
+  ASSERT_TRUE(memory.Erase(0x1000, 4096).ok());
+  ASSERT_TRUE(memory.Write(0x1000, content).ok());
+
+  Result<Bytes> digest = cache.Measure(&memory, 0x1000, 4096, &outcome);
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(MeasureOutcome::kVerifiedHit, outcome);
+  EXPECT_EQ(Sha1::Digest(content), digest.value());
+  EXPECT_EQ(1u, cache.hash_count());
+}
+
+TEST(MeasurementCacheTest, MutationForcesRehash) {
+  PhysicalMemory memory(1 << 20);
+  SlbMeasurementCache cache;
+  Bytes content = Pattern(4096, 17);
+  ASSERT_TRUE(memory.Write(0x1000, content).ok());
+  MeasureOutcome outcome;
+  Result<Bytes> original = cache.Measure(&memory, 0x1000, 4096, &outcome);
+  ASSERT_TRUE(original.ok());
+
+  content[123] ^= 0x01;
+  ASSERT_TRUE(memory.Write(0x1000, content).ok());
+
+  Result<Bytes> mutated = cache.Measure(&memory, 0x1000, 4096, &outcome);
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_EQ(MeasureOutcome::kHashed, outcome);
+  EXPECT_NE(original.value(), mutated.value());
+  EXPECT_EQ(Sha1::Digest(content), mutated.value());
+
+  // Erase invalidates too: the digest must track the zeroed region.
+  ASSERT_TRUE(memory.Erase(0x1000, 4096).ok());
+  Result<Bytes> erased = cache.Measure(&memory, 0x1000, 4096, &outcome);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(MeasureOutcome::kHashed, outcome);
+  EXPECT_EQ(Sha1::Digest(Bytes(4096, 0)), erased.value());
+}
+
+TEST(MeasurementCacheTest, SteadyStateSessionsHitTheCache) {
+  FlickerPlatform platform;
+  PalBuildOptions build;
+  build.measurement_stub = true;
+  Result<PalBinary> binary = BuildPal(std::make_shared<EchoPal>(), build);
+  ASSERT_TRUE(binary.ok());
+
+  Result<FlickerSessionResult> first = platform.ExecuteSession(binary.value(), BytesOf("a"));
+  ASSERT_TRUE(first.ok());
+  uint64_t hashes_after_first = platform.measurement_cache()->hash_count();
+
+  Result<FlickerSessionResult> second = platform.ExecuteSession(binary.value(), BytesOf("a"));
+  ASSERT_TRUE(second.ok());
+
+  // Same SLB, same inputs: identical dynamic PCR 17, and no additional full
+  // hash - the restaged region verified against the snapshot.
+  EXPECT_EQ(first.value().record.pcr17_during_execution,
+            second.value().record.pcr17_during_execution);
+  EXPECT_EQ(hashes_after_first, platform.measurement_cache()->hash_count());
+  EXPECT_GT(platform.measurement_cache()->verified_hit_count(), 0u);
+  // The verified hit is charged memory-touch cost, not a SHA-1 pass.
+  EXPECT_LT(second.value().record.stub_hash_ms, first.value().record.stub_hash_ms);
+}
+
+TEST(MeasurementCacheTest, OneByteMutationChangesDynamicPcr17) {
+  PalBuildOptions build;
+  build.measurement_stub = true;
+
+  FlickerPlatform platform;
+  Result<PalBinary> binary = BuildPal(std::make_shared<EchoPal>(), build);
+  ASSERT_TRUE(binary.ok());
+  Result<FlickerSessionResult> warm = platform.ExecuteSession(binary.value(), BytesOf("a"));
+  ASSERT_TRUE(warm.ok());
+
+  // Mutate one byte beyond the measured stub prefix but inside the 64 KB
+  // region: SKINIT's stub measurement is unchanged, so only the stub's
+  // full-region hash can expose the difference.
+  PalBinary mutated = binary.value();
+  mutated.image[kMeasurementStubSize + 64] ^= 0x01;
+  Result<FlickerSessionResult> tampered = platform.ExecuteSession(mutated, BytesOf("a"));
+  ASSERT_TRUE(tampered.ok());
+  EXPECT_EQ(warm.value().launch.measurement, tampered.value().launch.measurement);
+  EXPECT_NE(warm.value().record.pcr17_during_execution,
+            tampered.value().record.pcr17_during_execution);
+
+  // No stale measurement: a cold platform (empty cache) running the mutated
+  // binary lands on exactly the same PCR 17 value.
+  FlickerPlatform cold;
+  Result<FlickerSessionResult> cold_run = cold.ExecuteSession(mutated, BytesOf("a"));
+  ASSERT_TRUE(cold_run.ok());
+  EXPECT_EQ(cold_run.value().record.pcr17_during_execution,
+            tampered.value().record.pcr17_during_execution);
+}
+
+}  // namespace
+}  // namespace flicker
