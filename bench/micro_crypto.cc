@@ -22,7 +22,7 @@
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha512.h"
 #include "src/hw/clock.h"
-#include "src/tpm/tpm.h"
+#include "src/tpm/transport.h"
 
 namespace flicker {
 namespace {
@@ -158,10 +158,12 @@ BENCHMARK(BM_RsaSignSha1_2048)->Unit(benchmark::kMillisecond);
 void BM_TpmQuoteEndToEnd(benchmark::State& state) {
   SimClock clock;
   Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
   Bytes nonce(20, 1);
   PcrSelection selection({17});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tpm.Quote(nonce, selection));
+    benchmark::DoNotOptimize(client.Quote(nonce, selection));
   }
 }
 BENCHMARK(BM_TpmQuoteEndToEnd)->Unit(benchmark::kMillisecond);
@@ -264,10 +266,12 @@ int RunJsonBench(const std::string& path) {
 
   SimClock clock;
   Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
   Bytes nonce(20, 1);
   PcrSelection selection({17});
   double quote_ops =
-      MeasureOpsPerSec([&] { benchmark::DoNotOptimize(tpm.Quote(nonce, selection)); }, 1.0, 2000);
+      MeasureOpsPerSec([&] { benchmark::DoNotOptimize(client.Quote(nonce, selection)); }, 1.0, 2000);
 
   std::fprintf(out,
                "{\n"

@@ -9,6 +9,7 @@
 #include "src/apps/hello.h"
 #include "src/core/flicker_platform.h"
 #include "src/crypto/sha1.h"
+#include "src/tpm/transport.h"
 #include "src/tpm/tpm_util.h"
 
 namespace flicker {
@@ -33,11 +34,13 @@ BENCHMARK(BM_FullFlickerSession)->Unit(benchmark::kMicrosecond);
 void BM_TpmSealUnseal(benchmark::State& state) {
   SimClock clock;
   Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
   Bytes auth = Sha1::Digest(BytesOf("bench"));
   Bytes data(64, 0x42);
   for (auto _ : state) {
-    Result<SealedBlob> blob = TpmSealData(&tpm, data, PcrSelection({17}), {}, auth);
-    benchmark::DoNotOptimize(TpmUnsealData(&tpm, blob.value(), auth));
+    Result<SealedBlob> blob = TpmSealData(&client, data, PcrSelection({17}), {}, auth);
+    benchmark::DoNotOptimize(TpmUnsealData(&client, blob.value(), auth));
   }
 }
 BENCHMARK(BM_TpmSealUnseal)->Unit(benchmark::kMicrosecond);
@@ -45,9 +48,11 @@ BENCHMARK(BM_TpmSealUnseal)->Unit(benchmark::kMicrosecond);
 void BM_TpmQuote(benchmark::State& state) {
   SimClock clock;
   Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
   Bytes nonce(20, 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tpm.Quote(nonce, PcrSelection({17})));
+    benchmark::DoNotOptimize(client.Quote(nonce, PcrSelection({17})));
   }
 }
 BENCHMARK(BM_TpmQuote)->Unit(benchmark::kMicrosecond);

@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
 # Builds the benches in Release and refreshes the committed machine-readable
-# crypto report (BENCH_crypto.json at the repo root), then prints the usual
-# google-benchmark table for eyeballing.
+# reports (BENCH_crypto.json and BENCH_tpm.json at the repo root), then
+# prints the usual google-benchmark tables for eyeballing.
+#
+# BENCH_tpm.json doubles as an assertion: micro_tpm_transport exits non-zero
+# if the wire transport's real per-command cost exceeds 1% of the modeled
+# Broadcom command latency.
 #
 # Usage: bench/run_bench.sh [build-dir]
 set -eu
@@ -10,7 +14,10 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target micro_crypto -j "$(nproc 2>/dev/null || echo 4)"
+cmake --build "$build_dir" --target micro_crypto micro_tpm_transport \
+  -j "$(nproc 2>/dev/null || echo 4)"
 
 "$build_dir/bench/micro_crypto" --bench_json="$repo_root/BENCH_crypto.json"
+"$build_dir/bench/micro_tpm_transport" --bench_json="$repo_root/BENCH_tpm.json"
 "$build_dir/bench/micro_crypto" --benchmark_filter='ModExp2048|RsaSignSha1_2048|Sha1/65536|TpmQuoteEndToEnd'
+"$build_dir/bench/micro_tpm_transport" --benchmark_filter='Transport'

@@ -17,6 +17,7 @@ namespace flicker {
 class Writer {
  public:
   void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v) { PutUint16(&out_, v); }
   void U32(uint32_t v) { PutUint32(&out_, v); }
   void U64(uint64_t v) { PutUint64(&out_, v); }
   void Blob(const Bytes& data) {
@@ -40,6 +41,14 @@ class Reader {
       return 0;
     }
     return data_[pos_++];
+  }
+  uint16_t U16() {
+    if (!Need(2)) {
+      return 0;
+    }
+    uint16_t v = GetUint16(data_, pos_);
+    pos_ += 2;
+    return v;
   }
   uint32_t U32() {
     if (!Need(4)) {

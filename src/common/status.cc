@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "replay detected";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal";
   }
@@ -58,6 +60,9 @@ Status ReplayDetectedError(std::string message) {
 }
 Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

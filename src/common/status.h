@@ -26,6 +26,7 @@ enum class StatusCode {
   kIntegrityFailure,   // MAC/signature/PCR-binding check failed
   kReplayDetected,     // stale sealed blob or stale nonce
   kResourceExhausted,  // out of SLB space, NV space, counter overflow
+  kUnavailable,        // transient transport failure; retry may succeed
   kInternal,           // simulator invariant broke (bug)
 };
 
@@ -102,6 +103,7 @@ Status NotFoundError(std::string message);
 Status IntegrityFailureError(std::string message);
 Status ReplayDetectedError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 
 #define FLICKER_RETURN_IF_ERROR(expr)       \

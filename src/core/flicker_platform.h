@@ -58,7 +58,7 @@ class FlickerPlatform {
   Scheduler* scheduler() { return &scheduler_; }
   FlickerModule* flicker_module() { return &module_; }
   TpmQuoteDaemon* tqd() { return &tqd_; }
-  Tpm* tpm() { return machine_.tpm(); }
+  TpmClient* tpm() { return machine_.tpm(); }
   SimClock* clock() { return machine_.clock(); }
 
   // Runs one full Flicker session for `binary` with `inputs`. `options`

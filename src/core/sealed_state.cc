@@ -4,7 +4,7 @@
 
 namespace flicker {
 
-Result<SealedBlob> SealForPal(Tpm* tpm, const Bytes& data, const Bytes& release_pcr17,
+Result<SealedBlob> SealForPal(TpmClient* tpm, const Bytes& data, const Bytes& release_pcr17,
                               const Bytes& blob_auth) {
   if (release_pcr17.size() != kPcrSize) {
     return InvalidArgumentError("release PCR 17 value must be 20 bytes");
@@ -14,11 +14,11 @@ Result<SealedBlob> SealForPal(Tpm* tpm, const Bytes& data, const Bytes& release_
   return TpmSealData(tpm, data, selection, release, blob_auth);
 }
 
-Result<Bytes> UnsealInPal(Tpm* tpm, const SealedBlob& blob, const Bytes& blob_auth) {
+Result<Bytes> UnsealInPal(TpmClient* tpm, const SealedBlob& blob, const Bytes& blob_auth) {
   return TpmUnsealData(tpm, blob, blob_auth);
 }
 
-Result<ReplayProtectedStorage> ReplayProtectedStorage::Create(Tpm* tpm, const Bytes& counter_auth,
+Result<ReplayProtectedStorage> ReplayProtectedStorage::Create(TpmClient* tpm, const Bytes& counter_auth,
                                                               const Bytes& owner_secret) {
   Result<uint32_t> id = TpmCreateCounter(tpm, counter_auth, owner_secret);
   if (!id.ok()) {
@@ -27,7 +27,7 @@ Result<ReplayProtectedStorage> ReplayProtectedStorage::Create(Tpm* tpm, const By
   return ReplayProtectedStorage(tpm, id.value(), counter_auth);
 }
 
-ReplayProtectedStorage::ReplayProtectedStorage(Tpm* tpm, uint32_t counter_id, Bytes counter_auth)
+ReplayProtectedStorage::ReplayProtectedStorage(TpmClient* tpm, uint32_t counter_id, Bytes counter_auth)
     : tpm_(tpm), counter_id_(counter_id), counter_auth_(std::move(counter_auth)) {}
 
 Result<SealedBlob> ReplayProtectedStorage::Seal(const Bytes& data, const Bytes& release_pcr17,
@@ -61,7 +61,7 @@ Result<Bytes> ReplayProtectedStorage::Unseal(const SealedBlob& blob, const Bytes
   return Bytes(payload.value().begin() + 8, payload.value().end());
 }
 
-Result<NvReplayProtectedStorage> NvReplayProtectedStorage::Provision(Tpm* tpm, uint32_t nv_index,
+Result<NvReplayProtectedStorage> NvReplayProtectedStorage::Provision(TpmClient* tpm, uint32_t nv_index,
                                                                      const Bytes& pal_pcr17,
                                                                      const Bytes& owner_secret) {
   PcrSelection gate({kSkinitPcr});
@@ -71,7 +71,7 @@ Result<NvReplayProtectedStorage> NvReplayProtectedStorage::Provision(Tpm* tpm, u
   return NvReplayProtectedStorage(tpm, nv_index);
 }
 
-NvReplayProtectedStorage::NvReplayProtectedStorage(Tpm* tpm, uint32_t nv_index)
+NvReplayProtectedStorage::NvReplayProtectedStorage(TpmClient* tpm, uint32_t nv_index)
     : tpm_(tpm), nv_index_(nv_index) {}
 
 Result<uint64_t> NvReplayProtectedStorage::ReadCounter() {

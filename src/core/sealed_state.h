@@ -15,7 +15,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
-#include "src/tpm/tpm.h"
+#include "src/tpm/transport.h"
 #include "src/tpm/tpm_util.h"
 
 namespace flicker {
@@ -23,21 +23,21 @@ namespace flicker {
 // Seals `data` so only a PAL whose in-execution PCR 17 equals
 // `release_pcr17` can unseal it - the §4.3.1 pattern ("PCR 17 must have the
 // value V <- H(0x00^20 || H(P')) before the data can be unsealed").
-Result<SealedBlob> SealForPal(Tpm* tpm, const Bytes& data, const Bytes& release_pcr17,
+Result<SealedBlob> SealForPal(TpmClient* tpm, const Bytes& data, const Bytes& release_pcr17,
                               const Bytes& blob_auth);
 
 // Unseals inside the target PAL's session (PCR 17 currently holds the bound
 // value).
-Result<Bytes> UnsealInPal(Tpm* tpm, const SealedBlob& blob, const Bytes& blob_auth);
+Result<Bytes> UnsealInPal(TpmClient* tpm, const SealedBlob& blob, const Bytes& blob_auth);
 
 class ReplayProtectedStorage {
  public:
   // Creates the backing monotonic counter (owner-authorized).
-  static Result<ReplayProtectedStorage> Create(Tpm* tpm, const Bytes& counter_auth,
+  static Result<ReplayProtectedStorage> Create(TpmClient* tpm, const Bytes& counter_auth,
                                                const Bytes& owner_secret);
 
   // Rebinds to an existing counter (e.g., in a later session).
-  ReplayProtectedStorage(Tpm* tpm, uint32_t counter_id, Bytes counter_auth);
+  ReplayProtectedStorage(TpmClient* tpm, uint32_t counter_id, Bytes counter_auth);
 
   // Fig. 4 Seal: IncrementCounter(); c <- TPM_Seal(data || j, PCR list).
   Result<SealedBlob> Seal(const Bytes& data, const Bytes& release_pcr17, const Bytes& blob_auth);
@@ -49,7 +49,7 @@ class ReplayProtectedStorage {
   uint32_t counter_id() const { return counter_id_; }
 
  private:
-  Tpm* tpm_;
+  TpmClient* tpm_;
   uint32_t counter_id_;
   Bytes counter_auth_;
 };
@@ -65,12 +65,12 @@ class NvReplayProtectedStorage {
  public:
   // Defines the NV space (owner-authorized; done once at provisioning) and
   // binds access to `pal_pcr17` - the PAL's in-execution PCR 17 value.
-  static Result<NvReplayProtectedStorage> Provision(Tpm* tpm, uint32_t nv_index,
+  static Result<NvReplayProtectedStorage> Provision(TpmClient* tpm, uint32_t nv_index,
                                                     const Bytes& pal_pcr17,
                                                     const Bytes& owner_secret);
 
   // Rebinds to an existing space (e.g. in a later session).
-  NvReplayProtectedStorage(Tpm* tpm, uint32_t nv_index);
+  NvReplayProtectedStorage(TpmClient* tpm, uint32_t nv_index);
 
   // Seal: counter <- NV+1 (PAL-gated write), seal data || counter. Must be
   // called inside the owning PAL's session.
@@ -84,7 +84,7 @@ class NvReplayProtectedStorage {
  private:
   Result<uint64_t> ReadCounter();
 
-  Tpm* tpm_;
+  TpmClient* tpm_;
   uint32_t nv_index_;
 };
 

@@ -15,7 +15,9 @@ Machine::Machine(const MachineConfig& config)
       memory_(config.memory_bytes),
       cpus_(static_cast<size_t>(config.num_cpus)),
       apic_(&cpus_),
-      tpm_(&clock_, config.timing.tpm, config.tpm) {
+      tpm_(&clock_, config.timing.tpm, config.tpm),
+      tpm_transport_(&tpm_),
+      tpm_client_(&tpm_transport_) {
   for (int i = 0; i < config.num_cpus; ++i) {
     cpus_[static_cast<size_t>(i)].id = i;
     cpus_[static_cast<size_t>(i)].is_bsp = (i == 0);
@@ -92,10 +94,10 @@ Result<SkinitLaunch> Machine::Skinit(int cpu_index, uint64_t slb_base) {
   if (tech_ == LateLaunchTech::kIntelTxt) {
     // SENTER: the SINIT ACM is authenticated and measured first, then the
     // launched environment - PCR 17 gains the extra well-known link.
-    tpm_.hardware()->SkinitReset(SinitAcmMeasurement());
-    tpm_.hardware()->ExtendIdentityPcr(measurement);
+    tpm_transport_.hardware()->SkinitReset(SinitAcmMeasurement());
+    tpm_transport_.hardware()->ExtendIdentityPcr(measurement);
   } else {
-    tpm_.hardware()->SkinitReset(measurement);
+    tpm_transport_.hardware()->SkinitReset(measurement);
   }
   clock_.AdvanceMillis(timing_.SkinitMillis(length));
 
@@ -130,7 +132,8 @@ Status Machine::ExitSecureMode(int cpu_index, uint64_t restored_cr3) {
   cpu.interrupts_enabled = true;
   cpu.debug_access_enabled = true;
   dev_.Unprotect(active_slb_base_, kSlbRegionSize);
-  tpm_.hardware()->SetLocality(0);
+  Status locality_dropped = tpm_transport_.hardware()->SetLocality(0);
+  (void)locality_dropped;  // Hardware transitions to locality 0 always succeed.
   in_secure_session_ = false;
   active_slb_base_ = 0;
   return Status::Ok();
@@ -153,7 +156,7 @@ Result<Bytes> Machine::DmaRead(uint64_t addr, size_t len) {
 }
 
 void Machine::Reboot() {
-  tpm_.hardware()->PowerCycle();
+  tpm_transport_.hardware()->PowerCycle();
   dev_.Clear();
   in_secure_session_ = false;
   active_slb_base_ = 0;

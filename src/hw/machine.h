@@ -21,6 +21,7 @@
 #include "src/hw/memory.h"
 #include "src/hw/timing.h"
 #include "src/tpm/tpm.h"
+#include "src/tpm/transport.h"
 
 namespace flicker {
 
@@ -66,7 +67,10 @@ class Machine {
   const TimingModel& timing() const { return timing_; }
   PhysicalMemory* memory() { return &memory_; }
   DeviceExclusionVector* dev() { return &dev_; }
-  Tpm* tpm() { return &tpm_; }
+  // Software-side TPM access: every command crosses the byte-marshalled
+  // transport; no layer above the machine touches the device model directly.
+  TpmClient* tpm() { return &tpm_client_; }
+  TpmTransport* tpm_transport() { return &tpm_transport_; }
   Apic* apic() { return &apic_; }
 
   int num_cpus() const { return static_cast<int>(cpus_.size()); }
@@ -122,6 +126,8 @@ class Machine {
   std::vector<Cpu> cpus_;
   Apic apic_;
   Tpm tpm_;
+  TpmTransport tpm_transport_;
+  TpmClient tpm_client_;
 
   MeasurementEngine* measurement_engine_ = nullptr;
 

@@ -7,14 +7,33 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
   if (machine_->in_secure_session()) {
     return FailedPreconditionError("OS suspended: quote daemon not running");
   }
-  Result<TpmQuote> quote = machine_->tpm()->Quote(nonce, selection);
-  if (!quote.ok()) {
-    return quote.status();
+
+  // Bounded retry with exponential backoff on transient transport faults.
+  // The quote is a single TPM_ORD_Quote frame, so one lost frame costs one
+  // retry; anything other than kUnavailable is a real TPM verdict and is
+  // surfaced immediately.
+  double backoff_ms = config_.initial_backoff_ms;
+  Status last_failure = UnavailableError("quote never attempted");
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      machine_->clock()->AdvanceMillis(backoff_ms);
+      backoff_ms *= 2;
+      ++retries_;
+    }
+    Result<TpmQuote> quote = machine_->tpm()->Quote(nonce, selection);
+    if (quote.ok()) {
+      AttestationResponse response;
+      response.quote = quote.take();
+      response.aik_public = machine_->tpm()->aik_public().Serialize();
+      return response;
+    }
+    if (quote.status().code() != StatusCode::kUnavailable) {
+      return quote.status();
+    }
+    last_failure = quote.status();
   }
-  AttestationResponse response;
-  response.quote = quote.take();
-  response.aik_public = machine_->tpm()->aik_public().Serialize();
-  return response;
+  return Status(StatusCode::kUnavailable,
+                "quote retry budget exhausted: " + last_failure.message());
 }
 
 }  // namespace flicker

@@ -3,6 +3,11 @@
 //
 // The daemon itself is untrusted: it merely relays nonces to the TPM and
 // quotes back to challengers. Security comes from the TPM's signature.
+//
+// The TPM sits behind a transport that can lose or delay frames, so the
+// daemon retries transient (kUnavailable) quote failures with exponential
+// backoff, charging the waiting time to the simulated clock like any real
+// driver timeout. Permanent errors are returned immediately.
 
 #ifndef FLICKER_SRC_OS_TQD_H_
 #define FLICKER_SRC_OS_TQD_H_
@@ -21,17 +26,28 @@ struct AttestationResponse {
   Bytes aik_public;
 };
 
+struct TqdConfig {
+  int max_attempts = 4;            // One initial try plus up to three retries.
+  double initial_backoff_ms = 2.0; // Doubles after every transient failure.
+};
+
 class TpmQuoteDaemon {
  public:
-  explicit TpmQuoteDaemon(Machine* machine) : machine_(machine) {}
+  explicit TpmQuoteDaemon(Machine* machine, TqdConfig config = TqdConfig())
+      : machine_(machine), config_(config) {}
 
   // Handles a challenge: quote the selected PCRs over the verifier's nonce.
   // Fails while a Flicker session holds the platform (the OS, and hence the
   // daemon, is suspended).
   Result<AttestationResponse> HandleChallenge(const Bytes& nonce, const PcrSelection& selection);
 
+  // Transient failures absorbed by retries since construction.
+  uint64_t retries() const { return retries_; }
+
  private:
   Machine* machine_;
+  TqdConfig config_;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace flicker

@@ -25,7 +25,9 @@ ModuleRegistry::ModuleRegistry() {
       },
       PalModule{
           .name = kModuleTpmDriver,
-          .description = "Communication with the TPM",
+          // The byte-frame transport of src/tpm/transport.h: these exports
+          // are TpmTransport::Transmit / RequestLocality / ReleaseLocality.
+          .description = "Communication with the TPM (byte-frame transport, TIS localities)",
           .lines_of_code = 216,
           .binary_bytes = 825,
           .mandatory = false,

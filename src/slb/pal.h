@@ -16,7 +16,7 @@
 #include "src/common/status.h"
 #include "src/hw/cpu.h"
 #include "src/hw/machine.h"
-#include "src/tpm/tpm.h"
+#include "src/tpm/transport.h"
 
 namespace flicker {
 
@@ -40,8 +40,9 @@ class PalContext {
   Status SetOutputs(const Bytes& outputs);
   const Bytes& outputs() const { return outputs_; }
 
-  // TPM access (the PAL links the TPM Driver / TPM Utilities modules).
-  Tpm* tpm() { return machine_->tpm(); }
+  // TPM access (the PAL links the TPM Driver / TPM Utilities modules); all
+  // commands cross the byte-marshalled transport at the session's locality.
+  TpmClient* tpm() { return machine_->tpm(); }
 
   // Physical memory access. With the OS Protection module linked, accesses
   // outside the PAL's allocated segment fault with kPermissionDenied - this

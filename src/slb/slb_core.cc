@@ -41,7 +41,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   }
   const uint64_t base = launch.slb_base;
   Cpu* bsp = machine->bsp();
-  Tpm* tpm = machine->tpm();
+  TpmClient* tpm = machine->tpm();
   SessionRecord record;
 
   // Step 1: measurement-stub path. SKINIT only measured the stub; the stub

@@ -1,0 +1,158 @@
+// Wire-level TPM v1.2 command marshalling.
+//
+// Every driver-side TPM operation is expressed as a byte frame with the
+// v1.2 header layout - tag (u16), paramSize (u32), ordinal/returnCode (u32) -
+// followed by a serde-encoded parameter body. The driver builds request
+// frames with the Build* helpers, the device side decodes and executes them
+// in DispatchFrame, and both sides share the payload codecs so a garbled
+// frame is caught by exactly the checks a real TPM applies (parse failure or
+// authorization-HMAC mismatch).
+//
+// Ordinals use the real TPM 1.2 values; simulator-only reads (AIK blob,
+// public-key export) live in the vendor-specific range, and TIS events that
+// are register writes rather than commands (locality changes, the SKINIT
+// hardware path) get pseudo-ordinals that exist only in the command trace.
+
+#ifndef FLICKER_SRC_TPM_COMMANDS_H_
+#define FLICKER_SRC_TPM_COMMANDS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/tpm/structures.h"
+#include "src/tpm/tpm.h"
+
+namespace flicker {
+
+// ---- Frame tags (TPM_TAG_*) ----
+constexpr uint16_t kTagRequest = 0x00C1;       // TPM_TAG_RQU_COMMAND
+constexpr uint16_t kTagRequestAuth1 = 0x00C2;  // TPM_TAG_RQU_AUTH1_COMMAND
+constexpr uint16_t kTagResponse = 0x00C4;      // TPM_TAG_RSP_COMMAND
+constexpr uint16_t kTagResponseAuth1 = 0x00C5; // TPM_TAG_RSP_AUTH1_COMMAND
+
+// Header: tag (2) + paramSize (4) + ordinal/returnCode (4).
+constexpr size_t kFrameHeaderSize = 10;
+
+// ---- Ordinals (TPM_ORD_*, v1.2 values) ----
+enum TpmOrdinal : uint32_t {
+  kOrdOiap = 0x0000000A,
+  kOrdOsap = 0x0000000B,
+  kOrdTakeOwnership = 0x0000000D,
+  kOrdExtend = 0x00000014,
+  kOrdPcrRead = 0x00000015,
+  kOrdQuote = 0x00000016,
+  kOrdSeal = 0x00000017,
+  kOrdUnseal = 0x00000018,
+  kOrdLoadKey2 = 0x00000041,
+  kOrdGetRandom = 0x00000046,
+  kOrdGetCapability = 0x00000065,
+  kOrdTerminateHandle = 0x00000096,
+  kOrdFlushSpecific = 0x000000BA,
+  kOrdNvDefineSpace = 0x000000CC,
+  kOrdNvWriteValue = 0x000000CD,
+  kOrdNvReadValue = 0x000000CF,
+  kOrdCreateCounter = 0x000000DC,
+  kOrdIncrementCounter = 0x000000DD,
+  kOrdReadCounter = 0x000000DE,
+
+  // Vendor-specific range (TPM_VENDOR_COMMAND bit): simulator-only reads.
+  kOrdGetAikBlob = 0x20000001,
+  kOrdGetPubKey = 0x20000002,
+
+  // TIS pseudo-ordinals: locality register writes and the hardware-side
+  // interface. Never framed; recorded in the transport trace only.
+  kOrdTisRequestLocality = 0xF0000001,
+  kOrdTisReleaseLocality = 0xF0000002,
+  kOrdHwSkinitReset = 0xF0000010,
+  kOrdHwExtendIdentityPcr = 0xF0000011,
+  kOrdHwPowerCycle = 0xF0000012,
+  kOrdHwSetLocality = 0xF0000013,
+};
+
+// Human-readable ordinal name for traces ("TPM_ORD_Quote").
+const char* TpmOrdinalName(uint32_t ordinal);
+
+// ---- Return-code <-> Status mapping ----
+//
+// 0 is TPM_SUCCESS; errors map StatusCode into the vendor error band
+// (0x400 + code) and carry the message as a string in the response body.
+uint32_t ReturnCodeFor(StatusCode code);
+StatusCode StatusCodeFromReturnCode(uint32_t return_code);
+
+// ---- Frame construction / parsing ----
+
+struct CommandFrame {
+  uint16_t tag = 0;
+  uint32_t ordinal = 0;
+  Bytes body;
+};
+
+Bytes BuildCommandFrame(uint16_t tag, uint32_t ordinal, const Bytes& body);
+Result<CommandFrame> ParseCommandFrame(const Bytes& frame);
+
+// Builds a response frame for `status` (payload only included on success).
+Bytes BuildResponseFrame(bool auth1, const Status& status, const Bytes& payload);
+// Returns the payload on TPM_SUCCESS, or the decoded error Status.
+Result<Bytes> ParseResponseFrame(const Bytes& frame);
+
+// Reads just the ordinal (requests) or return code (responses) of a frame
+// without validating the body; used by the transport for tracing/policy.
+Result<uint32_t> PeekOrdinal(const Bytes& frame);
+uint32_t PeekReturnCode(const Bytes& frame);
+
+// For an Extend request, recovers the target PCR index (for the transport's
+// locality gate). Returns false if `frame` is not a well-formed Extend.
+bool ExtendTargetPcr(const Bytes& frame, int* index);
+
+// ---- Request builders (driver side) ----
+
+Bytes BuildGetRandom(size_t len);
+Bytes BuildPcrRead(int index);
+Bytes BuildPcrExtend(int index, const Bytes& measurement);
+Bytes BuildOiap();
+Bytes BuildOsap(AuthEntity entity, const Bytes& nonce_odd_osap);
+Bytes BuildTerminateHandle(uint32_t handle);
+Bytes BuildSeal(const Bytes& data, const PcrSelection& selection,
+                const std::map<int, Bytes>& release_pcrs, const Bytes& blob_auth,
+                const CommandAuth& auth);
+Bytes BuildUnseal(const SealedBlob& blob, const Bytes& blob_auth, const CommandAuth& auth);
+// key_handle 0 requests the convenience load-sign-flush quote; a nonzero
+// handle quotes with an explicitly loaded key (TPM_ORD_Quote's keyHandle).
+Bytes BuildQuote(uint32_t key_handle, const Bytes& nonce, const PcrSelection& selection);
+Bytes BuildLoadKey2(const Bytes& blob);
+Bytes BuildFlushSpecific(uint32_t handle);
+Bytes BuildNvDefineSpace(uint32_t index, size_t size, const PcrSelection& read_selection,
+                         const std::map<int, Bytes>& read_pcrs,
+                         const PcrSelection& write_selection,
+                         const std::map<int, Bytes>& write_pcrs, const CommandAuth& auth);
+Bytes BuildNvWrite(uint32_t index, const Bytes& data);
+Bytes BuildNvRead(uint32_t index);
+Bytes BuildCreateCounter(const Bytes& counter_auth, const CommandAuth& auth);
+Bytes BuildIncrementCounter(uint32_t id, const Bytes& counter_auth);
+Bytes BuildReadCounter(uint32_t id);
+Bytes BuildTakeOwnership(const Bytes& owner_auth);
+Bytes BuildGetCapability();
+Bytes BuildGetAikBlob();
+Bytes BuildGetPubKey(bool srk);
+
+// ---- Response payload codecs ----
+
+Result<AuthSessionInfo> ParseSessionPayload(const Bytes& payload);
+Result<TpmQuote> ParseQuotePayload(const Bytes& payload);
+Result<uint32_t> ParseHandlePayload(const Bytes& payload);
+Result<uint64_t> ParseCounterPayload(const Bytes& payload);
+Result<Bytes> ParseBlobPayload(const Bytes& payload);
+Result<Tpm::Capabilities> ParseCapabilityPayload(const Bytes& payload);
+
+// ---- Device side ----
+//
+// Decodes a request frame, executes it against `tpm`, and encodes the
+// response frame. Errors (parse failures, authorization failures, device
+// Status errors) are encoded in-band; the returned frame is always valid.
+Bytes DispatchFrame(Tpm* tpm, const Bytes& request_frame);
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_TPM_COMMANDS_H_

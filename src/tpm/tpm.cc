@@ -71,8 +71,28 @@ Result<Bytes> Tpm::PcrRead(int index) {
   return pcrs_.Read(index);
 }
 
+bool Tpm::ExtendAllowedAt(int index, int locality) {
+  switch (index) {
+    case 17:
+    case 18:
+    case 19:
+      return locality >= 2;
+    case 20:
+      return locality >= 1;
+    case 21:
+    case 22:
+      return locality == 2;
+    default:
+      return true;
+  }
+}
+
 Status Tpm::PcrExtend(int index, const Bytes& measurement) {
   Charge(profile_.pcr_extend_ms);
+  if (index >= 0 && index < kNumPcrs && !ExtendAllowedAt(index, locality_)) {
+    return PermissionDeniedError("PCR " + std::to_string(index) +
+                                 " cannot be extended from locality " + std::to_string(locality_));
+  }
   return pcrs_.Extend(index, measurement);
 }
 
@@ -592,14 +612,38 @@ Tpm::Capabilities Tpm::GetCapability() const {
   return Capabilities{kNumPcrs, config_.key_bits, profile_.name};
 }
 
+Status Tpm::TransitionLocality(int locality, bool hardware) {
+  if (locality < 0 || locality > 4) {
+    return InvalidArgumentError("locality must be 0-4");
+  }
+  if (!hardware && locality >= 3) {
+    return PermissionDeniedError("locality " + std::to_string(locality) +
+                                 " is hardware-only (SKINIT microcode / ACM)");
+  }
+  locality_ = locality;
+  return Status::Ok();
+}
+
+Status Tpm::RequestLocality(int locality) {
+  return TransitionLocality(locality, /*hardware=*/false);
+}
+
 void Tpm::HardwareInterface::SkinitReset(const Bytes& slb_measurement) {
-  tpm_->locality_ = 4;
+  Status raised = tpm_->TransitionLocality(4, /*hardware=*/true);
+  (void)raised;  // Locality 4 is always reachable from the hardware side.
+  // Dynamic PCRs reset only at locality 4 - the property the paper's TCB
+  // argument rests on (§2.3); the transition above just established it.
   tpm_->pcrs_.DynamicReset();
   // The measurement arrives over the hardware path; the transfer time is
   // charged by the CPU model as part of SKINIT itself.
   Status st = tpm_->pcrs_.Extend(kSkinitPcr, slb_measurement);
   (void)st;  // A 20-byte digest from the CPU cannot fail validation.
-  tpm_->locality_ = 2;
+  st = tpm_->TransitionLocality(2, /*hardware=*/true);
+  (void)st;
+}
+
+Status Tpm::HardwareInterface::SetLocality(int locality) {
+  return tpm_->TransitionLocality(locality, /*hardware=*/true);
 }
 
 void Tpm::HardwareInterface::ExtendIdentityPcr(const Bytes& measurement) {
@@ -610,7 +654,8 @@ void Tpm::HardwareInterface::ExtendIdentityPcr(const Bytes& measurement) {
 void Tpm::HardwareInterface::PowerCycle() {
   tpm_->pcrs_.PowerCycleReset();
   tpm_->sessions_.clear();
-  tpm_->locality_ = 0;
+  Status st = tpm_->TransitionLocality(0, /*hardware=*/true);
+  (void)st;
 }
 
 }  // namespace flicker

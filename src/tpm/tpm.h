@@ -155,6 +155,20 @@ class Tpm {
   // Current locality (0 = legacy software, 4 = CPU during SKINIT).
   int locality() const { return locality_; }
 
+  // The simulated clock command latencies are charged to; the transport
+  // reads it to measure per-command dispatch latency for its trace.
+  SimClock* sim_clock() { return clock_; }
+
+  // TIS-style locality request from the software side. Localities 0-2 are
+  // driver-reachable; 3 is reserved for the ACM and 4 for CPU microcode, so
+  // software requests for those return kPermissionDenied (§2.3).
+  Status RequestLocality(int locality);
+
+  // True iff an extend of `index` is permitted at `locality`. Dynamic PCRs
+  // are gated: 17-19 accept localities 2-4, 20 accepts 1-4, 21-22 accept
+  // only locality 2 (trusted OS); static PCRs accept any locality.
+  static bool ExtendAllowedAt(int index, int locality);
+
   // ---- Hardware interface: held by the chipset/CPU model only ----
   class HardwareInterface {
    public:
@@ -171,7 +185,9 @@ class Tpm {
     // Platform reboot.
     void PowerCycle();
 
-    void SetLocality(int locality) { tpm_->locality_ = locality; }
+    // Hardware-side locality transition (any locality 0-4). Out-of-range
+    // values are a chipset-model bug and are rejected.
+    Status SetLocality(int locality);
 
    private:
     Tpm* tpm_;
@@ -207,6 +223,10 @@ class Tpm {
                                        const std::map<int, Bytes>& overrides) const;
 
   const Bytes& EntitySecret(AuthEntity entity) const;
+
+  // The single checked locality mutator; every transition (software or
+  // hardware) funnels through it. `hardware` unlocks localities 3 and 4.
+  Status TransitionLocality(int locality, bool hardware);
 
   void Charge(double ms) { clock_->AdvanceMillis(ms); }
 

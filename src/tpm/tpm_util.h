@@ -5,6 +5,10 @@
 // to perform TPM operations without hand-rolling the session HMACs. Each
 // helper starts a session, computes the same parameter digest the TPM
 // checks, presents the HMAC, and terminates the session.
+//
+// The helpers are templates over the device handle so they run identically
+// against the raw device model (`Tpm`, in device-level tests) and against
+// the byte-marshalled transport client (`TpmClient`, everywhere else).
 
 #ifndef FLICKER_SRC_TPM_TPM_UTIL_H_
 #define FLICKER_SRC_TPM_TPM_UTIL_H_
@@ -13,28 +17,82 @@
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/crypto/sha1.h"
 #include "src/tpm/tpm.h"
 
 namespace flicker {
+
+namespace tpm_util_internal {
+
+// Builds the CommandAuth for a command whose parameters hash to
+// `param_digest`, under an OIAP session.
+template <typename Device>
+CommandAuth MakeAuth(Device* tpm, const AuthSessionInfo& session, const Bytes& secret,
+                     const Bytes& param_digest) {
+  CommandAuth auth;
+  auth.session_handle = session.handle;
+  auth.nonce_odd = tpm->GetRandom(kPcrSize);
+  auth.auth = Tpm::ComputeCommandAuth(secret, param_digest, session.nonce_even, auth.nonce_odd);
+  return auth;
+}
+
+}  // namespace tpm_util_internal
 
 // Seals `data` so it is released only when the PCRs in `selection` hold
 // `release_pcrs` (current values where omitted) and the caller knows
 // `blob_auth`. `srk_secret` is the SRK usage secret (the well-known secret
 // unless changed).
-Result<SealedBlob> TpmSealData(Tpm* tpm, const Bytes& data, const PcrSelection& selection,
+template <typename Device>
+Result<SealedBlob> TpmSealData(Device* tpm, const Bytes& data, const PcrSelection& selection,
                                const std::map<int, Bytes>& release_pcrs, const Bytes& blob_auth,
-                               const Bytes& srk_secret = Tpm::WellKnownSecret());
+                               const Bytes& srk_secret = Tpm::WellKnownSecret()) {
+  AuthSessionInfo session = tpm->StartOiap();
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Seal"), data, selection.Serialize()));
+  CommandAuth auth = tpm_util_internal::MakeAuth(tpm, session, srk_secret, param_digest);
+  Result<SealedBlob> blob = tpm->Seal(data, selection, release_pcrs, blob_auth, auth);
+  tpm->TerminateSession(session.handle);
+  return blob;
+}
 
-Result<Bytes> TpmUnsealData(Tpm* tpm, const SealedBlob& blob, const Bytes& blob_auth,
-                            const Bytes& srk_secret = Tpm::WellKnownSecret());
+template <typename Device>
+Result<Bytes> TpmUnsealData(Device* tpm, const SealedBlob& blob, const Bytes& blob_auth,
+                            const Bytes& srk_secret = Tpm::WellKnownSecret()) {
+  AuthSessionInfo session = tpm->StartOiap();
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Unseal"), blob.ciphertext));
+  CommandAuth auth = tpm_util_internal::MakeAuth(tpm, session, srk_secret, param_digest);
+  Result<Bytes> data = tpm->Unseal(blob, blob_auth, auth);
+  tpm->TerminateSession(session.handle);
+  return data;
+}
 
 // Owner-authorized NV space definition.
-Status TpmDefineNvSpace(Tpm* tpm, uint32_t index, size_t size, const PcrSelection& read_selection,
-                        const std::map<int, Bytes>& read_pcrs, const PcrSelection& write_selection,
-                        const std::map<int, Bytes>& write_pcrs, const Bytes& owner_secret);
+template <typename Device>
+Status TpmDefineNvSpace(Device* tpm, uint32_t index, size_t size,
+                        const PcrSelection& read_selection, const std::map<int, Bytes>& read_pcrs,
+                        const PcrSelection& write_selection, const std::map<int, Bytes>& write_pcrs,
+                        const Bytes& owner_secret) {
+  AuthSessionInfo session = tpm->StartOiap();
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_NV_DefineSpace"),
+                                           read_selection.Serialize(),
+                                           write_selection.Serialize()));
+  CommandAuth auth = tpm_util_internal::MakeAuth(tpm, session, owner_secret, param_digest);
+  Status st =
+      tpm->NvDefineSpace(index, size, read_selection, read_pcrs, write_selection, write_pcrs, auth);
+  tpm->TerminateSession(session.handle);
+  return st;
+}
 
 // Owner-authorized monotonic-counter creation.
-Result<uint32_t> TpmCreateCounter(Tpm* tpm, const Bytes& counter_auth, const Bytes& owner_secret);
+template <typename Device>
+Result<uint32_t> TpmCreateCounter(Device* tpm, const Bytes& counter_auth,
+                                  const Bytes& owner_secret) {
+  AuthSessionInfo session = tpm->StartOiap();
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_CreateCounter"), counter_auth));
+  CommandAuth auth = tpm_util_internal::MakeAuth(tpm, session, owner_secret, param_digest);
+  Result<uint32_t> id = tpm->CreateCounter(counter_auth, auth);
+  tpm->TerminateSession(session.handle);
+  return id;
+}
 
 }  // namespace flicker
 

@@ -1,0 +1,185 @@
+// The single choke point between software and the TPM device model.
+//
+// TpmTransport carries every driver-side command as a byte frame
+// (src/tpm/commands.h) through Transmit(), and owns the TIS locality state:
+// software may request localities 0-2; locality 4 is reachable only through
+// the hardware facade that wraps Tpm::HardwareInterface (the SKINIT path).
+// The transport rejects locality-inappropriate commands before they reach
+// the device, records every command in a fixed-capacity trace ring (ordinal,
+// locality, simulated latency, result code), and can inject faults - drop,
+// garble or delay every Nth frame - so upper layers' retry logic is testable.
+//
+// TpmClient is the driver built on top: it mirrors the Tpm software API
+// method-for-method so call sites keep their shape, but every operation is
+// marshalled, transmitted, policy-checked and unmarshalled. Timing is
+// unchanged by construction: the device model charges the calibrated
+// latencies exactly as before, and the transport adds none of its own.
+
+#ifndef FLICKER_SRC_TPM_TRANSPORT_H_
+#define FLICKER_SRC_TPM_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/rsa.h"
+#include "src/tpm/structures.h"
+#include "src/tpm/tpm.h"
+
+namespace flicker {
+
+// One traced command (or TIS/hardware pseudo-command).
+struct TraceEntry {
+  uint64_t seq = 0;
+  uint32_t ordinal = 0;
+  int locality = 0;
+  double latency_ms = 0;     // Simulated time charged while dispatching.
+  uint32_t result_code = 0;  // Wire return code (0 = TPM_SUCCESS).
+};
+
+// Fault-injection plan applied to transmitted frames. `every_n` selects
+// every Nth frame (1-based count of Transmit calls); 0 disables injection.
+struct FaultPlan {
+  enum class Kind { kNone, kDrop, kGarble, kDelay };
+  Kind kind = Kind::kNone;
+  uint64_t every_n = 0;
+  double delay_ms = 0;         // Extra latency for kDelay.
+  double drop_timeout_ms = 0;  // Time the driver burns waiting on a dropped frame.
+};
+
+class TpmTransport {
+ public:
+  static constexpr size_t kTraceCapacity = 256;
+
+  explicit TpmTransport(Tpm* tpm);
+
+  // Sends one request frame to the device and returns the response frame.
+  // Transport-level failures (dropped frame, locality rejection) surface as
+  // an error Status; device-level errors come back encoded in the response.
+  Result<Bytes> Transmit(const Bytes& request_frame);
+
+  // TIS locality handshake for the software side (localities 0-2 only;
+  // 3 and 4 are denied exactly as Tpm::RequestLocality denies them).
+  // ReleaseLocality restores the locality active before the last request.
+  Status RequestLocality(int locality);
+  Status ReleaseLocality();
+  int locality() const { return tpm_->locality(); }
+
+  // ---- Hardware facade: the sole holder of Tpm::HardwareInterface ----
+  //
+  // The chipset/CPU model goes through this so hardware-path events appear
+  // in the same trace as driver commands.
+  class Hardware {
+   public:
+    explicit Hardware(TpmTransport* transport) : transport_(transport) {}
+
+    void SkinitReset(const Bytes& slb_measurement);
+    void ExtendIdentityPcr(const Bytes& measurement);
+    void PowerCycle();
+    Status SetLocality(int locality);
+
+   private:
+    TpmTransport* transport_;
+  };
+
+  Hardware* hardware() { return &hardware_; }
+
+  // ---- Fault injection ----
+  void set_fault_plan(const FaultPlan& plan) { plan_ = plan; }
+  const FaultPlan& fault_plan() const { return plan_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  // ---- Trace ring ----
+  uint64_t total_commands() const { return total_commands_; }
+  // Entries oldest-first; at most kTraceCapacity are retained.
+  std::vector<TraceEntry> TraceSnapshot() const;
+  void ClearTrace();
+
+ private:
+  friend class Hardware;
+
+  void Record(uint32_t ordinal, int locality, double latency_ms, uint32_t result_code);
+
+  Tpm* tpm_;
+  Hardware hardware_;
+
+  std::vector<TraceEntry> ring_;
+  size_t ring_next_ = 0;
+  uint64_t seq_ = 0;
+
+  FaultPlan plan_;
+  uint64_t transmit_count_ = 0;
+  uint64_t total_commands_ = 0;
+  uint64_t faults_injected_ = 0;
+
+  std::vector<int> locality_stack_;
+};
+
+// Driver-side TPM access over the transport. Mirrors the Tpm software API so
+// existing call sites (machine->tpm()->..., context->tpm()->...) compile
+// unchanged while every operation crosses the wire.
+class TpmClient {
+ public:
+  explicit TpmClient(TpmTransport* transport);
+
+  Bytes GetRandom(size_t len);  // Empty on transport failure.
+  Result<Bytes> PcrRead(int index);
+  // Extends of dynamic PCRs auto-negotiate locality 2 when the current
+  // locality would be rejected, as a real driver's TIS handshake does.
+  Status PcrExtend(int index, const Bytes& measurement);
+  Status PcrExtendData(int index, const Bytes& data);
+
+  AuthSessionInfo StartOiap();  // handle == 0 on transport failure.
+  AuthSessionInfo StartOsap(AuthEntity entity, const Bytes& nonce_odd_osap);
+  void TerminateSession(uint32_t handle);
+
+  Result<SealedBlob> Seal(const Bytes& data, const PcrSelection& selection,
+                          const std::map<int, Bytes>& release_pcrs, const Bytes& blob_auth,
+                          const CommandAuth& auth);
+  Result<Bytes> Unseal(const SealedBlob& blob, const Bytes& blob_auth, const CommandAuth& auth);
+
+  // Single-frame convenience quote (TPM_ORD_Quote with keyHandle 0: the
+  // device loads, signs with and flushes the AIK at the calibrated cost).
+  Result<TpmQuote> Quote(const Bytes& nonce, const PcrSelection& selection);
+
+  Bytes GetAikBlob();
+  Result<uint32_t> LoadKey2(const Bytes& blob);
+  Status FlushKey(uint32_t handle);
+  Result<TpmQuote> QuoteWithKey(uint32_t key_handle, const Bytes& nonce,
+                                const PcrSelection& selection);
+
+  Status NvDefineSpace(uint32_t index, size_t size, const PcrSelection& read_selection,
+                       const std::map<int, Bytes>& read_pcrs, const PcrSelection& write_selection,
+                       const std::map<int, Bytes>& write_pcrs, const CommandAuth& auth);
+  Status NvWrite(uint32_t index, const Bytes& data);
+  Result<Bytes> NvRead(uint32_t index);
+
+  Result<uint32_t> CreateCounter(const Bytes& counter_auth, const CommandAuth& auth);
+  Result<uint64_t> IncrementCounter(uint32_t id, const Bytes& counter_auth);
+  Result<uint64_t> ReadCounter(uint32_t id);
+
+  Status TakeOwnership(const Bytes& owner_auth);
+  Result<Tpm::Capabilities> GetCapability();
+
+  // Fetched over the wire once at construction (a capability read; free).
+  const RsaPublicKey& aik_public() const { return aik_public_; }
+  const RsaPublicKey& srk_public() const { return srk_public_; }
+  static Bytes WellKnownSecret() { return Tpm::WellKnownSecret(); }
+
+  int locality() const { return transport_->locality(); }
+  TpmTransport* transport() { return transport_; }
+  TpmTransport::Hardware* hardware() { return transport_->hardware(); }
+
+ private:
+  Result<Bytes> Roundtrip(const Bytes& request_frame);
+
+  TpmTransport* transport_;
+  RsaPublicKey aik_public_;
+  RsaPublicKey srk_public_;
+};
+
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_TPM_TRANSPORT_H_

@@ -272,7 +272,7 @@ class SealedStateTest : public ::testing::Test {
 };
 
 TEST_F(SealedStateTest, SealForPalRoundTripViaSkinitChain) {
-  Tpm* tpm = platform_.tpm();
+  TpmClient* tpm = platform_.tpm();
   Result<PalBinary> binary = BuildPal(std::make_shared<EchoPal>());
   ASSERT_TRUE(binary.ok());
   Bytes execution_pcr = ComputeExecutionPcr17(binary.value());
@@ -317,7 +317,7 @@ TEST_F(SealedStateTest, SealForPalRoundTripViaSkinitChain) {
 }
 
 TEST_F(SealedStateTest, ReplayProtectionDetectsStaleBlob) {
-  Tpm* tpm = platform_.tpm();
+  TpmClient* tpm = platform_.tpm();
   Bytes counter_auth = Sha1::Digest(BytesOf("ctr"));
   Result<ReplayProtectedStorage> storage =
       ReplayProtectedStorage::Create(tpm, counter_auth, owner_auth_);
@@ -404,7 +404,7 @@ TEST_F(SealedStateTest, NvReplayProtectionInsidePal) {
 TEST_F(SealedStateTest, NvSpaceGatedOnPalIdentity) {
   // §4.3.2: an NV space whose PCR requirements match a PAL's execution
   // value is only readable inside that PAL's session.
-  Tpm* tpm = platform_.tpm();
+  TpmClient* tpm = platform_.tpm();
   Result<PalBinary> binary = BuildPal(std::make_shared<EchoPal>());
   ASSERT_TRUE(binary.ok());
   Bytes execution_pcr = ComputeExecutionPcr17(binary.value());

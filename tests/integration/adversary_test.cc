@@ -75,7 +75,7 @@ TEST(AdversaryTest, RebootCannotForgeSkinitPcr) {
   // value of the form H(0^20 || m): the attacker cannot simulate SKINIT.
   FlickerPlatform platform;
   platform.machine()->Reboot();
-  Tpm* tpm = platform.tpm();
+  TpmClient* tpm = platform.tpm();
   EXPECT_EQ(tpm->PcrRead(kSkinitPcr).value(), Bytes(kPcrSize, 0xff));
 
   Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>());

@@ -81,6 +81,7 @@ TEST_P(SealSelectionTest, UnsealGatedOnExactSelection) {
   ASSERT_TRUE(blob.ok());
   ASSERT_TRUE(TpmUnsealData(&tpm, blob.value(), auth).ok());
 
+  ASSERT_TRUE(tpm.RequestLocality(2).ok());  // Dynamic PCRs are locality-gated.
   ASSERT_TRUE(tpm.PcrExtend(test_case.disturb, Bytes(kPcrSize, 0x44)).ok());
   Result<Bytes> after = TpmUnsealData(&tpm, blob.value(), auth);
   EXPECT_EQ(after.ok(), !test_case.expect_break);

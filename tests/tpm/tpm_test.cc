@@ -33,6 +33,7 @@ TEST_F(TpmTest, GetRandomReturnsRequestedLengthAndAdvancesClock) {
 }
 
 TEST_F(TpmTest, PcrExtendChargesPaperLatency) {
+  ASSERT_TRUE(tpm_.RequestLocality(2).ok());  // PCR 17 is locality-gated.
   double before = clock_.NowMillis();
   ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 1)).ok());
   EXPECT_NEAR(clock_.NowMillis() - before, 1.2, 0.01);  // Table 1 PCR Extend.
@@ -56,6 +57,7 @@ TEST_F(TpmTest, UnsealFailsAfterPcrChanges) {
   ASSERT_TRUE(blob.ok());
 
   // Extending PCR 17 revokes access - the termination-constant mechanism.
+  ASSERT_TRUE(tpm_.RequestLocality(2).ok());
   ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x77)).ok());
   Result<Bytes> back = TpmUnsealData(&tpm_, blob.value(), auth);
   ASSERT_FALSE(back.ok());
@@ -253,6 +255,7 @@ TEST_F(TpmTest, NvPcrGatingEnforced) {
   EXPECT_TRUE(tpm_.NvRead(2).ok());
 
   // Change PCR 17: reads must now fail.
+  ASSERT_TRUE(tpm_.RequestLocality(2).ok());
   ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x01)).ok());
   Result<Bytes> denied = tpm_.NvRead(2);
   ASSERT_FALSE(denied.ok());
@@ -265,6 +268,7 @@ TEST_F(TpmTest, NvWriteGatingEnforced) {
                                OwnerAuth())
                   .ok());
   ASSERT_TRUE(tpm_.NvWrite(3, BytesOf("v1")).ok());
+  ASSERT_TRUE(tpm_.RequestLocality(2).ok());
   ASSERT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x01)).ok());
   EXPECT_EQ(tpm_.NvWrite(3, BytesOf("v2")).code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(tpm_.NvRead(3).value(), BytesOf("v1"));

@@ -1,0 +1,378 @@
+// The wire-level TPM transport: frame marshalling, the TIS locality rules,
+// the command trace ring, fault injection, and the authorization-session
+// negative paths (replayed nonces, garbled frames, stale handles) that must
+// fail for cryptographic reasons once commands cross a real wire.
+
+#include "src/tpm/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha1.h"
+#include "src/hw/timing.h"
+#include "src/tpm/commands.h"
+#include "src/tpm/tpm_util.h"
+
+namespace flicker {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : tpm_(&clock_, BroadcomBcm0102Profile()), transport_(&tpm_), client_(&transport_) {
+    // The client constructor fetches the AIK/SRK public keys over the wire;
+    // start each test with a clean trace.
+    transport_.ClearTrace();
+  }
+
+  SimClock clock_;
+  Tpm tpm_;
+  TpmTransport transport_;
+  TpmClient client_;
+};
+
+// ---- Frame marshalling ----
+
+TEST_F(TransportTest, CommandFrameRoundTrip) {
+  Bytes body = BytesOf("parameters");
+  Bytes frame = BuildCommandFrame(kTagRequest, kOrdPcrRead, body);
+  EXPECT_EQ(frame.size(), kFrameHeaderSize + body.size());
+
+  Result<CommandFrame> back = ParseCommandFrame(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().tag, kTagRequest);
+  EXPECT_EQ(back.value().ordinal, static_cast<uint32_t>(kOrdPcrRead));
+  EXPECT_EQ(back.value().body, body);
+
+  // Truncated or length-inconsistent frames are rejected.
+  EXPECT_FALSE(ParseCommandFrame(Bytes(frame.begin(), frame.begin() + 6)).ok());
+  Bytes bad_len = frame;
+  bad_len[5] ^= 0x01;  // paramSize no longer matches the frame length.
+  EXPECT_FALSE(ParseCommandFrame(bad_len).ok());
+}
+
+TEST_F(TransportTest, ResponseFrameCarriesStatusInBand) {
+  Bytes ok_frame = BuildResponseFrame(false, Status::Ok(), BytesOf("payload"));
+  Result<Bytes> payload = ParseResponseFrame(ok_frame);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload.value(), BytesOf("payload"));
+  EXPECT_EQ(PeekReturnCode(ok_frame), 0u);
+
+  Bytes err_frame =
+      BuildResponseFrame(true, PermissionDeniedError("authorization HMAC mismatch"), Bytes());
+  Result<Bytes> err = ParseResponseFrame(err_frame);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(err.status().message(), "authorization HMAC mismatch");
+  EXPECT_EQ(PeekReturnCode(err_frame), ReturnCodeFor(StatusCode::kPermissionDenied));
+}
+
+// ---- Timing neutrality: marshalling adds no simulated time ----
+
+TEST_F(TransportTest, ClientChargesExactlyTheDeviceLatency) {
+  double before = clock_.NowMillis();
+  Bytes r = client_.GetRandom(128);
+  EXPECT_EQ(r.size(), 128u);
+  EXPECT_NEAR(clock_.NowMillis() - before, 1.3, 0.001);  // Broadcom GetRandom.
+
+  before = clock_.NowMillis();
+  ASSERT_TRUE(client_.PcrRead(0).ok());
+  EXPECT_NEAR(clock_.NowMillis() - before, 0.4, 0.001);  // Broadcom PCR Read.
+}
+
+// ---- Trace ring ----
+
+TEST_F(TransportTest, TraceRecordsOrdinalLocalityLatencyAndResult) {
+  client_.GetRandom(16);
+  ASSERT_TRUE(client_.PcrExtend(0, Bytes(kPcrSize, 0xAB)).ok());
+
+  std::vector<TraceEntry> trace = transport_.TraceSnapshot();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].ordinal, static_cast<uint32_t>(kOrdGetRandom));
+  EXPECT_EQ(trace[0].locality, 0);
+  EXPECT_NEAR(trace[0].latency_ms, 1.3, 0.001);
+  EXPECT_EQ(trace[0].result_code, 0u);
+  EXPECT_EQ(trace[1].ordinal, static_cast<uint32_t>(kOrdExtend));
+  EXPECT_NEAR(trace[1].latency_ms, 1.2, 0.001);
+  EXPECT_EQ(trace[1].result_code, 0u);
+  EXPECT_STREQ(TpmOrdinalName(trace[1].ordinal), "TPM_ORD_Extend");
+}
+
+TEST_F(TransportTest, TraceRingRetainsTheMostRecentCapacityEntries) {
+  const size_t total = TpmTransport::kTraceCapacity + 10;
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(client_.PcrRead(0).ok());
+  }
+  std::vector<TraceEntry> trace = transport_.TraceSnapshot();
+  ASSERT_EQ(trace.size(), TpmTransport::kTraceCapacity);
+  // Oldest-first, ending at the last command issued.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].seq, trace[i - 1].seq + 1);
+  }
+  // Every transmit records exactly one entry (the ctor's two key fetches
+  // included), so the last sequence number tracks the command total.
+  EXPECT_EQ(trace.back().seq + 1, transport_.total_commands());
+}
+
+// ---- Locality enforcement (§2.3: software extends, hardware resets) ----
+
+TEST_F(TransportTest, SoftwareCannotReachHardwareLocalities) {
+  for (int locality : {3, 4}) {
+    Status direct = tpm_.RequestLocality(locality);
+    EXPECT_EQ(direct.code(), StatusCode::kPermissionDenied) << locality;
+    Status via_transport = transport_.RequestLocality(locality);
+    EXPECT_EQ(via_transport.code(), StatusCode::kPermissionDenied) << locality;
+  }
+  EXPECT_EQ(tpm_.RequestLocality(5).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(transport_.RequestLocality(2).ok());
+  EXPECT_EQ(transport_.locality(), 2);
+  EXPECT_TRUE(transport_.ReleaseLocality().ok());
+  EXPECT_EQ(transport_.locality(), 0);
+}
+
+TEST_F(TransportTest, ExtendLocalityTableMatchesTis) {
+  // PCR 17-19: localities 2-4. PCR 20: 1-4. PCR 21-22: locality 2 only.
+  EXPECT_FALSE(Tpm::ExtendAllowedAt(17, 0));
+  EXPECT_FALSE(Tpm::ExtendAllowedAt(17, 1));
+  EXPECT_TRUE(Tpm::ExtendAllowedAt(17, 2));
+  EXPECT_TRUE(Tpm::ExtendAllowedAt(19, 4));
+  EXPECT_FALSE(Tpm::ExtendAllowedAt(20, 0));
+  EXPECT_TRUE(Tpm::ExtendAllowedAt(20, 1));
+  EXPECT_TRUE(Tpm::ExtendAllowedAt(21, 2));
+  EXPECT_FALSE(Tpm::ExtendAllowedAt(21, 4));
+  EXPECT_FALSE(Tpm::ExtendAllowedAt(22, 0));
+  EXPECT_TRUE(Tpm::ExtendAllowedAt(0, 0));  // Static PCRs: any locality.
+  EXPECT_TRUE(Tpm::ExtendAllowedAt(16, 0));
+}
+
+TEST_F(TransportTest, DeviceRejectsGatedExtendFromWrongLocality) {
+  // Regression for the device model itself: a bare extend of a dynamic PCR
+  // at locality 0 is a typed permission error, not a silent success.
+  Status st = tpm_.PcrExtend(17, Bytes(kPcrSize, 0x11));
+  EXPECT_EQ(st.code(), StatusCode::kPermissionDenied);
+
+  ASSERT_TRUE(tpm_.RequestLocality(2).ok());
+  EXPECT_TRUE(tpm_.PcrExtend(17, Bytes(kPcrSize, 0x11)).ok());
+  EXPECT_EQ(tpm_.PcrExtend(21, Bytes(kPcrSize, 0x11)).ok(), true);
+  ASSERT_TRUE(tpm_.RequestLocality(1).ok());
+  EXPECT_EQ(tpm_.PcrExtend(21, Bytes(kPcrSize, 0x11)).code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(tpm_.PcrExtend(20, Bytes(kPcrSize, 0x11)).ok());
+}
+
+TEST_F(TransportTest, TransportRefusesGatedExtendBeforeTheDeviceSeesIt) {
+  double before = clock_.NowMillis();
+  Result<Bytes> rsp = transport_.Transmit(BuildPcrExtend(17, Bytes(kPcrSize, 0x22)));
+  ASSERT_FALSE(rsp.ok());
+  EXPECT_EQ(rsp.status().code(), StatusCode::kPermissionDenied);
+  // Refused at the interface: the device never charged extend latency.
+  EXPECT_NEAR(clock_.NowMillis() - before, 0.0, 1e-9);
+
+  std::vector<TraceEntry> trace = transport_.TraceSnapshot();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].ordinal, static_cast<uint32_t>(kOrdExtend));
+  EXPECT_EQ(trace[0].result_code, ReturnCodeFor(StatusCode::kPermissionDenied));
+}
+
+TEST_F(TransportTest, ClientNegotiatesLocalityForDynamicPcrExtends) {
+  // The driver raises locality 2 through the TIS, extends, and drops back -
+  // so software extends of PCR 17 work (extend is always software-legal;
+  // only *reset* is hardware-only).
+  ASSERT_EQ(client_.locality(), 0);
+  ASSERT_TRUE(client_.PcrExtend(kSkinitPcr, Bytes(kPcrSize, 0x33)).ok());
+  EXPECT_EQ(client_.locality(), 0);
+
+  std::vector<TraceEntry> trace = transport_.TraceSnapshot();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].ordinal, static_cast<uint32_t>(kOrdTisRequestLocality));
+  EXPECT_EQ(trace[1].ordinal, static_cast<uint32_t>(kOrdExtend));
+  EXPECT_EQ(trace[1].locality, 2);
+  EXPECT_EQ(trace[2].ordinal, static_cast<uint32_t>(kOrdTisReleaseLocality));
+}
+
+// ---- Authorization sessions over the wire: negative paths ----
+
+TEST_F(TransportTest, ReplayedNonceOddIsRejected) {
+  Bytes blob_auth = Sha1::Digest(BytesOf("blob auth"));
+  Bytes data = BytesOf("secret");
+  PcrSelection selection({0});
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Seal"), data, selection.Serialize()));
+
+  AuthSessionInfo session = client_.StartOiap();
+  ASSERT_NE(session.handle, 0u);
+  CommandAuth auth = tpm_util_internal::MakeAuth(&client_, session, Tpm::WellKnownSecret(),
+                                                 param_digest);
+  ASSERT_TRUE(client_.Seal(data, selection, {}, blob_auth, auth).ok());
+
+  // Replaying the identical authorization (same nonce_odd, same HMAC) fails:
+  // the TPM rolled nonce_even after the first use, so the replayed HMAC no
+  // longer verifies. This is the rolling-nonce anti-replay property.
+  Result<SealedBlob> replay = client_.Seal(data, selection, {}, blob_auth, auth);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(TransportTest, GarbledAuthorizedFrameFailsTheHmacCheck) {
+  Bytes blob_auth = Sha1::Digest(BytesOf("blob auth"));
+  Result<SealedBlob> blob =
+      TpmSealData(&client_, BytesOf("payload"), PcrSelection({0}), {}, blob_auth);
+  ASSERT_TRUE(blob.ok());
+
+  AuthSessionInfo session = client_.StartOiap();
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Unseal"), blob.value().ciphertext));
+  CommandAuth auth = tpm_util_internal::MakeAuth(&client_, session, Tpm::WellKnownSecret(),
+                                                 param_digest);
+  Bytes frame = BuildUnseal(blob.value(), blob_auth, auth);
+  // Flip one ciphertext byte past the serde length prefix: the frame still
+  // parses, but the parameter digest the device computes no longer matches
+  // the one the HMAC covers.
+  frame[kFrameHeaderSize + 4] ^= 0x01;
+
+  Result<Bytes> rsp = transport_.Transmit(frame);
+  ASSERT_TRUE(rsp.ok());  // Device answered; the rejection is in-band.
+  Result<Bytes> payload = ParseResponseFrame(rsp.value());
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(payload.status().message(), "authorization HMAC mismatch");
+}
+
+TEST_F(TransportTest, StaleSessionHandleIsRejected) {
+  Bytes data = BytesOf("secret");
+  PcrSelection selection({0});
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Seal"), data, selection.Serialize()));
+
+  AuthSessionInfo session = client_.StartOiap();
+  CommandAuth auth = tpm_util_internal::MakeAuth(&client_, session, Tpm::WellKnownSecret(),
+                                                 param_digest);
+  client_.TerminateSession(session.handle);
+
+  Result<SealedBlob> stale =
+      client_.Seal(data, selection, {}, Sha1::Digest(BytesOf("blob auth")), auth);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(stale.status().message(), "unknown authorization session");
+}
+
+TEST_F(TransportTest, OsapSharedSecretAuthorizesAndWrongSecretFails) {
+  Bytes data = BytesOf("osap-sealed");
+  PcrSelection selection({0});
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Seal"), data, selection.Serialize()));
+  Bytes blob_auth = Sha1::Digest(BytesOf("blob auth"));
+
+  AuthSessionInfo session = client_.StartOsap(AuthEntity::kSrk, client_.GetRandom(kPcrSize));
+  ASSERT_NE(session.handle, 0u);
+  ASSERT_TRUE(session.osap);
+  ASSERT_FALSE(session.shared_secret.empty());
+
+  // OSAP commands authorize under the session's shared secret, not the
+  // entity secret: the entity secret never crosses the wire again.
+  CommandAuth wrong = tpm_util_internal::MakeAuth(&client_, session, Tpm::WellKnownSecret(),
+                                                  param_digest);
+  Result<SealedBlob> denied = client_.Seal(data, selection, {}, blob_auth, wrong);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  session = client_.StartOsap(AuthEntity::kSrk, client_.GetRandom(kPcrSize));
+  CommandAuth good = tpm_util_internal::MakeAuth(&client_, session, session.shared_secret,
+                                                 param_digest);
+  EXPECT_TRUE(client_.Seal(data, selection, {}, blob_auth, good).ok());
+}
+
+// ---- Fault injection ----
+
+TEST_F(TransportTest, DropFaultBurnsTheReceiveTimeoutAndSurfacesUnavailable) {
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kDrop;
+  plan.every_n = 1;
+  plan.drop_timeout_ms = 7.5;
+  transport_.set_fault_plan(plan);
+
+  double before = clock_.NowMillis();
+  Result<Bytes> dropped = client_.PcrRead(0);
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kUnavailable);
+  EXPECT_NEAR(clock_.NowMillis() - before, 7.5, 0.001);
+  EXPECT_EQ(transport_.faults_injected(), 1u);
+
+  std::vector<TraceEntry> trace = transport_.TraceSnapshot();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].result_code, ReturnCodeFor(StatusCode::kUnavailable));
+}
+
+TEST_F(TransportTest, GarbleFaultIsRejectedCryptographically) {
+  Bytes blob_auth = Sha1::Digest(BytesOf("blob auth"));
+  Result<SealedBlob> blob =
+      TpmSealData(&client_, BytesOf("payload"), PcrSelection({0}), {}, blob_auth);
+  ASSERT_TRUE(blob.ok());
+
+  AuthSessionInfo session = client_.StartOiap();
+  Bytes param_digest = Sha1::Digest(Concat(BytesOf("TPM_Unseal"), blob.value().ciphertext));
+  CommandAuth auth = tpm_util_internal::MakeAuth(&client_, session, Tpm::WellKnownSecret(),
+                                                 param_digest);
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kGarble;
+  plan.every_n = 1;  // Garble the very next frame: the Unseal itself.
+  transport_.set_fault_plan(plan);
+  Result<Bytes> garbled = client_.Unseal(blob.value(), blob_auth, auth);
+  transport_.set_fault_plan(FaultPlan());
+
+  ASSERT_FALSE(garbled.ok());
+  // The byte flip lands mid-body: either the frame no longer parses (caught
+  // as a malformed command) or the HMAC check fails. Both are rejections the
+  // real TPM would produce; never a successful unseal.
+  EXPECT_TRUE(garbled.status().code() == StatusCode::kPermissionDenied ||
+              garbled.status().code() == StatusCode::kInvalidArgument)
+      << garbled.status().message();
+  EXPECT_EQ(transport_.faults_injected(), 1u);
+}
+
+TEST_F(TransportTest, DelayFaultAddsLatencyToSelectedFrames) {
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kDelay;
+  plan.every_n = 2;
+  plan.delay_ms = 3.0;
+  transport_.set_fault_plan(plan);
+
+  // Ctor already transmitted 2 frames, so the next delayed frame is the 2nd.
+  double before = clock_.NowMillis();
+  ASSERT_TRUE(client_.PcrRead(0).ok());  // Transmit #3: clean.
+  double first = clock_.NowMillis() - before;
+  before = clock_.NowMillis();
+  ASSERT_TRUE(client_.PcrRead(0).ok());  // Transmit #4: delayed.
+  double second = clock_.NowMillis() - before;
+
+  EXPECT_NEAR(first, 0.4, 0.001);
+  EXPECT_NEAR(second, 0.4 + 3.0, 0.001);
+  EXPECT_EQ(transport_.faults_injected(), 1u);
+}
+
+// ---- End-to-end: sealed storage and quoting over the wire ----
+
+TEST_F(TransportTest, SealUnsealRoundTripOverTheWire) {
+  Bytes blob_auth = Sha1::Digest(BytesOf("blob auth"));
+  Result<SealedBlob> blob =
+      TpmSealData(&client_, BytesOf("the CA's private key"), PcrSelection({17}), {}, blob_auth);
+  ASSERT_TRUE(blob.ok());
+  Result<Bytes> back = TpmUnsealData(&client_, blob.value(), blob_auth);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), BytesOf("the CA's private key"));
+
+  // Extending PCR 17 revokes access, exactly as with the raw device.
+  ASSERT_TRUE(client_.PcrExtend(17, Bytes(kPcrSize, 0x77)).ok());
+  Result<Bytes> denied = TpmUnsealData(&client_, blob.value(), blob_auth);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kIntegrityFailure);
+}
+
+TEST_F(TransportTest, QuoteIsASingleFrameAndChargesThePaperLatency) {
+  double before = clock_.NowMillis();
+  uint64_t commands_before = transport_.total_commands();
+  Result<TpmQuote> quote = client_.Quote(BytesOf("verifier nonce"), PcrSelection({17}));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_EQ(transport_.total_commands() - commands_before, 1u);
+  EXPECT_NEAR(clock_.NowMillis() - before, 972.7, 0.01);  // Table 1 Quote.
+  EXPECT_EQ(quote.value().nonce, BytesOf("verifier nonce"));
+  EXPECT_FALSE(quote.value().signature.empty());
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build everything, run the full ctest suite.
+#
+#   verify.sh            build + ctest in ./build (Release by default)
+#   verify.sh --asan     additionally build with ASan+UBSan in ./build-asan
+#                        and run the TPM and core suites under the sanitizers
+#
+# Usage: verify.sh [--asan] [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+asan=0
+if [ "${1:-}" = "--asan" ]; then
+  asan=1
+  shift
+fi
+build_dir=${1:-"$repo_root/build"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+if [ "$asan" = 1 ]; then
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    tpm_pcr_bank_test tpm_tpm_test tpm_param_test tpm_transport_test \
+    core_platform_test core_remote_attestation_test \
+    os_tqd_robustness_test common_serde_test
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -R \
+    '^(tpm_|core_|os_tqd_robustness_test|common_serde_test)'
+fi
+
+echo "verify.sh: all checks passed"
