@@ -1,0 +1,215 @@
+// Host-side microbenchmarks of the crash-recovery paths: what does coming
+// back from a power loss cost in real wall time?
+//
+// Robustness machinery must be cheap enough that nobody is tempted to skip
+// it. The --bench_json mode (BENCH_robustness.json) asserts absolute budgets:
+// the TPM_Init + TPM_Startup(ST_CLEAR) recovery path, a Startup that has to
+// roll a torn NV write forward from the journal, TPM_SaveState, and a
+// CrashConsistentSealedStore::Recover() classification each stay under a
+// millisecond of real time, and a disabled CRASH_POINT costs nanoseconds -
+// the production price of the whole fault-injection campaign.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/fault.h"
+#include "src/crypto/sha1.h"
+#include "src/hw/clock.h"
+#include "src/hw/timing.h"
+#include "src/tpm/tpm.h"
+#include "src/tpm/tpm_util.h"
+#include "src/tpm/transport.h"
+#include "src/core/sealed_state.h"
+
+namespace flicker {
+namespace {
+
+constexpr uint32_t kNvIndex = 0x00015151;
+
+struct Rig {
+  SimClock clock;
+  Tpm tpm;
+  TpmTransport transport;
+  TpmClient client;
+  Bytes owner_auth;
+
+  Rig() : tpm(&clock, BroadcomBcm0102Profile()), transport(&tpm), client(&transport) {
+    owner_auth = Sha1::Digest(BytesOf("owner"));
+    (void)tpm.TakeOwnership(owner_auth);
+    (void)TpmDefineNvSpace(&client, kNvIndex, 8, PcrSelection(), {}, PcrSelection(), {},
+                           owner_auth);
+    (void)client.NvWrite(kNvIndex, Bytes(8, 0x11));
+  }
+
+  void PowerCycle() {
+    transport.hardware()->Init();
+    (void)client.Startup(TpmStartupType::kClear);
+  }
+
+  // Leaves a committed-but-torn NV write behind, exactly as a power cut
+  // mid-apply would.
+  void TearNvWrite() {
+    CrashPlan plan;
+    plan.crash_at_hit = 1;
+    plan.only_point = "tpm.nv_write.apply";
+    FaultScheduler scheduler;
+    scheduler.Arm(plan);
+    FaultInjectionScope scope(&scheduler);
+    try {
+      (void)tpm.NvWrite(kNvIndex, Bytes(8, 0x22));
+    } catch (const PowerLossException&) {
+    }
+  }
+};
+
+// A disabled crash point is one null check; keep the loop opaque enough that
+// the compiler cannot delete it.
+void HitCrashPoints(int n) {
+  for (int i = 0; i < n; ++i) {
+    CRASH_POINT("bench.noop");
+  }
+}
+
+// ---- google-benchmark section (table mode) ----
+
+void BM_InitStartupClear(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    rig.PowerCycle();
+  }
+}
+BENCHMARK(BM_InitStartupClear);
+
+void BM_StartupJournalReplay(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    rig.TearNvWrite();
+    rig.PowerCycle();
+  }
+}
+BENCHMARK(BM_StartupJournalReplay);
+
+void BM_SaveState(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.client.SaveState());
+  }
+}
+BENCHMARK(BM_SaveState);
+
+void BM_DisabledCrashPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    HitCrashPoints(1024);
+  }
+}
+BENCHMARK(BM_DisabledCrashPoint);
+
+// ---- JSON mode: fixed-schema report + absolute wall-time budgets ----
+
+template <typename Fn>
+double MeasureMicrosPerOp(Fn&& fn, double min_seconds, int max_iters) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // Warm-up iteration, untimed.
+  int iters = 0;
+  Clock::time_point start = Clock::now();
+  double elapsed = 0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds && iters < max_iters);
+  return elapsed / iters * 1e6;
+}
+
+int RunJsonBench(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_recovery: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+
+  Rig rig;
+  Result<CrashConsistentSealedStore> created = CrashConsistentSealedStore::Create(
+      &rig.client, Sha1::Digest(BytesOf("ctr")), rig.owner_auth);
+  if (!created.ok()) {
+    std::fprintf(stderr, "micro_recovery: store creation failed\n");
+    return 1;
+  }
+  CrashConsistentSealedStore store = created.take();
+  Bytes release_pcr = rig.client.PcrRead(17).value();
+  (void)store.Seal(BytesOf("gen-1"), release_pcr, Sha1::Digest(BytesOf("blob")));
+
+  struct Row {
+    const char* key;
+    double wall_us;    // Measured real time per operation.
+    double budget_us;  // Absolute ceiling; exceeding it fails the bench.
+  };
+  Row rows[] = {
+      {"init_startup_clear",
+       MeasureMicrosPerOp([&] { rig.PowerCycle(); }, 0.5, 200000), 1000.0},
+      {"startup_journal_replay",
+       MeasureMicrosPerOp(
+           [&] {
+             rig.TearNvWrite();
+             rig.PowerCycle();
+           },
+           0.5, 200000),
+       1500.0},
+      {"save_state",
+       MeasureMicrosPerOp([&] { benchmark::DoNotOptimize(rig.client.SaveState()); }, 0.5,
+                          200000),
+       1000.0},
+      {"store_recover",
+       MeasureMicrosPerOp([&] { benchmark::DoNotOptimize(store.Recover()); }, 0.5, 200000),
+       1000.0},
+      {"crash_point_disabled",
+       MeasureMicrosPerOp([&] { HitCrashPoints(1024); }, 0.2, 200000) / 1024.0, 0.05},
+  };
+
+  bool within_budget = true;
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"flicker-bench-robustness-v1\",\n"
+               "  \"operations\": {\n");
+  for (size_t i = 0; i < sizeof(rows) / sizeof(rows[0]); ++i) {
+    bool ok = rows[i].wall_us < rows[i].budget_us;
+    within_budget = within_budget && ok;
+    std::fprintf(out,
+                 "    \"%s\": {\"wall_us\": %.4f, \"budget_us\": %.2f}%s\n",
+                 rows[i].key, rows[i].wall_us, rows[i].budget_us,
+                 i + 1 < sizeof(rows) / sizeof(rows[0]) ? "," : "");
+    std::printf("%-22s: %10.4f us real (budget %8.2f us)%s\n", rows[i].key, rows[i].wall_us,
+                rows[i].budget_us, ok ? "" : "  OVER BUDGET");
+  }
+  std::fprintf(out,
+               "  },\n"
+               "  \"within_budget\": %s\n"
+               "}\n",
+               within_budget ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s (within_budget=%s)\n", path.c_str(), within_budget ? "true" : "false");
+  return within_budget ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace flicker
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--bench_json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return flicker::RunJsonBench(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "src/common/fault.h"
+
+namespace flicker {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+FaultScheduler*& ActiveSchedulerSlot() {
+  static FaultScheduler* active = nullptr;
+  return active;
+}
+
+}  // namespace
+
+CrashPlan CrashPlan::FromSeed(uint64_t seed, uint64_t max_hits) {
+  CrashPlan plan;
+  plan.crash_at_hit = max_hits == 0 ? 0 : 1 + SplitMix64(seed) % max_hits;
+  return plan;
+}
+
+void FaultScheduler::OnCrashPoint(const char* name) {
+  hits_.emplace_back(name);
+  if (!armed_ || plan_.crash_at_hit == 0) {
+    return;
+  }
+  if (!plan_.only_point.empty() && plan_.only_point != name) {
+    return;
+  }
+  if (++hit_count_ == plan_.crash_at_hit) {
+    armed_ = false;  // One crash per plan; recovery code must not re-crash.
+    throw PowerLossException(name, plan_.crash_at_hit);
+  }
+}
+
+FaultScheduler* ActiveFaultScheduler() { return ActiveSchedulerSlot(); }
+
+FaultInjectionScope::FaultInjectionScope(FaultScheduler* scheduler)
+    : previous_(ActiveSchedulerSlot()) {
+  ActiveSchedulerSlot() = scheduler;
+}
+
+FaultInjectionScope::~FaultInjectionScope() { ActiveSchedulerSlot() = previous_; }
+
+}  // namespace flicker

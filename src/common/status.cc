@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unavailable";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kTpmFailed:
+      return "tpm failed";
   }
   return "unknown";
 }
@@ -66,6 +68,9 @@ Status UnavailableError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status TpmFailedError(std::string message) {
+  return Status(StatusCode::kTpmFailed, std::move(message));
 }
 
 }  // namespace flicker

@@ -28,6 +28,7 @@ enum class StatusCode {
   kResourceExhausted,  // out of SLB space, NV space, counter overflow
   kUnavailable,        // transient transport failure; retry may succeed
   kInternal,           // simulator invariant broke (bug)
+  kTpmFailed,          // TPM in failure mode; only Startup/GetTestResult work
 };
 
 // Human-readable name for a code ("kIntegrityFailure" -> "integrity failure").
@@ -105,6 +106,7 @@ Status ReplayDetectedError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
+Status TpmFailedError(std::string message);
 
 #define FLICKER_RETURN_IF_ERROR(expr)       \
   do {                                      \

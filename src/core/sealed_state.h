@@ -12,6 +12,7 @@
 #define FLICKER_SRC_CORE_SEALED_STATE_H_
 
 #include <map>
+#include <optional>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -86,6 +87,90 @@ class NvReplayProtectedStorage {
 
   TpmClient* tpm_;
   uint32_t nv_index_;
+};
+
+// What Recover() found and did after a crash (see DESIGN.md §9).
+enum class RecoveryClass {
+  kClean,            // No staged snapshot; nothing to do.
+  kDiscardedStaged,  // Crash before the counter moved (or stale orphan): staged dropped.
+  kRolledForward,    // Counter moved but commit didn't: staged promoted to committed.
+  kFailClosed,       // Staged version is ahead of any state the counter explains.
+};
+
+// Crash-consistent wrapper around replay-protected sealing: a two-phase
+// protocol over untrusted storage (modeled by the staged/committed slots,
+// which survive machine resets the way a disk does).
+//
+//   Seal:  stage blob(version = counter+1)  ->  IncrementCounter  ->  commit
+//
+// A power loss between any two steps leaves a state Recover() can classify
+// from the staged version and the live counter alone:
+//   staged == counter+1  crash before the increment: the staged blob would
+//                        never unseal (its version is ahead) - discard it.
+//   staged == counter    increment landed, commit didn't: promote the staged
+//                        blob. The previously committed blob's version is now
+//                        behind the counter, so rolling forward is the only
+//                        way any data stays reachable - and it is the newest.
+//   staged <  counter    an orphan from an older crash - discard.
+//   staged >  counter+1  impossible under the protocol; refuse to serve
+//                        anything (fail closed) rather than guess.
+// In every class, UnsealLatest() still verifies the embedded version against
+// the live counter, so stale data is never returned even if classification
+// were wrong.
+// Deliberately mis-orderable protocol knobs; at namespace scope so the
+// store's declarations can default-construct it (a nested struct's member
+// initializers are not complete until the enclosing class is).
+struct CrashStoreOptions {
+  // Commit before increment: used to demonstrate that the crash matrix
+  // catches the stale-unseal bug.
+  bool broken_commit_before_increment = false;
+};
+
+class CrashConsistentSealedStore {
+ public:
+  using Options = CrashStoreOptions;
+
+  // Creates the backing monotonic counter (owner-authorized).
+  static Result<CrashConsistentSealedStore> Create(TpmClient* tpm, const Bytes& counter_auth,
+                                                   const Bytes& owner_secret,
+                                                   const Options& options = Options());
+
+  // Rebinds to an existing counter (the post-crash recovery path).
+  CrashConsistentSealedStore(TpmClient* tpm, uint32_t counter_id, Bytes counter_auth,
+                             const Options& options = Options());
+
+  // Two-phase seal; on success the new version is committed and readable.
+  // A PowerLossException can escape from any CRASH_POINT inside.
+  Status Seal(const Bytes& data, const Bytes& release_pcr17, const Bytes& blob_auth);
+
+  // Classifies the on-"disk" state after a crash and repairs it. Must be
+  // called before UnsealLatest() after any reset.
+  Result<RecoveryClass> Recover();
+
+  // Unseals the committed blob and verifies its embedded version against the
+  // live counter; kReplayDetected for stale data, error after fail-closed.
+  Result<Bytes> UnsealLatest(const Bytes& blob_auth);
+
+  uint32_t counter_id() const { return counter_id_; }
+  bool has_committed() const { return committed_.has_value(); }
+  bool has_staged() const { return staged_.has_value(); }
+  uint64_t committed_version() const { return committed_ ? committed_->version : 0; }
+
+ private:
+  struct Snapshot {
+    SealedBlob blob;
+    uint64_t version = 0;
+  };
+
+  TpmClient* tpm_;
+  uint32_t counter_id_;
+  Bytes counter_auth_;
+  Options options_;
+
+  // The untrusted OS's disk: both slots persist across machine resets.
+  std::optional<Snapshot> staged_;
+  std::optional<Snapshot> committed_;
+  bool fail_closed_ = false;
 };
 
 }  // namespace flicker

@@ -1,5 +1,6 @@
 #include "src/hw/machine.h"
 
+#include "src/common/fault.h"
 #include "src/crypto/sha1.h"
 
 namespace flicker {
@@ -50,6 +51,12 @@ Result<SkinitLaunch> Machine::Skinit(int cpu_index, uint64_t slb_base) {
   if (!memory_.InBounds(slb_base, kSlbRegionSize)) {
     return InvalidArgumentError("SLB region exceeds physical memory");
   }
+  // The launch handshake talks to the TPM; a TPM that has not been started
+  // up (or is in failure mode) cannot accept the dynamic-PCR reset.
+  if (tpm_.lifecycle_state() != TpmLifecycleState::kOperational) {
+    return FailedPreconditionError("SKINIT requires an operational TPM (run TPM_Startup)");
+  }
+  CRASH_POINT("skinit.enter");
 
   // Parse and validate the SLB header: first two 16-bit words are length and
   // entry point (§2.4).
@@ -91,6 +98,7 @@ Result<SkinitLaunch> Machine::Skinit(int cpu_index, uint64_t slb_base) {
     }
     measurement = Sha1::Digest(slb_bytes.value());
   }
+  CRASH_POINT("skinit.measured");
   if (tech_ == LateLaunchTech::kIntelTxt) {
     // SENTER: the SINIT ACM is authenticated and measured first, then the
     // launched environment - PCR 17 gains the extra well-known link.
@@ -99,6 +107,7 @@ Result<SkinitLaunch> Machine::Skinit(int cpu_index, uint64_t slb_base) {
   } else {
     tpm_transport_.hardware()->SkinitReset(measurement);
   }
+  CRASH_POINT("skinit.pcr_extended");
   clock_.AdvanceMillis(timing_.SkinitMillis(length));
 
   // CPU enters flat 32-bit protected mode at the SLB entry point.
@@ -124,6 +133,7 @@ Status Machine::ExitSecureMode(int cpu_index, uint64_t restored_cr3) {
   if (!in_secure_session_) {
     return FailedPreconditionError("no secure session active");
   }
+  CRASH_POINT("machine.exit_secure");
   Cpu& cpu = cpus_[static_cast<size_t>(cpu_index)];
   cpu.LoadFlatSegments();
   cpu.paging_enabled = true;
@@ -169,5 +179,33 @@ void Machine::Reboot() {
     cpu.LoadFlatSegments();
   }
 }
+
+// Shared tail of both reset kinds: everything except what happens to RAM.
+// The TPM reset line fires via Hardware::Init - no TPM_Startup - so the
+// device refuses commands until recovery software issues one.
+void Machine::ResetCommon() {
+  tpm_transport_.hardware()->Init();
+  dev_.Clear();
+  in_secure_session_ = false;
+  active_slb_base_ = 0;
+  for (Cpu& cpu : cpus_) {
+    cpu.state = CpuState::kRunning;
+    cpu.ring = 0;
+    cpu.interrupts_enabled = true;
+    cpu.debug_access_enabled = true;
+    cpu.paging_enabled = true;
+    cpu.LoadFlatSegments();
+  }
+}
+
+void Machine::PowerCut() {
+  // RAM loses its contents; Erase also dirties measurement-cache watches so
+  // no cached SLB digest survives the outage.
+  Status erased = memory_.Erase(0, memory_.size());
+  (void)erased;  // Erasing the whole address space cannot go out of bounds.
+  ResetCommon();
+}
+
+void Machine::WarmReset() { ResetCommon(); }
 
 }  // namespace flicker

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "src/common/bytes.h"
+#include "src/common/fault.h"
 #include "src/common/status.h"
 #include "src/hw/clock.h"
 #include "src/hw/cpu.h"
@@ -117,7 +118,27 @@ class Machine {
   // cleared.
   void Reboot();
 
+  // ---- Power domain / reset model ----
+  //
+  // PowerCut models the cord being pulled: RAM contents are lost (zeroed),
+  // the TPM reset line fires (TPM_Init, volatile state gone), and every CPU
+  // comes back at its reset vector. WarmReset models a reset-button press:
+  // identical except RAM survives. Neither runs the BIOS's TPM_Startup -
+  // recovery software must issue it, which is exactly what the crash matrix
+  // exercises. The firing of either mid-operation is simulated by the
+  // FaultScheduler throwing PowerLossException from a CRASH_POINT; the test
+  // harness catches it and calls one of these to complete the crash.
+  void PowerCut();
+  void WarmReset();
+
+  // The machine's fault scheduler: arm it (and install it via
+  // FaultInjectionScope) to make the Nth CRASH_POINT throw. Owned here so
+  // the power domain and its crash plan travel with the platform.
+  FaultScheduler* fault_scheduler() { return &fault_scheduler_; }
+
  private:
+  void ResetCommon();
+
   SimClock clock_;
   LateLaunchTech tech_;
   TimingModel timing_;
@@ -130,6 +151,7 @@ class Machine {
   TpmClient tpm_client_;
 
   MeasurementEngine* measurement_engine_ = nullptr;
+  FaultScheduler fault_scheduler_;
 
   bool in_secure_session_ = false;
   uint64_t active_slb_base_ = 0;

@@ -2,38 +2,120 @@
 
 namespace flicker {
 
+Result<AttestationResponse> TpmQuoteDaemon::QuoteOnce(const Bytes& nonce,
+                                                      const PcrSelection& selection) {
+  Result<TpmQuote> quote = machine_->tpm()->Quote(nonce, selection);
+  if (!quote.ok()) {
+    return quote.status();
+  }
+  AttestationResponse response;
+  response.quote = quote.take();
+  response.aik_public = machine_->tpm()->aik_public().Serialize();
+  return response;
+}
+
+void TpmQuoteDaemon::NoteTpmFailure() {
+  ++consecutive_tpm_failures_;
+  if (!breaker_open_ && consecutive_tpm_failures_ >= config_.breaker_threshold) {
+    breaker_open_ = true;
+    breaker_opened_at_us_ = machine_->clock()->NowMicros();
+  }
+}
+
+bool TpmQuoteDaemon::BreakerAllows() {
+  if (!breaker_open_) {
+    return true;
+  }
+  double open_ms = static_cast<double>(machine_->clock()->NowMicros() - breaker_opened_at_us_) /
+                   1000.0;
+  if (open_ms < config_.breaker_cooldown_ms) {
+    return false;
+  }
+  // Half-open probe: GetTestResult is accepted even in failure mode, so it
+  // is the cheapest way to ask whether the device self-tests clean now.
+  Result<uint32_t> probe = machine_->tpm()->GetTestResult();
+  if (probe.ok() && probe.value() == kTpmTestPassed) {
+    breaker_open_ = false;
+    consecutive_tpm_failures_ = 0;
+    return true;
+  }
+  // Still sick: restart the cooldown so probes stay rate-limited.
+  breaker_opened_at_us_ = machine_->clock()->NowMicros();
+  return false;
+}
+
 Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
                                                             const PcrSelection& selection) {
   if (machine_->in_secure_session()) {
     return FailedPreconditionError("OS suspended: quote daemon not running");
   }
+  if (!BreakerAllows()) {
+    queued_.push_back(QueuedChallenge{nonce, selection});
+    return TpmFailedError("TPM circuit breaker open; challenge queued");
+  }
 
   // Bounded retry with exponential backoff on transient transport faults.
   // The quote is a single TPM_ORD_Quote frame, so one lost frame costs one
-  // retry; anything other than kUnavailable is a real TPM verdict and is
-  // surfaced immediately.
+  // retry; anything other than kUnavailable is a real TPM verdict. kTpmFailed
+  // verdicts feed the circuit breaker; other errors surface immediately.
+  const uint64_t challenge_start_us = machine_->clock()->NowMicros();
   double backoff_ms = config_.initial_backoff_ms;
   Status last_failure = UnavailableError("quote never attempted");
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (config_.retry_deadline_ms > 0) {
+        double elapsed_ms =
+            static_cast<double>(machine_->clock()->NowMicros() - challenge_start_us) / 1000.0;
+        if (elapsed_ms + backoff_ms > config_.retry_deadline_ms) {
+          return Status(StatusCode::kUnavailable,
+                        "quote retry deadline exceeded: " + last_failure.message());
+        }
+      }
       machine_->clock()->AdvanceMillis(backoff_ms);
       backoff_ms *= 2;
       ++retries_;
     }
-    Result<TpmQuote> quote = machine_->tpm()->Quote(nonce, selection);
-    if (quote.ok()) {
-      AttestationResponse response;
-      response.quote = quote.take();
-      response.aik_public = machine_->tpm()->aik_public().Serialize();
+    Result<AttestationResponse> response = QuoteOnce(nonce, selection);
+    if (response.ok()) {
+      consecutive_tpm_failures_ = 0;
       return response;
     }
-    if (quote.status().code() != StatusCode::kUnavailable) {
-      return quote.status();
+    if (response.status().code() == StatusCode::kTpmFailed) {
+      NoteTpmFailure();
+      if (breaker_open_) {
+        queued_.push_back(QueuedChallenge{nonce, selection});
+        return TpmFailedError("TPM entered failure mode; challenge queued");
+      }
+      return response.status();
     }
-    last_failure = quote.status();
+    if (response.status().code() != StatusCode::kUnavailable) {
+      return response.status();
+    }
+    last_failure = response.status();
   }
   return Status(StatusCode::kUnavailable,
                 "quote retry budget exhausted: " + last_failure.message());
+}
+
+Status TpmQuoteDaemon::DrainQueued(std::vector<AttestationResponse>* responses) {
+  if (!BreakerAllows()) {
+    return TpmFailedError("TPM circuit breaker still open");
+  }
+  std::vector<QueuedChallenge> pending;
+  pending.swap(queued_);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    Result<AttestationResponse> response = QuoteOnce(pending[i].nonce, pending[i].selection);
+    if (!response.ok()) {
+      if (response.status().code() == StatusCode::kTpmFailed) {
+        NoteTpmFailure();
+      }
+      // Put this and everything after it back, preserving order.
+      queued_.insert(queued_.begin(), pending.begin() + static_cast<long>(i), pending.end());
+      return response.status();
+    }
+    responses->push_back(response.take());
+  }
+  return Status::Ok();
 }
 
 }  // namespace flicker

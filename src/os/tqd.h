@@ -8,9 +8,18 @@
 // daemon retries transient (kUnavailable) quote failures with exponential
 // backoff, charging the waiting time to the simulated clock like any real
 // driver timeout. Permanent errors are returned immediately.
+//
+// A TPM that enters failure mode (kTpmFailed) trips a circuit breaker: the
+// daemon stops hammering the device, queues incoming challenges, and probes
+// with TPM_GetTestResult after a cooldown; once the device self-tests clean
+// again the queue can be drained. The retry loop also respects a total
+// simulated-clock deadline so a dead transport cannot stall a challenge
+// forever.
 
 #ifndef FLICKER_SRC_OS_TQD_H_
 #define FLICKER_SRC_OS_TQD_H_
+
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -29,6 +38,14 @@ struct AttestationResponse {
 struct TqdConfig {
   int max_attempts = 4;            // One initial try plus up to three retries.
   double initial_backoff_ms = 2.0; // Doubles after every transient failure.
+  // Watchdog: total simulated-clock budget (ms) one challenge may consume
+  // across all retries and backoff waits; 0 means unlimited. Checked before
+  // each retry so the daemon never sleeps past its deadline.
+  double retry_deadline_ms = 0;
+  // Circuit breaker: consecutive kTpmFailed verdicts that open it, and how
+  // long (simulated ms) it stays open before a half-open probe.
+  int breaker_threshold = 3;
+  double breaker_cooldown_ms = 500.0;
 };
 
 class TpmQuoteDaemon {
@@ -38,16 +55,39 @@ class TpmQuoteDaemon {
 
   // Handles a challenge: quote the selected PCRs over the verifier's nonce.
   // Fails while a Flicker session holds the platform (the OS, and hence the
-  // daemon, is suspended).
+  // daemon, is suspended). With the breaker open the challenge is queued and
+  // kTpmFailed returned; DrainQueued() serves it once the TPM recovers.
   Result<AttestationResponse> HandleChallenge(const Bytes& nonce, const PcrSelection& selection);
+
+  // Re-attempts every queued challenge (oldest first). Responses for the
+  // ones that now succeed are appended to `responses`; the rest stay queued.
+  Status DrainQueued(std::vector<AttestationResponse>* responses);
 
   // Transient failures absorbed by retries since construction.
   uint64_t retries() const { return retries_; }
+  bool breaker_open() const { return breaker_open_; }
+  size_t queued_count() const { return queued_.size(); }
 
  private:
+  struct QueuedChallenge {
+    Bytes nonce;
+    PcrSelection selection;
+  };
+
+  Result<AttestationResponse> QuoteOnce(const Bytes& nonce, const PcrSelection& selection);
+  void NoteTpmFailure();
+  // True when the breaker may pass traffic again (closed, or cooldown over
+  // and the half-open GetTestResult probe came back clean).
+  bool BreakerAllows();
+
   Machine* machine_;
   TqdConfig config_;
   uint64_t retries_ = 0;
+
+  bool breaker_open_ = false;
+  int consecutive_tpm_failures_ = 0;
+  uint64_t breaker_opened_at_us_ = 0;
+  std::vector<QueuedChallenge> queued_;
 };
 
 }  // namespace flicker

@@ -1,5 +1,6 @@
 #include "src/slb/slb_core.h"
 
+#include "src/common/fault.h"
 #include "src/crypto/sha1.h"
 #include "src/slb/pal.h"
 #include "src/tpm/pcr_bank.h"
@@ -43,6 +44,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   Cpu* bsp = machine->bsp();
   TpmClient* tpm = machine->tpm();
   SessionRecord record;
+  CRASH_POINT("slb.entry");
 
   // Step 1: measurement-stub path. SKINIT only measured the stub; the stub
   // now hashes the whole 64 KB region on the (fast) main CPU and extends it.
@@ -118,6 +120,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   record.pal_execute_ms = pal_watch.ElapsedMillis();
   record.pal_fault_count = context.fault_count();
   bsp->ring = 0;  // Call gate + TSS return the SLB core to ring 0.
+  CRASH_POINT("slb.pal_done");
 
   // Step 4: publish outputs to the well-known page, then erase everything
   // else the session touched (code, stack, inputs).
@@ -125,6 +128,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   FLICKER_RETURN_IF_ERROR(WriteIoPage(machine->memory(), base + kSlbOutputsOffset, record.outputs));
   FLICKER_RETURN_IF_ERROR(machine->memory()->Erase(base, kSlbRegionSize));
   FLICKER_RETURN_IF_ERROR(machine->memory()->Erase(base + kSlbInputsOffset, kSlbIoPageSize));
+  CRASH_POINT("slb.erased");
 
   // Step 5: closing extends (§4.4.1): inputs, outputs, nonce, termination
   // constant - in that order, mirrored by the verifier.

@@ -87,6 +87,10 @@ const char* TpmOrdinalName(uint32_t ordinal) {
     case kOrdOsap: return "TPM_ORD_OSAP";
     case kOrdTakeOwnership: return "TPM_ORD_TakeOwnership";
     case kOrdExtend: return "TPM_ORD_Extend";
+    case kOrdSelfTestFull: return "TPM_ORD_SelfTestFull";
+    case kOrdGetTestResult: return "TPM_ORD_GetTestResult";
+    case kOrdSaveState: return "TPM_ORD_SaveState";
+    case kOrdStartup: return "TPM_ORD_Startup";
     case kOrdPcrRead: return "TPM_ORD_PcrRead";
     case kOrdQuote: return "TPM_ORD_Quote";
     case kOrdSeal: return "TPM_ORD_Seal";
@@ -110,6 +114,9 @@ const char* TpmOrdinalName(uint32_t ordinal) {
     case kOrdHwExtendIdentityPcr: return "HW_ExtendIdentityPcr";
     case kOrdHwPowerCycle: return "HW_PowerCycle";
     case kOrdHwSetLocality: return "HW_SetLocality";
+    case kOrdHwInit: return "HW_Init";
+    case kOrdHwForceFailure: return "HW_ForceFailureMode";
+    case kOrdHwClearFailure: return "HW_ClearFailureMode";
     default: return "TPM_ORD_<unknown>";
   }
 }
@@ -126,7 +133,7 @@ StatusCode StatusCodeFromReturnCode(uint32_t return_code) {
     return StatusCode::kOk;
   }
   uint32_t raw = return_code - kVendorErrorBase;
-  if (raw >= 1 && raw <= static_cast<uint32_t>(StatusCode::kInternal)) {
+  if (raw >= 1 && raw <= static_cast<uint32_t>(StatusCode::kTpmFailed)) {
     return static_cast<StatusCode>(raw);
   }
   return StatusCode::kInternal;
@@ -358,6 +365,18 @@ Bytes BuildTakeOwnership(const Bytes& owner_auth) {
   return BuildCommandFrame(kTagRequest, kOrdTakeOwnership, w.Take());
 }
 
+Bytes BuildStartup(TpmStartupType type) {
+  Writer w;
+  w.U16(type == TpmStartupType::kClear ? 1 : 2);  // TPM_ST_CLEAR / TPM_ST_STATE
+  return BuildCommandFrame(kTagRequest, kOrdStartup, w.Take());
+}
+
+Bytes BuildSaveState() { return BuildCommandFrame(kTagRequest, kOrdSaveState, Bytes()); }
+
+Bytes BuildSelfTestFull() { return BuildCommandFrame(kTagRequest, kOrdSelfTestFull, Bytes()); }
+
+Bytes BuildGetTestResult() { return BuildCommandFrame(kTagRequest, kOrdGetTestResult, Bytes()); }
+
 Bytes BuildGetCapability() { return BuildCommandFrame(kTagRequest, kOrdGetCapability, Bytes()); }
 
 Bytes BuildGetAikBlob() { return BuildCommandFrame(kTagRequest, kOrdGetAikBlob, Bytes()); }
@@ -427,6 +446,18 @@ Result<Bytes> ParseBlobPayload(const Bytes& payload) {
     return InvalidArgumentError("malformed TPM blob payload");
   }
   return blob;
+}
+
+Result<TpmStartupReport> ParseStartupPayload(const Bytes& payload) {
+  Reader r(payload);
+  TpmStartupReport report;
+  report.journal_rolled_forward = r.U8() != 0;
+  report.journal_discarded = r.U8() != 0;
+  report.state_restored = r.U8() != 0;
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("malformed TPM startup payload");
+  }
+  return report;
 }
 
 Result<Tpm::Capabilities> ParseCapabilityPayload(const Bytes& payload) {
@@ -653,6 +684,40 @@ Bytes HandleFrame(Tpm* tpm, const CommandFrame& cmd) {
       }
       return respond(tpm->TakeOwnership(owner_auth));
     }
+    case kOrdStartup: {
+      uint16_t type = r.U16();
+      if (!r.ok() || !r.AtEnd() || type < 1 || type > 2) {
+        return malformed();
+      }
+      Result<TpmStartupReport> report =
+          tpm->Startup(type == 1 ? TpmStartupType::kClear : TpmStartupType::kState);
+      if (!report.ok()) {
+        return respond(report.status());
+      }
+      payload.U8(report.value().journal_rolled_forward ? 1 : 0);
+      payload.U8(report.value().journal_discarded ? 1 : 0);
+      payload.U8(report.value().state_restored ? 1 : 0);
+      return respond(Status::Ok());
+    }
+    case kOrdSaveState: {
+      if (!r.AtEnd()) {
+        return malformed();
+      }
+      return respond(tpm->SaveState());
+    }
+    case kOrdSelfTestFull: {
+      if (!r.AtEnd()) {
+        return malformed();
+      }
+      return respond(tpm->SelfTestFull());
+    }
+    case kOrdGetTestResult: {
+      if (!r.AtEnd()) {
+        return malformed();
+      }
+      payload.U32(tpm->GetTestResult());
+      return respond(Status::Ok());
+    }
     case kOrdGetCapability: {
       if (!r.AtEnd()) {
         return malformed();
@@ -689,6 +754,22 @@ Bytes DispatchFrame(Tpm* tpm, const Bytes& request_frame) {
   Result<CommandFrame> cmd = ParseCommandFrame(request_frame);
   if (!cmd.ok()) {
     return BuildResponseFrame(/*auth1=*/false, cmd.status(), Bytes());
+  }
+  // Lifecycle gate (TPM 1.2 §"Startup"): after TPM_Init only TPM_Startup is
+  // accepted; in failure mode only TPM_Startup and TPM_GetTestResult are.
+  const uint32_t ordinal = cmd.value().ordinal;
+  const bool lifecycle_exempt = ordinal == kOrdStartup || ordinal == kOrdGetTestResult;
+  if (!lifecycle_exempt) {
+    const bool auth1 = cmd.value().tag == kTagRequestAuth1;
+    if (tpm->lifecycle_state() == TpmLifecycleState::kNeedStartup) {
+      return BuildResponseFrame(
+          auth1, FailedPreconditionError("TPM_Init: TPM_Startup required"), Bytes());
+    }
+    if (tpm->lifecycle_state() == TpmLifecycleState::kFailed) {
+      return BuildResponseFrame(
+          auth1, TpmFailedError("TPM in failure mode; only Startup/GetTestResult accepted"),
+          Bytes());
+    }
   }
   return HandleFrame(tpm, cmd.value());
 }

@@ -47,8 +47,12 @@ enum TpmOrdinal : uint32_t {
   kOrdUnseal = 0x00000018,
   kOrdLoadKey2 = 0x00000041,
   kOrdGetRandom = 0x00000046,
+  kOrdSelfTestFull = 0x00000050,
+  kOrdGetTestResult = 0x00000054,
   kOrdGetCapability = 0x00000065,
   kOrdTerminateHandle = 0x00000096,
+  kOrdSaveState = 0x00000098,
+  kOrdStartup = 0x00000099,
   kOrdFlushSpecific = 0x000000BA,
   kOrdNvDefineSpace = 0x000000CC,
   kOrdNvWriteValue = 0x000000CD,
@@ -69,6 +73,9 @@ enum TpmOrdinal : uint32_t {
   kOrdHwExtendIdentityPcr = 0xF0000011,
   kOrdHwPowerCycle = 0xF0000012,
   kOrdHwSetLocality = 0xF0000013,
+  kOrdHwInit = 0xF0000014,
+  kOrdHwForceFailure = 0xF0000015,
+  kOrdHwClearFailure = 0xF0000016,
 };
 
 // Human-readable ordinal name for traces ("TPM_ORD_Quote").
@@ -133,6 +140,10 @@ Bytes BuildCreateCounter(const Bytes& counter_auth, const CommandAuth& auth);
 Bytes BuildIncrementCounter(uint32_t id, const Bytes& counter_auth);
 Bytes BuildReadCounter(uint32_t id);
 Bytes BuildTakeOwnership(const Bytes& owner_auth);
+Bytes BuildStartup(TpmStartupType type);
+Bytes BuildSaveState();
+Bytes BuildSelfTestFull();
+Bytes BuildGetTestResult();
 Bytes BuildGetCapability();
 Bytes BuildGetAikBlob();
 Bytes BuildGetPubKey(bool srk);
@@ -145,6 +156,7 @@ Result<uint32_t> ParseHandlePayload(const Bytes& payload);
 Result<uint64_t> ParseCounterPayload(const Bytes& payload);
 Result<Bytes> ParseBlobPayload(const Bytes& payload);
 Result<Tpm::Capabilities> ParseCapabilityPayload(const Bytes& payload);
+Result<TpmStartupReport> ParseStartupPayload(const Bytes& payload);
 
 // ---- Device side ----
 //

@@ -20,6 +20,12 @@ void PcrBank::DynamicReset() {
   }
 }
 
+void PcrBank::RestoreStaticFrom(const PcrBank& saved) {
+  for (int i = 0; i < kFirstDynamicPcr; ++i) {
+    values_[i] = saved.values_[i];
+  }
+}
+
 Status PcrBank::Extend(int index, const Bytes& measurement) {
   if (!ValidIndex(index)) {
     return InvalidArgumentError("PCR index out of range");

@@ -28,6 +28,11 @@ class PcrBank {
   // software.
   void DynamicReset();
 
+  // TPM_Startup(ST_STATE): restore static PCRs 0-16 from a SaveState
+  // snapshot. Resettable (dynamic) PCRs keep their post-Init default of -1:
+  // a suspend/resume cycle must never resurrect a launch-session PCR value.
+  void RestoreStaticFrom(const PcrBank& saved);
+
   // PCR_i <- SHA1(PCR_i || measurement). Measurement must be 20 bytes.
   Status Extend(int index, const Bytes& measurement);
 

@@ -1,8 +1,10 @@
 #include "src/tpm/tpm.h"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
+#include "src/common/fault.h"
 #include "src/crypto/aes.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha1.h"
@@ -59,6 +61,121 @@ Tpm::Tpm(SimClock* clock, TpmTimingProfile profile, TpmConfig config)
   const ManufacturedKeys& keys = GetManufacturedKeys(config.manufacture_seed, config.key_bits);
   srk_ = keys.srk;
   aik_ = keys.aik;
+}
+
+// ---- Lifecycle ----
+
+uint32_t Tpm::JournalCrc(const JournalEntry& entry) {
+  // CRC-32 (reflected polynomial) over every field but the checksum itself.
+  // A record whose stored crc disagrees was torn mid-write.
+  Bytes encoded;
+  encoded.push_back(static_cast<uint8_t>(entry.kind));
+  encoded.push_back(entry.committed ? 1 : 0);
+  PutUint32(&encoded, entry.index);
+  PutUint64(&encoded, entry.counter_value);
+  encoded.insert(encoded.end(), entry.data.begin(), entry.data.end());
+
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : encoded) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+void Tpm::ReplayJournal(TpmStartupReport* report) {
+  if (!journal_.has_value()) {
+    return;
+  }
+  const JournalEntry& entry = *journal_;
+  if (entry.crc != JournalCrc(entry) || !entry.committed) {
+    // Torn record (checksum mismatch) or crash before the commit mark: the
+    // mutation never happened as far as the caller knows, and the payload
+    // area was untouched, so discarding is the correct roll-back.
+    journal_.reset();
+    report->journal_discarded = true;
+    return;
+  }
+  // Committed: roll forward. Re-applying is idempotent, so a crash that
+  // struck between commit and apply (or mid-apply, leaving a half-written
+  // payload) converges to the same state.
+  switch (entry.kind) {
+    case JournalEntry::Kind::kNvWrite: {
+      auto it = nv_spaces_.find(entry.index);
+      if (it != nv_spaces_.end()) {
+        it->second.data = entry.data;
+      }
+      break;
+    }
+    case JournalEntry::Kind::kCounterIncrement: {
+      auto it = counters_.find(entry.index);
+      if (it != counters_.end()) {
+        // max() keeps the counter monotonic even if the increment had
+        // already landed before the cut.
+        it->second.value = std::max(it->second.value, entry.counter_value);
+      }
+      break;
+    }
+  }
+  journal_.reset();
+  report->journal_rolled_forward = true;
+}
+
+Result<TpmStartupReport> Tpm::Startup(TpmStartupType type) {
+  if (lifecycle_ == TpmLifecycleState::kOperational) {
+    return FailedPreconditionError("TPM_Startup without a preceding TPM_Init");
+  }
+  TpmStartupReport report;
+  ReplayJournal(&report);
+
+  if (type == TpmStartupType::kState) {
+    if (!saved_state_valid_) {
+      // The spec's answer to a ST_STATE resume with nothing to resume:
+      // failure mode until the platform restarts with ST_CLEAR.
+      self_test_result_ = kTpmTestNoSavedState;
+      lifecycle_ = TpmLifecycleState::kFailed;
+      return TpmFailedError("TPM_Startup(ST_STATE) without valid saved state");
+    }
+    pcrs_.RestoreStaticFrom(saved_pcrs_);
+    report.state_restored = true;
+  } else if (self_test_result_ == kTpmTestNoSavedState) {
+    // ST_CLEAR needs no saved state; the resume failure is not permanent.
+    self_test_result_ = kTpmTestPassed;
+  }
+  // The snapshot is single-use either way.
+  saved_state_valid_ = false;
+
+  if (self_test_result_ != kTpmTestPassed) {
+    lifecycle_ = TpmLifecycleState::kFailed;
+    return TpmFailedError("TPM self test failed during startup");
+  }
+  lifecycle_ = TpmLifecycleState::kOperational;
+  return report;
+}
+
+Status Tpm::SaveState() {
+  if (lifecycle_ != TpmLifecycleState::kOperational) {
+    return FailedPreconditionError("TPM_SaveState requires an operational TPM");
+  }
+  saved_state_valid_ = false;  // A partially written snapshot is no snapshot.
+  saved_pcrs_ = pcrs_;
+  CRASH_POINT("tpm.save_state");
+  saved_state_valid_ = true;
+  return Status::Ok();
+}
+
+Status Tpm::SelfTestFull() {
+  if (lifecycle_ == TpmLifecycleState::kNeedStartup) {
+    return FailedPreconditionError("TPM_Init: TPM_Startup required");
+  }
+  if (self_test_result_ != kTpmTestPassed) {
+    lifecycle_ = TpmLifecycleState::kFailed;
+    return TpmFailedError("TPM self test failed");
+  }
+  lifecycle_ = TpmLifecycleState::kOperational;
+  return Status::Ok();
 }
 
 Bytes Tpm::GetRandom(size_t len) {
@@ -540,7 +657,31 @@ Status Tpm::NvWrite(uint32_t index, const Bytes& data) {
       return PermissionDeniedError("PCR state does not authorize NV write");
     }
   }
+
+  // Write-ahead journal: record -> checksum -> commit mark -> apply -> clear,
+  // with a durability boundary between each stage. NVRAM programs in
+  // sectors, so the apply stage really is tearable: model the first half of
+  // the payload landing before the second.
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kNvWrite;
+  entry.index = index;
+  entry.data = data;
+  journal_ = entry;
+  CRASH_POINT("tpm.nv_write.journal");  // Torn record: crc still unset.
+  journal_->crc = JournalCrc(*journal_);
+  CRASH_POINT("tpm.nv_write.staged");  // Valid record, no commit mark.
+  journal_->committed = true;
+  journal_->crc = JournalCrc(*journal_);
+  CRASH_POINT("tpm.nv_write.commit");  // Committed, payload area untouched.
+  Bytes torn(data.begin(), data.begin() + static_cast<long>(data.size() / 2));
+  if (space.data.size() > torn.size()) {
+    torn.insert(torn.end(), space.data.begin() + static_cast<long>(torn.size()),
+                space.data.end());
+  }
+  space.data = torn;
+  CRASH_POINT("tpm.nv_write.apply");  // Half-written payload, journal committed.
   space.data = data;
+  journal_.reset();
   return Status::Ok();
 }
 
@@ -584,7 +725,25 @@ Result<uint64_t> Tpm::IncrementCounter(uint32_t id, const Bytes& counter_auth) {
   if (!ConstantTimeEquals(it->second.auth, counter_auth)) {
     return PermissionDeniedError("counter auth mismatch");
   }
-  return ++it->second.value;
+
+  // Same journal discipline as NvWrite; the apply itself is a single-word
+  // program and therefore atomic, but the window between the commit mark and
+  // the apply is not.
+  const uint64_t target = it->second.value + 1;
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kCounterIncrement;
+  entry.index = id;
+  entry.counter_value = target;
+  journal_ = entry;
+  CRASH_POINT("tpm.counter.journal");  // Torn record: crc still unset.
+  journal_->crc = JournalCrc(*journal_);
+  CRASH_POINT("tpm.counter.staged");  // Valid record, no commit mark.
+  journal_->committed = true;
+  journal_->crc = JournalCrc(*journal_);
+  CRASH_POINT("tpm.counter.commit");  // Committed, counter word not yet programmed.
+  it->second.value = target;
+  journal_.reset();
+  return target;
 }
 
 Result<uint64_t> Tpm::ReadCounter(uint32_t id) {
@@ -651,11 +810,38 @@ void Tpm::HardwareInterface::ExtendIdentityPcr(const Bytes& measurement) {
   (void)st;  // 20-byte digests from the CPU cannot fail validation.
 }
 
-void Tpm::HardwareInterface::PowerCycle() {
+void Tpm::HardwareInterface::Init() {
+  // The reset line: volatile state evaporates, persistent state (NV spaces,
+  // counters, the journal, the SaveState snapshot, the fault latch) stays.
   tpm_->pcrs_.PowerCycleReset();
   tpm_->sessions_.clear();
+  tpm_->key_slots_.clear();
   Status st = tpm_->TransitionLocality(0, /*hardware=*/true);
   (void)st;
+  tpm_->lifecycle_ = TpmLifecycleState::kNeedStartup;
+}
+
+void Tpm::HardwareInterface::PowerCycle() {
+  Init();
+  // The BIOS issues TPM_Startup(ST_CLEAR) during POST; callers of this
+  // one-shot reboot get back an operational TPM (or one parked in failure
+  // mode, which Startup reports and the caller's next command will see).
+  Result<TpmStartupReport> started = tpm_->Startup(TpmStartupType::kClear);
+  (void)started;
+}
+
+void Tpm::HardwareInterface::ForceFailureMode() {
+  tpm_->self_test_result_ = kTpmTestHardwareFault;
+  tpm_->lifecycle_ = TpmLifecycleState::kFailed;
+}
+
+void Tpm::HardwareInterface::ClearFailureMode() {
+  if (tpm_->self_test_result_ == kTpmTestHardwareFault) {
+    tpm_->self_test_result_ = kTpmTestPassed;
+  }
+  // The device stays in failure mode until software runs TPM_Startup;
+  // clearing the latch models the fault going away, not the recovery
+  // protocol.
 }
 
 }  // namespace flicker

@@ -58,11 +58,75 @@ enum class AuthEntity {
   kOwner,  // TPM owner: authorizes NV definition and counter creation.
 };
 
+// ---- v1.2 lifecycle (TPM_Init -> TPM_Startup -> operational) ----
+//
+// TPM_Init is the hardware reset signal (a power cut or platform reset);
+// after it the TPM accepts only TPM_Startup/TPM_GetTestResult until software
+// issues TPM_Startup. A failed self test (or a ST_STATE resume without valid
+// saved state) enters failure mode, where again only those two commands are
+// accepted - everything else answers kTpmFailed.
+
+enum class TpmStartupType {
+  kClear,  // TPM_ST_CLEAR: boot with default volatile state.
+  kState,  // TPM_ST_STATE: resume from a TPM_SaveState snapshot (S3 wake).
+};
+
+enum class TpmLifecycleState {
+  kNeedStartup,  // TPM_Init seen; waiting for TPM_Startup.
+  kOperational,
+  kFailed,       // self-test failure mode.
+};
+
+// What TPM_Startup did while bringing the device up - the recovery story a
+// crash-consistency harness asserts on.
+struct TpmStartupReport {
+  bool journal_rolled_forward = false;  // committed NV/counter journal applied
+  bool journal_discarded = false;       // torn or uncommitted journal dropped
+  bool state_restored = false;          // ST_STATE restored static PCRs
+};
+
+// TPM_GetTestResult values the model reports.
+constexpr uint32_t kTpmTestPassed = 0;
+constexpr uint32_t kTpmTestNoSavedState = 0x21;   // ST_STATE without SaveState
+constexpr uint32_t kTpmTestHardwareFault = 0x5A;  // injected permanent fault
+
 class Tpm {
  public:
   Tpm(SimClock* clock, TpmTimingProfile profile, TpmConfig config = TpmConfig());
 
   // ---- Software command interface (what drivers may call) ----
+
+  // ---- Lifecycle commands (§v1.2 startup semantics) ----
+  //
+  // These charge no simulated latency: the calibrated Broadcom profile
+  // models steady-state command costs, and startup happens outside every
+  // measured window, so the reproduced tables are unaffected.
+
+  // TPM_Startup. Replays the NV/counter write-ahead journal (rolling a
+  // committed record forward, discarding a torn or uncommitted one), then
+  // either boots clear or restores the SaveState snapshot. Fails with
+  // kFailedPrecondition when no TPM_Init preceded it, and with kTpmFailed
+  // when the self test fails (ST_STATE without valid saved state included).
+  Result<TpmStartupReport> Startup(TpmStartupType type);
+
+  // TPM_SaveState: snapshot volatile state ahead of S3. The snapshot is
+  // single-use and only static PCRs are restored - resettable PCRs 17-23
+  // return to -1 on every TPM_Init, so a suspend/resume cycle can never
+  // resurrect a Flicker session's PCR 17 value.
+  Status SaveState();
+
+  // TPM_SelfTestFull: re-runs the self test; enters (or confirms) failure
+  // mode when the hardware fault flag is set.
+  Status SelfTestFull();
+
+  // TPM_GetTestResult: answers in every lifecycle state. kTpmTestPassed (0)
+  // means healthy.
+  uint32_t GetTestResult() const { return self_test_result_; }
+
+  TpmLifecycleState lifecycle_state() const { return lifecycle_; }
+  bool saved_state_valid() const { return saved_state_valid_; }
+  // True while an NV/counter journal record is pending (crashed mid-write).
+  bool journal_pending() const { return journal_.has_value(); }
 
   // TPM_GetRandom. Charges get_random_ms per call.
   Bytes GetRandom(size_t len);
@@ -182,8 +246,20 @@ class Tpm {
     // by the TXT model for the post-ACM MLE measurement.
     void ExtendIdentityPcr(const Bytes& measurement);
 
-    // Platform reboot.
+    // TPM_Init: the reset line. Drops volatile state (sessions, key slots,
+    // locality), resets PCRs to power-cycle defaults and leaves the device
+    // awaiting TPM_Startup. Persistent state (NV, counters, journal, saved
+    // state, fault flag) survives.
+    void Init();
+
+    // Platform reboot: TPM_Init plus an immediate TPM_Startup(ST_CLEAR), the
+    // one-shot cycle a BIOS performs before handing off to the OS.
     void PowerCycle();
+
+    // Latches / clears the permanent hardware fault the self test reports -
+    // the knob robustness tests use to put the device into failure mode.
+    void ForceFailureMode();
+    void ClearFailureMode();
 
     // Hardware-side locality transition (any locality 0-4). Out-of-range
     // values are a chipset-model bug and are rejected.
@@ -213,6 +289,24 @@ class Tpm {
     Bytes data;
   };
 
+  // Write-ahead journal record for NV/counter mutations. The record is
+  // "durably written" in stages (payload, checksum, commit mark) with a
+  // crash point between each, so a power cut leaves exactly one of: no
+  // record, a torn record (checksum mismatch), an uncommitted record, or a
+  // committed record - and TPM_Startup replay resolves each case.
+  struct JournalEntry {
+    enum class Kind : uint8_t { kNvWrite, kCounterIncrement };
+    Kind kind = Kind::kNvWrite;
+    uint32_t index = 0;          // NV index or counter id.
+    Bytes data;                  // Full new NV contents (kNvWrite).
+    uint64_t counter_value = 0;  // Target value (kCounterIncrement).
+    bool committed = false;
+    uint32_t crc = 0;
+  };
+
+  static uint32_t JournalCrc(const JournalEntry& entry);
+  void ReplayJournal(TpmStartupReport* report);
+
   // Verifies `auth` against the entity's secret for a command whose
   // parameters hash to `param_digest`, then rolls the session nonce.
   Status CheckAuth(AuthEntity entity, const Bytes& param_digest, const CommandAuth& auth);
@@ -235,13 +329,14 @@ class Tpm {
   TpmConfig config_;
   HardwareInterface hardware_;
 
+  // ---- Volatile state: lost on TPM_Init / power cut ----
+  //
+  // Devices in the field begin life powered up: the model constructs in
+  // kOperational (BIOS POST already ran Startup), and only an explicit
+  // TPM_Init drops to kNeedStartup.
+  TpmLifecycleState lifecycle_ = TpmLifecycleState::kOperational;
   PcrBank pcrs_;
   Drbg rng_;
-  RsaPrivateKey srk_;
-  RsaPrivateKey aik_;
-  Bytes srk_usage_auth_;
-  Bytes owner_auth_;
-  bool owned_ = false;
   int locality_ = 0;
 
   std::map<uint32_t, AuthSessionInfo> sessions_;
@@ -249,6 +344,13 @@ class Tpm {
 
   std::map<uint32_t, RsaPrivateKey> key_slots_;
   uint32_t next_key_handle_ = 0x2000;
+
+  // ---- Persistent state: survives TPM_Init (battery-backed NVRAM) ----
+  RsaPrivateKey srk_;
+  RsaPrivateKey aik_;
+  Bytes srk_usage_auth_;
+  Bytes owner_auth_;
+  bool owned_ = false;
 
   std::map<uint32_t, NvSpace> nv_spaces_;
 
@@ -258,6 +360,11 @@ class Tpm {
   };
   std::map<uint32_t, Counter> counters_;
   uint32_t next_counter_id_ = 1;
+
+  std::optional<JournalEntry> journal_;
+  bool saved_state_valid_ = false;
+  PcrBank saved_pcrs_;                       // SaveState snapshot (statics restored).
+  uint32_t self_test_result_ = kTpmTestPassed;
 };
 
 }  // namespace flicker

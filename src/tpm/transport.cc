@@ -1,5 +1,7 @@
 #include "src/tpm/transport.h"
 
+#include <iomanip>
+#include <ostream>
 #include <string>
 
 #include "src/crypto/sha1.h"
@@ -43,6 +45,17 @@ std::vector<TraceEntry> TpmTransport::TraceSnapshot() const {
 void TpmTransport::ClearTrace() {
   ring_.clear();
   ring_next_ = 0;
+}
+
+void TpmTransport::DumpTrace(std::ostream& os) const {
+  std::vector<TraceEntry> entries = TraceSnapshot();
+  os << "TPM command trace (" << entries.size() << " of " << total_commands_
+     << " commands retained):\n";
+  for (const TraceEntry& e : entries) {
+    os << "  #" << std::setw(4) << e.seq << "  L" << e.locality << "  "
+       << TpmOrdinalName(e.ordinal) << "  rc=0x" << std::hex << e.result_code << std::dec
+       << "  " << e.latency_ms << "ms\n";
+  }
 }
 
 Result<Bytes> TpmTransport::Transmit(const Bytes& request_frame) {
@@ -138,10 +151,26 @@ void TpmTransport::Hardware::ExtendIdentityPcr(const Bytes& measurement) {
   transport_->Record(kOrdHwExtendIdentityPcr, transport_->tpm_->locality(), 0, 0);
 }
 
+void TpmTransport::Hardware::Init() {
+  transport_->tpm_->hardware()->Init();
+  transport_->locality_stack_.clear();
+  transport_->Record(kOrdHwInit, 0, 0, 0);
+}
+
 void TpmTransport::Hardware::PowerCycle() {
   transport_->tpm_->hardware()->PowerCycle();
   transport_->locality_stack_.clear();
   transport_->Record(kOrdHwPowerCycle, 0, 0, 0);
+}
+
+void TpmTransport::Hardware::ForceFailureMode() {
+  transport_->tpm_->hardware()->ForceFailureMode();
+  transport_->Record(kOrdHwForceFailure, 0, 0, 0);
+}
+
+void TpmTransport::Hardware::ClearFailureMode() {
+  transport_->tpm_->hardware()->ClearFailureMode();
+  transport_->Record(kOrdHwClearFailure, 0, 0, 0);
 }
 
 Status TpmTransport::Hardware::SetLocality(int locality) {
@@ -366,6 +395,32 @@ Result<Tpm::Capabilities> TpmClient::GetCapability() {
     return payload.status();
   }
   return ParseCapabilityPayload(payload.value());
+}
+
+Result<TpmStartupReport> TpmClient::Startup(TpmStartupType type) {
+  Result<Bytes> payload = Roundtrip(BuildStartup(type));
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  return ParseStartupPayload(payload.value());
+}
+
+Status TpmClient::SaveState() {
+  Result<Bytes> payload = Roundtrip(BuildSaveState());
+  return payload.ok() ? Status::Ok() : payload.status();
+}
+
+Status TpmClient::SelfTestFull() {
+  Result<Bytes> payload = Roundtrip(BuildSelfTestFull());
+  return payload.ok() ? Status::Ok() : payload.status();
+}
+
+Result<uint32_t> TpmClient::GetTestResult() {
+  Result<Bytes> payload = Roundtrip(BuildGetTestResult());
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  return ParseHandlePayload(payload.value());
 }
 
 }  // namespace flicker

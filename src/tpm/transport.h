@@ -19,6 +19,7 @@
 #define FLICKER_SRC_TPM_TRANSPORT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <vector>
 
@@ -77,7 +78,16 @@ class TpmTransport {
 
     void SkinitReset(const Bytes& slb_measurement);
     void ExtendIdentityPcr(const Bytes& measurement);
+    // TPM_Init alone: volatile state is lost and the device demands a
+    // TPM_Startup before accepting further commands. This is the reset-line
+    // event the power domain pulls on PowerCut/WarmReset.
+    void Init();
+    // Legacy reset: TPM_Init plus the BIOS's automatic TPM_Startup(ST_CLEAR),
+    // preserving the pre-lifecycle Reboot contract.
     void PowerCycle();
+    // Latches/clears the hardware self-test fault (for failure-mode tests).
+    void ForceFailureMode();
+    void ClearFailureMode();
     Status SetLocality(int locality);
 
    private:
@@ -96,6 +106,10 @@ class TpmTransport {
   // Entries oldest-first; at most kTraceCapacity are retained.
   std::vector<TraceEntry> TraceSnapshot() const;
   void ClearTrace();
+  // Human-readable dump of the trace ring (one line per entry), for test
+  // fixtures to emit on failure so the command history leading up to a
+  // crash/recovery bug is visible.
+  void DumpTrace(std::ostream& os) const;
 
  private:
   friend class Hardware;
@@ -162,6 +176,12 @@ class TpmClient {
 
   Status TakeOwnership(const Bytes& owner_auth);
   Result<Tpm::Capabilities> GetCapability();
+
+  // ---- Lifecycle (TPM_Startup family) ----
+  Result<TpmStartupReport> Startup(TpmStartupType type);
+  Status SaveState();
+  Status SelfTestFull();
+  Result<uint32_t> GetTestResult();
 
   // Fetched over the wire once at construction (a capability read; free).
   const RsaPublicKey& aik_public() const { return aik_public_; }

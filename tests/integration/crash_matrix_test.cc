@@ -1,0 +1,296 @@
+// The crash matrix: sweep a power loss over every instrumented crash point
+// of a representative Flicker workload, for both reset kinds, and assert the
+// post-recovery invariants after each cell. This is the payoff test of the
+// fault-injection campaign: a correct stack survives every interleaving of
+// crash x recovery, and a deliberately mis-ordered seal protocol is caught.
+//
+// Workload per cell (fresh platform each time, so cells are independent and
+// the hit sequence is deterministic):
+//   1. a full Flicker session (SKINIT -> PAL -> erase -> resume),
+//   2. a two-phase seal of a new generation,
+//   3. an NV-counter-protected seal,
+//   4. TPM_SaveState.
+// Recovery per cell: PowerCut or WarmReset, TPM_Startup(ST_CLEAR),
+// CrashConsistentSealedStore::Recover().
+//
+// Invariants checked after recovery:
+//   A. dynamic PCRs read back as the -1 reset value,
+//   B. Recover() never fails closed and the store serves exactly one of the
+//      two generations in flight - never anything else, never stale data,
+//   C. the pre-crash NV-protected blob unseals to its exact bytes or fails
+//      closed (kReplayDetected), and a fresh generation seals fine,
+//   D. the quote daemon can serve a challenge again.
+
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/rootkit_detector.h"
+#include "src/common/fault.h"
+#include "src/core/flicker_platform.h"
+#include "src/core/sealed_state.h"
+#include "src/crypto/sha1.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace {
+
+constexpr uint32_t kNvIndex = 77;
+
+enum class ResetKind { kPowerCut, kWarmReset };
+
+const char* ResetKindName(ResetKind kind) {
+  return kind == ResetKind::kPowerCut ? "PowerCut" : "WarmReset";
+}
+
+// One cell's worth of platform + stores, set up identically every time. The
+// setup runs without a FaultInjectionScope, so its crash points neither fire
+// nor pollute the recording.
+struct Rig {
+  std::unique_ptr<FlickerPlatform> platform;
+  std::unique_ptr<CrashConsistentSealedStore> store;
+  std::unique_ptr<NvReplayProtectedStorage> nv;
+  PalBinary detector;
+  Bytes inputs;
+  Bytes owner_auth;
+  Bytes blob_auth;
+  Bytes release_pcr;
+  SealedBlob nv_v1;
+};
+
+class CrashMatrixTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Rig> MakeRig(CrashStoreOptions options = CrashStoreOptions()) {
+    auto rig = std::make_unique<Rig>();
+    rig->platform = std::make_unique<FlickerPlatform>();
+    rig->owner_auth = Sha1::Digest(BytesOf("owner"));
+    EXPECT_TRUE(rig->platform->tpm()->TakeOwnership(rig->owner_auth).ok());
+    rig->blob_auth = Sha1::Digest(BytesOf("blob"));
+    // Bind seals and the NV gate to the current (OS-context) PCR 17 so the
+    // harness can unseal directly; PAL gating is covered by platform_test.
+    rig->release_pcr = rig->platform->tpm()->PcrRead(kSkinitPcr).value();
+
+    Result<CrashConsistentSealedStore> store = CrashConsistentSealedStore::Create(
+        rig->platform->tpm(), Sha1::Digest(BytesOf("ctr")), rig->owner_auth, options);
+    EXPECT_TRUE(store.ok());
+    rig->store = std::make_unique<CrashConsistentSealedStore>(store.take());
+    EXPECT_TRUE(rig->store->Seal(BytesOf("gen-1"), rig->release_pcr, rig->blob_auth).ok());
+
+    Result<NvReplayProtectedStorage> nv = NvReplayProtectedStorage::Provision(
+        rig->platform->tpm(), kNvIndex, rig->release_pcr, rig->owner_auth);
+    EXPECT_TRUE(nv.ok());
+    rig->nv = std::make_unique<NvReplayProtectedStorage>(nv.take());
+    Result<SealedBlob> nv_v1 =
+        rig->nv->Seal(BytesOf("nv-1"), rig->release_pcr, rig->blob_auth);
+    EXPECT_TRUE(nv_v1.ok());
+    rig->nv_v1 = nv_v1.take();
+
+    PalBuildOptions build;
+    build.measurement_stub = true;
+    rig->detector = BuildPal(std::make_shared<RootkitDetectorPal>(), build).take();
+    rig->inputs = rig->platform->kernel()->SerializeRegions();
+    return rig;
+  }
+
+  // The deterministic workload every cell replays. Throws PowerLossException
+  // when the armed plan elects a hit inside it. The seals run before the
+  // session: the NV gate is bound to the OS-context PCR 17, which the
+  // session's extends change until the next reset.
+  static void RunWorkload(Rig* rig) {
+    (void)rig->store->Seal(BytesOf("gen-2"), rig->release_pcr, rig->blob_auth);
+    (void)rig->nv->Seal(BytesOf("nv-2"), rig->release_pcr, rig->blob_auth);
+    (void)rig->platform->ExecuteSession(rig->detector, rig->inputs);
+    (void)rig->platform->tpm()->SaveState();
+  }
+
+  static void Reset(Rig* rig, ResetKind kind) {
+    if (kind == ResetKind::kPowerCut) {
+      rig->platform->machine()->PowerCut();
+    } else {
+      rig->platform->machine()->WarmReset();
+    }
+  }
+
+  // Recovers the cell and checks invariants A-D. Returns false (with gtest
+  // failures recorded) when any invariant is violated.
+  static bool RecoverAndCheck(Rig* rig) {
+    Result<TpmStartupReport> startup = rig->platform->tpm()->Startup(TpmStartupType::kClear);
+    EXPECT_TRUE(startup.ok()) << startup.status().ToString();
+    if (!startup.ok()) {
+      return false;
+    }
+
+    // A. Dynamic PCRs are back at their -1 reset value.
+    Result<Bytes> pcr17 = rig->platform->tpm()->PcrRead(kSkinitPcr);
+    EXPECT_TRUE(pcr17.ok());
+    EXPECT_EQ(pcr17.value(), Bytes(20, 0xff));
+
+    // B. Recovery classifies the torn state and the store serves exactly one
+    //    of the in-flight generations.
+    Result<RecoveryClass> recovered = rig->store->Recover();
+    EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+    if (!recovered.ok()) {
+      return false;
+    }
+    EXPECT_NE(recovered.value(), RecoveryClass::kFailClosed);
+    Result<Bytes> latest = rig->store->UnsealLatest(rig->blob_auth);
+    EXPECT_TRUE(latest.ok()) << latest.status().ToString();
+    if (!latest.ok()) {
+      return false;
+    }
+    EXPECT_TRUE(latest.value() == BytesOf("gen-1") || latest.value() == BytesOf("gen-2"))
+        << "store served unexpected data";
+    EXPECT_GE(rig->store->committed_version(), 1u);
+
+    // C. The pre-crash NV blob is exact or refused - never wrong bytes - and
+    //    sealing a fresh generation works.
+    Result<Bytes> old_nv = rig->nv->Unseal(rig->nv_v1, rig->blob_auth);
+    if (old_nv.ok()) {
+      EXPECT_EQ(old_nv.value(), BytesOf("nv-1"));
+    } else {
+      EXPECT_EQ(old_nv.status().code(), StatusCode::kReplayDetected)
+          << old_nv.status().ToString();
+    }
+    Result<SealedBlob> fresh =
+        rig->nv->Seal(BytesOf("nv-post"), rig->release_pcr, rig->blob_auth);
+    EXPECT_TRUE(fresh.ok()) << fresh.status().ToString();
+    if (fresh.ok()) {
+      EXPECT_EQ(rig->nv->Unseal(fresh.value(), rig->blob_auth).value(), BytesOf("nv-post"));
+    }
+
+    // D. Attestation service resumed.
+    Result<AttestationResponse> quote =
+        rig->platform->tqd()->HandleChallenge(BytesOf("post-crash"), PcrSelection({17}));
+    EXPECT_TRUE(quote.ok()) << quote.status().ToString();
+
+    return !::testing::Test::HasFatalFailure();
+  }
+
+  // Recording pass: run the workload with an unarmed scheduler to enumerate
+  // the crash surface.
+  std::vector<std::string> RecordHits() {
+    std::unique_ptr<Rig> rig = MakeRig();
+    FaultScheduler* scheduler = rig->platform->machine()->fault_scheduler();
+    scheduler->ClearHits();
+    FaultInjectionScope scope(scheduler);
+    RunWorkload(rig.get());
+    return scheduler->hits();
+  }
+};
+
+TEST_F(CrashMatrixTest, WorkloadCoversTheCrashSurface) {
+  std::vector<std::string> hits = RecordHits();
+  std::set<std::string> distinct(hits.begin(), hits.end());
+  // The acceptance floor is 15 instrumented points; the workload reaches the
+  // full census of 18.
+  EXPECT_GE(distinct.size(), 15u) << "crash surface shrank";
+  for (const char* point :
+       {"skinit.enter", "skinit.measured", "skinit.pcr_extended", "slb.entry", "slb.pal_done",
+        "slb.erased", "machine.exit_secure", "seal.staged", "seal.incremented", "seal.committed",
+        "tpm.counter.journal", "tpm.counter.staged", "tpm.counter.commit", "tpm.nv_write.journal",
+        "tpm.nv_write.staged", "tpm.nv_write.commit", "tpm.nv_write.apply", "tpm.save_state"}) {
+    EXPECT_TRUE(distinct.count(point)) << "workload never reached " << point;
+  }
+}
+
+TEST_F(CrashMatrixTest, EveryCrashPointTimesEveryResetKindRecovers) {
+  const std::vector<std::string> hits = RecordHits();
+  ASSERT_GE(hits.size(), 15u);
+
+  for (ResetKind kind : {ResetKind::kPowerCut, ResetKind::kWarmReset}) {
+    for (size_t i = 1; i <= hits.size(); ++i) {
+      std::unique_ptr<Rig> rig = MakeRig();
+      FaultScheduler* scheduler = rig->platform->machine()->fault_scheduler();
+      CrashPlan plan;
+      plan.crash_at_hit = i;
+      scheduler->Arm(plan);
+      bool crashed = false;
+      std::string point;
+      {
+        FaultInjectionScope scope(scheduler);
+        try {
+          RunWorkload(rig.get());
+        } catch (const PowerLossException& e) {
+          crashed = true;
+          point = e.point();
+        }
+      }
+      ASSERT_TRUE(crashed) << "hit " << i << " never fired (recorded " << hits[i - 1] << ")";
+      EXPECT_EQ(point, hits[i - 1]) << "replay diverged from the recording at hit " << i;
+
+      Reset(rig.get(), kind);
+      bool ok = RecoverAndCheck(rig.get());
+      if (!ok || ::testing::Test::HasFailure()) {
+        std::cerr << "crash matrix cell failed: crash at hit " << i << " ('" << point << "') + "
+                  << ResetKindName(kind) << "\n";
+        rig->platform->machine()->tpm_transport()->DumpTrace(std::cerr);
+        FAIL() << "invariant violated at '" << point << "' x " << ResetKindName(kind);
+      }
+    }
+  }
+}
+
+TEST_F(CrashMatrixTest, BrokenCommitOrderingIsCaughtByTheMatrix) {
+  // Same sweep, but the store commits before incrementing the counter. The
+  // matrix must catch the bug: some cell leaves the store unable to serve
+  // either in-flight generation (the committed blob's version is ahead of
+  // the counter forever - data loss).
+  CrashStoreOptions broken;
+  broken.broken_commit_before_increment = true;
+
+  // Record the broken workload's own hit sequence (the seal emits its points
+  // in a different order).
+  std::vector<std::string> hits;
+  {
+    std::unique_ptr<Rig> rig = MakeRig(broken);
+    FaultScheduler* scheduler = rig->platform->machine()->fault_scheduler();
+    scheduler->ClearHits();
+    FaultInjectionScope scope(scheduler);
+    RunWorkload(rig.get());
+    hits = scheduler->hits();
+  }
+  ASSERT_FALSE(hits.empty());
+
+  int violations = 0;
+  for (size_t i = 1; i <= hits.size(); ++i) {
+    std::unique_ptr<Rig> rig = MakeRig(broken);
+    FaultScheduler* scheduler = rig->platform->machine()->fault_scheduler();
+    CrashPlan plan;
+    plan.crash_at_hit = i;
+    scheduler->Arm(plan);
+    bool crashed = false;
+    {
+      FaultInjectionScope scope(scheduler);
+      try {
+        RunWorkload(rig.get());
+      } catch (const PowerLossException&) {
+        crashed = true;
+      }
+    }
+    if (!crashed) {
+      break;
+    }
+    rig->platform->machine()->WarmReset();
+    if (!rig->platform->tpm()->Startup(TpmStartupType::kClear).ok()) {
+      ++violations;
+      continue;
+    }
+    Result<RecoveryClass> recovered = rig->store->Recover();
+    Result<Bytes> latest = rig->store->UnsealLatest(rig->blob_auth);
+    bool serves_valid_generation =
+        recovered.ok() && latest.ok() &&
+        (latest.value() == BytesOf("gen-1") || latest.value() == BytesOf("gen-2"));
+    if (!serves_valid_generation) {
+      ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0)
+      << "the matrix failed to catch the commit-before-increment protocol bug";
+}
+
+}  // namespace
+}  // namespace flicker

@@ -4,14 +4,21 @@
 #   verify.sh            build + ctest in ./build (Release by default)
 #   verify.sh --asan     additionally build with ASan+UBSan in ./build-asan
 #                        and run the TPM and core suites under the sanitizers
+#   verify.sh --faults   additionally run the fault-injection campaign
+#                        (ctest -L faults, crash matrix included) under
+#                        ASan+UBSan and refresh BENCH_robustness.json
 #
-# Usage: verify.sh [--asan] [build-dir]
+# Usage: verify.sh [--asan|--faults] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 asan=0
+faults=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
+  shift
+elif [ "${1:-}" = "--faults" ]; then
+  faults=1
   shift
 fi
 build_dir=${1:-"$repo_root/build"}
@@ -30,6 +37,20 @@ if [ "$asan" = 1 ]; then
     os_tqd_robustness_test common_serde_test
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -R \
     '^(tpm_|core_|os_tqd_robustness_test|common_serde_test)'
+fi
+
+if [ "$faults" = 1 ]; then
+  # Power-loss fault-injection campaign: the crash matrix and the rest of the
+  # `faults`-labeled suite, under ASan+UBSan so torn-state handling is also
+  # memory-clean, plus the recovery-path wall-time budgets.
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    tpm_lifecycle_test core_sealed_state_test os_tqd_breaker_test \
+    integration_crash_matrix_test
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L faults
+  cmake --build "$build_dir" -j "$jobs" --target micro_recovery
+  "$build_dir/bench/micro_recovery" --bench_json="$repo_root/BENCH_robustness.json"
 fi
 
 echo "verify.sh: all checks passed"
