@@ -1,6 +1,7 @@
 #include "src/apps/distributed.h"
 
 #include "src/common/serde.h"
+#include "src/core/remote_attestation.h"
 #include "src/core/sealed_state.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha1.h"
@@ -297,6 +298,57 @@ std::vector<uint64_t> BoincServer::ReferenceFactors(const FactorWorkUnit& unit) 
     }
   }
   return out;
+}
+
+Bytes BoincClient::ResultSubmission::Serialize() const {
+  Writer w;
+  w.Blob(final_inputs);
+  w.Blob(final_outputs);
+  w.Blob(SerializeAttestationResponse(attestation));
+  return w.Take();
+}
+
+Result<BoincClient::ResultSubmission> BoincClient::ResultSubmission::Deserialize(
+    const Bytes& data) {
+  if (data.size() > kMaxSubmissionFrameBytes) {
+    return InvalidArgumentError("submission frame exceeds wire bound");
+  }
+  Reader r(data);
+  ResultSubmission submission;
+  submission.final_inputs = r.Blob();
+  submission.final_outputs = r.Blob();
+  Bytes attestation_wire = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt submission frame");
+  }
+  Result<AttestationResponse> attestation = DeserializeAttestationResponse(attestation_wire);
+  if (!attestation.ok()) {
+    return attestation.status();
+  }
+  submission.attestation = attestation.take();
+  return submission;
+}
+
+Result<Bytes> BoincServer::HandleSubmissionFrame(const PalBinary& binary, const Bytes& frame,
+                                                 const AikCertificate& client_aik_cert,
+                                                 const RsaPublicKey& privacy_ca_public,
+                                                 const Bytes& nonce) {
+  Result<BoincClient::ResultSubmission> submission =
+      BoincClient::ResultSubmission::Deserialize(frame);
+  if (!submission.ok()) {
+    return submission.status();
+  }
+  Result<std::vector<uint64_t>> divisors =
+      VerifyResult(binary, submission.value(), client_aik_cert, privacy_ca_public, nonce);
+  if (!divisors.ok()) {
+    return divisors.status();
+  }
+  Writer w;
+  w.U32(static_cast<uint32_t>(divisors.value().size()));
+  for (uint64_t d : divisors.value()) {
+    w.U64(d);
+  }
+  return w.Take();
 }
 
 }  // namespace flicker

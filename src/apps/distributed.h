@@ -42,6 +42,9 @@ struct FactorState {
 inline constexpr uint8_t kDistributedModeInit = 0;
 inline constexpr uint8_t kDistributedModeWork = 1;
 
+// Bound on any submission frame crossing the network (carries a quote).
+inline constexpr size_t kMaxSubmissionFrameBytes = 1u << 20;
+
 class DistributedPal : public Pal {
  public:
   std::string name() const override { return "boinc-factoring"; }
@@ -92,6 +95,9 @@ class BoincClient {
     Bytes final_inputs;   // Inputs of the final work session.
     Bytes final_outputs;  // Outputs carrying the factor list.
     AttestationResponse attestation;
+
+    Bytes Serialize() const;
+    static Result<ResultSubmission> Deserialize(const Bytes& data);
   };
   Result<ResultSubmission> SubmitResult(const Bytes& nonce);
 
@@ -123,6 +129,13 @@ class BoincServer {
                                              const AikCertificate& client_aik_cert,
                                              const RsaPublicKey& privacy_ca_public,
                                              const Bytes& nonce);
+
+  // Wire entry point: a hostile submission frame. Corrupt frames and failed
+  // attestations are Status errors - the server never accepts a wrong
+  // factor list. Returns the divisors as a u32-count + u64 list.
+  Result<Bytes> HandleSubmissionFrame(const PalBinary& binary, const Bytes& frame,
+                                      const AikCertificate& client_aik_cert,
+                                      const RsaPublicKey& privacy_ca_public, const Bytes& nonce);
 
   // Ground-truth check used by tests (the attestation is what production
   // relies on; this validates the simulator end to end).

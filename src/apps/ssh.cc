@@ -198,4 +198,43 @@ Result<Bytes> SshClient::EncryptPassword(const std::string& password, const Byte
   return SecureChannelEncrypt(pinned_public_key_, payload.Take(), &rng_);
 }
 
+Bytes SshLoginRequest::Serialize() const {
+  Writer w;
+  w.Str(username);
+  w.Blob(encrypted_password);
+  w.Blob(login_nonce);
+  return w.Take();
+}
+
+Result<SshLoginRequest> SshLoginRequest::Deserialize(const Bytes& data) {
+  if (data.size() > kMaxSshFrameBytes) {
+    return InvalidArgumentError("login frame exceeds wire bound");
+  }
+  Reader r(data);
+  SshLoginRequest request;
+  request.username = r.Str();
+  request.encrypted_password = r.Blob();
+  request.login_nonce = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt login frame");
+  }
+  return request;
+}
+
+Result<Bytes> SshServer::HandleLoginFrame(const Bytes& frame) {
+  Result<SshLoginRequest> request = SshLoginRequest::Deserialize(frame);
+  if (!request.ok()) {
+    return request.status();
+  }
+  Result<LoginResult> login =
+      HandleLogin(request.value().username, request.value().encrypted_password,
+                  request.value().login_nonce);
+  if (!login.ok()) {
+    return login.status();
+  }
+  Writer w;
+  w.U8(login.value().authenticated ? 1 : 0);
+  return w.Take();
+}
+
 }  // namespace flicker

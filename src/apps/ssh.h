@@ -27,6 +27,19 @@ namespace flicker {
 inline constexpr uint8_t kSshModeSetup = 0;
 inline constexpr uint8_t kSshModeLogin = 1;
 
+// Bound on any login frame crossing the network; anything larger is hostile.
+inline constexpr size_t kMaxSshFrameBytes = 64 * 1024;
+
+// Wire form of one login attempt, so the exchange can ride a lossy session.
+struct SshLoginRequest {
+  std::string username;
+  Bytes encrypted_password;
+  Bytes login_nonce;
+
+  Bytes Serialize() const;
+  static Result<SshLoginRequest> Deserialize(const Bytes& data);
+};
+
 // One PAL with two modes: both sessions must have the same measurement so
 // the sealed private key binds "to the same PAL in a subsequent session".
 class SshPal : public Pal {
@@ -86,6 +99,11 @@ class SshServer {
   };
   Result<LoginResult> HandleLogin(const std::string& username, const Bytes& encrypted_password,
                                   const Bytes& login_nonce);
+
+  // Wire entry point: a hostile, possibly corrupted login frame. Oversized
+  // or malformed frames fail with a Status; a 1-byte authenticated verdict
+  // is produced only for well-formed requests - never a wrong answer.
+  Result<Bytes> HandleLoginFrame(const Bytes& frame);
 
   const Bytes& key_material() const { return key_material_; }
 

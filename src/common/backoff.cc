@@ -1,0 +1,40 @@
+#include "src/common/backoff.h"
+
+namespace flicker {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double BackoffSchedule::DelayForRetry(int retry) const {
+  double delay = policy_.initial_ms;
+  for (int i = 0; i < retry; ++i) {
+    delay *= policy_.multiplier;
+    if (policy_.max_ms > 0 && delay >= policy_.max_ms) {
+      delay = policy_.max_ms;
+      break;
+    }
+  }
+  if (policy_.max_ms > 0 && delay > policy_.max_ms) {
+    delay = policy_.max_ms;
+  }
+  if (policy_.jitter_fraction > 0) {
+    uint64_t draw = SplitMix64(jitter_seed_ ^ (0x6e65744aULL + static_cast<uint64_t>(retry)));
+    double u = static_cast<double>(draw % 10000) / 10000.0;  // [0, 1).
+    delay *= 1.0 - policy_.jitter_fraction * u;
+  }
+  return delay;
+}
+
+double BackoffSchedule::NextDelayMs() { return DelayForRetry(retries_++); }
+
+double BackoffSchedule::PeekDelayMs() const { return DelayForRetry(retries_); }
+
+}  // namespace flicker

@@ -27,6 +27,9 @@ Result<TpmQuote> DeserializeQuote(const Bytes& data) {
     }
   }
   uint32_t count = r.U32();
+  if (count > static_cast<uint32_t>(kNumPcrs)) {
+    return InvalidArgumentError("quote claims more PCR values than PCRs exist");
+  }
   for (uint32_t i = 0; i < count && r.ok(); ++i) {
     quote.pcr_values.push_back(r.Blob());
   }
@@ -36,6 +39,33 @@ Result<TpmQuote> DeserializeQuote(const Bytes& data) {
     return InvalidArgumentError("corrupt quote serialization");
   }
   return quote;
+}
+
+Bytes SerializeAttestationResponse(const AttestationResponse& response) {
+  Writer w;
+  w.Blob(SerializeQuote(response.quote));
+  w.Blob(response.aik_public);
+  return w.Take();
+}
+
+Result<AttestationResponse> DeserializeAttestationResponse(const Bytes& data) {
+  if (data.size() > kMaxReplyWireBytes) {
+    return InvalidArgumentError("attestation response exceeds wire bound");
+  }
+  Reader r(data);
+  Bytes quote_wire = r.Blob();
+  Bytes aik_public = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt attestation response");
+  }
+  Result<TpmQuote> quote = DeserializeQuote(quote_wire);
+  if (!quote.ok()) {
+    return quote.status();
+  }
+  AttestationResponse response;
+  response.quote = quote.take();
+  response.aik_public = aik_public;
+  return response;
 }
 
 Bytes SerializeAikCertificate(const AikCertificate& certificate) {
@@ -91,6 +121,9 @@ Bytes AttestationReply::Serialize() const {
 }
 
 Result<AttestationReply> AttestationReply::Deserialize(const Bytes& data) {
+  if (data.size() > kMaxReplyWireBytes) {
+    return InvalidArgumentError("attestation reply exceeds wire bound");
+  }
   Reader r(data);
   Bytes log_wire = r.Blob();
   Bytes quote_wire = r.Blob();
@@ -119,15 +152,47 @@ Result<AttestationReply> AttestationReply::Deserialize(const Bytes& data) {
   return reply;
 }
 
-AttestationService::AttestationService(FlickerPlatform* platform, AikCertificate aik_certificate)
-    : platform_(platform), aik_certificate_(std::move(aik_certificate)) {}
+AttestationService::AttestationService(FlickerPlatform* platform, AikCertificate aik_certificate,
+                                       AttestationServiceOptions options)
+    : platform_(platform), aik_certificate_(std::move(aik_certificate)), options_(options) {}
+
+bool AttestationService::NonceSeen(const Bytes& nonce) const {
+  for (const Bytes& seen : answered_nonces_) {
+    if (seen == nonce) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AttestationService::RememberNonce(const Bytes& nonce) {
+  if (options_.nonce_cache_capacity == 0) {
+    return;
+  }
+  if (answered_nonces_.size() < options_.nonce_cache_capacity) {
+    answered_nonces_.push_back(nonce);
+    return;
+  }
+  answered_nonces_[answered_next_] = nonce;
+  answered_next_ = (answered_next_ + 1) % options_.nonce_cache_capacity;
+}
 
 Result<Bytes> AttestationService::HandleChallenge(const Bytes& challenge_wire,
                                                   const PalBinary& binary, const Bytes& inputs,
                                                   const std::vector<Bytes>& pal_extends) {
+  if (challenge_wire.size() > kMaxChallengeWireBytes) {
+    return InvalidArgumentError("challenge exceeds wire bound");
+  }
   Result<AttestationChallenge> challenge = AttestationChallenge::Deserialize(challenge_wire);
   if (!challenge.ok()) {
     return challenge.status();
+  }
+  if (challenge.value().nonce.empty() || challenge.value().nonce.size() > kMaxNonceBytes) {
+    return InvalidArgumentError("challenge nonce size out of bounds");
+  }
+  if (options_.replay_protection && NonceSeen(challenge.value().nonce)) {
+    ++replays_rejected_;
+    return ReplayDetectedError("challenge nonce already answered");
   }
 
   SlbCoreOptions options;
@@ -156,6 +221,9 @@ Result<Bytes> AttestationService::HandleChallenge(const Bytes& challenge_wire,
   reply.quote = response.value().quote;
   reply.aik_public = response.value().aik_public;
   reply.aik_certificate = aik_certificate_;
+  // Only successfully-answered nonces enter the cache: a challenge that
+  // failed (e.g. mid-session fault) may legitimately be retried verbatim.
+  RememberNonce(challenge.value().nonce);
   return reply.Serialize();
 }
 
@@ -183,8 +251,13 @@ AttestationVerifier::Outcome AttestationVerifier::CheckReply(const Bytes& reply_
   Result<AttestationReply> reply = AttestationReply::Deserialize(reply_wire);
   if (!reply.ok()) {
     outcome.status = reply.status();
-    return outcome;
+    return outcome;  // Wire noise, not a reply: the challenge stays open.
   }
+  // Any well-formed reply consumes the outstanding nonce, accepted or not:
+  // single use, fail closed. A rejected reply forces a fresh challenge
+  // rather than leaving the old nonce alive for an attacker's second try.
+  const Bytes expected = pending_nonce_;
+  pending_nonce_.clear();
 
   Result<SessionExpectation> expectation = ExpectationFromLog(reply.value().log, *binary_, tech_);
   if (!expectation.ok()) {
@@ -192,8 +265,9 @@ AttestationVerifier::Outcome AttestationVerifier::CheckReply(const Bytes& reply_
     return outcome;
   }
   // The log's nonce must be the one we issued (the quote check would also
-  // catch this, but fail early with a precise error).
-  if (reply.value().log.nonce != pending_nonce_) {
+  // catch this, but fail early with a precise error). The test-only
+  // vulnerable mode skips this and trusts whatever nonce the wire claims.
+  if (!trust_wire_nonce_ && reply.value().log.nonce != expected) {
     outcome.status = ReplayDetectedError("reply log carries a different nonce");
     return outcome;
   }
@@ -201,13 +275,13 @@ AttestationVerifier::Outcome AttestationVerifier::CheckReply(const Bytes& reply_
   AttestationResponse response;
   response.quote = reply.value().quote;
   response.aik_public = reply.value().aik_public;
+  const Bytes& expected_nonce = trust_wire_nonce_ ? reply.value().log.nonce : expected;
   outcome.status = VerifyAttestation(expectation.value(), response,
                                      reply.value().aik_certificate, privacy_ca_public_,
-                                     pending_nonce_);
+                                     expected_nonce);
   if (outcome.status.ok()) {
     outcome.log = reply.value().log;
   }
-  pending_nonce_.clear();  // Single-use nonce.
   return outcome;
 }
 

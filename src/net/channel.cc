@@ -3,7 +3,6 @@
 namespace flicker {
 
 double Channel::SampleOneWayMs() {
-  ++messages_delivered_;
   // Triangular-ish jitter around the average: avg + U[-1,1] * spread, where
   // spread keeps samples within [min, max].
   double spread_low = (profile_.avg_rtt_ms - profile_.min_rtt_ms) / 2.0;

@@ -30,8 +30,12 @@ class Channel {
       : clock_(clock), profile_(profile), jitter_(jitter_seed) {}
 
   // Delivers one message: advances the clock by a one-way latency drawn
-  // from [min, max]/2 with mass near avg/2.
-  void Deliver() { clock_->AdvanceMillis(SampleOneWayMs()); }
+  // from [min, max]/2 with mass near avg/2. Only actual deliveries count
+  // toward messages_delivered(); bare latency sampling does not.
+  void Deliver() {
+    clock_->AdvanceMillis(SampleOneWayMs());
+    ++messages_delivered_;
+  }
 
   // Convenience for request/response exchanges.
   void RoundTrip() {

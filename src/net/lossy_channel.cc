@@ -1,0 +1,253 @@
+#include "src/net/lossy_channel.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace flicker {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* NetEndpointName(NetEndpoint endpoint) {
+  return endpoint == NetEndpoint::kClient ? "client" : "server";
+}
+
+const char* NetFaultName(NetFault fault) {
+  switch (fault) {
+    case NetFault::kNone:
+      return "none";
+    case NetFault::kDrop:
+      return "drop";
+    case NetFault::kDuplicate:
+      return "duplicate";
+    case NetFault::kReorder:
+      return "reorder";
+    case NetFault::kCorrupt:
+      return "corrupt";
+    case NetFault::kDelay:
+      return "delay";
+    case NetFault::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+NetFaultSchedule::NetFaultSchedule(uint64_t seed, const NetFaultMix& mix,
+                                   std::vector<PartitionWindow> partitions)
+    : enabled_(true), seed_(seed), mix_(mix), partitions_(std::move(partitions)) {}
+
+NetFault NetFaultSchedule::Classify(uint64_t msg_index) const {
+  if (!enabled_) {
+    return NetFault::kNone;
+  }
+  for (const PartitionWindow& window : partitions_) {
+    if (msg_index >= window.start_msg && msg_index < window.end_msg) {
+      return NetFault::kPartition;
+    }
+  }
+  // One draw in [0, 10000); the mix carves it into disjoint verdict bands,
+  // so per-message probabilities are exact and mutually exclusive.
+  uint64_t draw = SplitMix64(seed_ ^ (msg_index * 0x9E3779B97F4A7C15ULL)) % 10000;
+  uint64_t band = mix_.drop_bp;
+  if (draw < band) {
+    return NetFault::kDrop;
+  }
+  band += mix_.duplicate_bp;
+  if (draw < band) {
+    return NetFault::kDuplicate;
+  }
+  band += mix_.reorder_bp;
+  if (draw < band) {
+    return NetFault::kReorder;
+  }
+  band += mix_.corrupt_bp;
+  if (draw < band) {
+    return NetFault::kCorrupt;
+  }
+  band += mix_.delay_bp;
+  if (draw < band) {
+    return NetFault::kDelay;
+  }
+  return NetFault::kNone;
+}
+
+double LossyChannel::SampleOneWayMs() {
+  // Same triangular jitter as Channel::SampleOneWayMs, so a fault-free
+  // LossyChannel charges byte-identical latencies to the same-seeded
+  // Channel it replaces.
+  double spread_low = (profile_.avg_rtt_ms - profile_.min_rtt_ms) / 2.0;
+  double spread_high = (profile_.max_rtt_ms - profile_.avg_rtt_ms) / 2.0;
+  uint64_t draw = jitter_.UniformUint64(1000);
+  double u = static_cast<double>(draw) / 999.0;  // [0, 1].
+  double rtt;
+  if (u < 0.5) {
+    rtt = profile_.avg_rtt_ms - spread_low * (1.0 - 2.0 * u);
+  } else {
+    rtt = profile_.avg_rtt_ms + spread_high * (2.0 * u - 1.0);
+  }
+  return rtt / 2.0;
+}
+
+void LossyChannel::Enqueue(NetEndpoint dest, uint64_t seq, double arrival_ms, Bytes payload) {
+  InFlight entry;
+  entry.arrival_us = static_cast<uint64_t>(arrival_ms * 1000.0 + 0.5);
+  entry.seq = seq;
+  entry.dest = dest;
+  entry.payload = std::move(payload);
+  in_flight_.push_back(std::move(entry));
+}
+
+void LossyChannel::Record(NetEndpoint dest, const NetTraceEntry& entry) {
+  std::vector<NetTraceEntry>& ring = ring_[static_cast<int>(dest)];
+  size_t& next = ring_next_[static_cast<int>(dest)];
+  if (ring.size() < kTraceCapacity) {
+    ring.push_back(entry);
+  } else {
+    ring[next] = entry;
+    next = (next + 1) % kTraceCapacity;
+  }
+}
+
+void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
+  const uint64_t seq = ++messages_sent_;
+  const NetEndpoint dest =
+      from == NetEndpoint::kClient ? NetEndpoint::kServer : NetEndpoint::kClient;
+  const double now_ms = clock_->NowMillis();
+  const double one_way_ms = SampleOneWayMs();
+  const NetFault fault = schedule_.Classify(seq);
+
+  NetTraceEntry trace;
+  trace.seq = seq;
+  trace.from = from;
+  trace.bytes = datagram.size();
+  trace.fault = fault;
+  trace.sent_at_ms = now_ms;
+  trace.arrival_ms = now_ms + one_way_ms;
+
+  if (fault != NetFault::kNone) {
+    ++faults_injected_;
+  }
+  switch (fault) {
+    case NetFault::kDrop:
+    case NetFault::kPartition:
+      // Swallowed by the wire; the latency sample was still drawn (the
+      // bytes left the sender), keeping replays aligned across verdicts.
+      break;
+    case NetFault::kDuplicate: {
+      Enqueue(dest, seq, now_ms + one_way_ms, datagram);
+      // The duplicate trails by its own fresh latency (a retransmitting
+      // middlebox), so both copies arrive and the receiver must dedup.
+      double dup_extra = SampleOneWayMs();
+      Enqueue(dest, seq, now_ms + one_way_ms + dup_extra, datagram);
+      break;
+    }
+    case NetFault::kReorder:
+      // Held back long enough for a later message to overtake it.
+      Enqueue(dest, seq, now_ms + one_way_ms + schedule_.mix().reorder_ms, datagram);
+      trace.arrival_ms += schedule_.mix().reorder_ms;
+      break;
+    case NetFault::kCorrupt: {
+      Bytes garbled = datagram;
+      if (!garbled.empty()) {
+        size_t pos = static_cast<size_t>(seq * 0x9E3779B97F4A7C15ULL % garbled.size());
+        garbled[pos] ^= 0x5A;
+      }
+      Enqueue(dest, seq, now_ms + one_way_ms, std::move(garbled));
+      break;
+    }
+    case NetFault::kDelay:
+      Enqueue(dest, seq, now_ms + one_way_ms + schedule_.mix().delay_ms, datagram);
+      trace.arrival_ms += schedule_.mix().delay_ms;
+      break;
+    case NetFault::kNone:
+      Enqueue(dest, seq, now_ms + one_way_ms, datagram);
+      break;
+  }
+  Record(dest, trace);
+}
+
+int LossyChannel::EarliestFor(NetEndpoint at) const {
+  int best = -1;
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].dest != at) {
+      continue;
+    }
+    if (best < 0 || in_flight_[i].arrival_us < in_flight_[best].arrival_us ||
+        (in_flight_[i].arrival_us == in_flight_[best].arrival_us &&
+         in_flight_[i].seq < in_flight_[best].seq)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool LossyChannel::NextArrivalMs(NetEndpoint at, double* arrival_ms) const {
+  int index = EarliestFor(at);
+  if (index < 0) {
+    return false;
+  }
+  *arrival_ms = static_cast<double>(in_flight_[index].arrival_us) / 1000.0;
+  return true;
+}
+
+bool LossyChannel::Receive(NetEndpoint at, Bytes* out) {
+  int index = EarliestFor(at);
+  if (index < 0) {
+    return false;
+  }
+  const uint64_t arrival_us = in_flight_[index].arrival_us;
+  if (arrival_us > clock_->NowMicros()) {
+    clock_->AdvanceMicros(arrival_us - clock_->NowMicros());
+  }
+  *out = std::move(in_flight_[index].payload);
+  in_flight_.erase(in_flight_.begin() + index);
+  ++messages_delivered_;
+  return true;
+}
+
+bool LossyChannel::ReceiveUntil(NetEndpoint at, double deadline_ms, Bytes* out) {
+  const uint64_t deadline_us = static_cast<uint64_t>(deadline_ms * 1000.0 + 0.5);
+  int index = EarliestFor(at);
+  if (index < 0 || in_flight_[index].arrival_us > deadline_us) {
+    // Nothing arrives in time: burn the wait so timeout verdicts charge
+    // honestly, and leave any late datagram in flight.
+    if (deadline_us > clock_->NowMicros()) {
+      clock_->AdvanceMicros(deadline_us - clock_->NowMicros());
+    }
+    return false;
+  }
+  return Receive(at, out);
+}
+
+std::vector<NetTraceEntry> LossyChannel::TraceSnapshot(NetEndpoint at) const {
+  const std::vector<NetTraceEntry>& ring = ring_[static_cast<int>(at)];
+  const size_t next = ring_next_[static_cast<int>(at)];
+  std::vector<NetTraceEntry> out;
+  out.reserve(ring.size());
+  for (size_t i = 0; i < ring.size(); ++i) {
+    out.push_back(ring[(next + i) % ring.size()]);
+  }
+  return out;
+}
+
+void LossyChannel::DumpTrace(std::ostream& os) const {
+  os << "LossyChannel trace (" << messages_sent_ << " sent, " << messages_delivered_
+     << " delivered, " << faults_injected_ << " faulted):\n";
+  for (NetEndpoint at : {NetEndpoint::kClient, NetEndpoint::kServer}) {
+    for (const NetTraceEntry& entry : TraceSnapshot(at)) {
+      os << "  #" << entry.seq << " " << NetEndpointName(entry.from) << "->"
+         << NetEndpointName(at) << " " << entry.bytes << "B " << NetFaultName(entry.fault)
+         << " sent@" << entry.sent_at_ms << "ms arrive@" << entry.arrival_ms << "ms\n";
+    }
+  }
+}
+
+}  // namespace flicker

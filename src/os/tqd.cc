@@ -59,20 +59,19 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
   // retry; anything other than kUnavailable is a real TPM verdict. kTpmFailed
   // verdicts feed the circuit breaker; other errors surface immediately.
   const uint64_t challenge_start_us = machine_->clock()->NowMicros();
-  double backoff_ms = config_.initial_backoff_ms;
+  BackoffSchedule backoff(config_.backoff);
   Status last_failure = UnavailableError("quote never attempted");
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
       if (config_.retry_deadline_ms > 0) {
         double elapsed_ms =
             static_cast<double>(machine_->clock()->NowMicros() - challenge_start_us) / 1000.0;
-        if (elapsed_ms + backoff_ms > config_.retry_deadline_ms) {
+        if (elapsed_ms + backoff.PeekDelayMs() > config_.retry_deadline_ms) {
           return Status(StatusCode::kUnavailable,
                         "quote retry deadline exceeded: " + last_failure.message());
         }
       }
-      machine_->clock()->AdvanceMillis(backoff_ms);
-      backoff_ms *= 2;
+      machine_->clock()->AdvanceMillis(backoff.NextDelayMs());
       ++retries_;
     }
     Result<AttestationResponse> response = QuoteOnce(nonce, selection);

@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "src/common/backoff.h"
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/hw/machine.h"
@@ -36,8 +37,10 @@ struct AttestationResponse {
 };
 
 struct TqdConfig {
-  int max_attempts = 4;            // One initial try plus up to three retries.
-  double initial_backoff_ms = 2.0; // Doubles after every transient failure.
+  int max_attempts = 4;  // One initial try plus up to three retries.
+  // Shared backoff policy (common/backoff.h). Defaults reproduce the
+  // daemon's historical 2/4/8 ms doubling schedule exactly.
+  BackoffPolicy backoff;
   // Watchdog: total simulated-clock budget (ms) one challenge may consume
   // across all retries and backoff waits; 0 means unlimited. Checked before
   // each retry so the daemon never sleeps past its deadline.

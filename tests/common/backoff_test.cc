@@ -1,0 +1,74 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/tqd.h"
+
+namespace flicker {
+namespace {
+
+TEST(BackoffTest, DefaultsReproduceTqdSchedule) {
+  // The daemon's historical schedule is pinned by tqd_robustness_test via
+  // elapsed-time checks; this pins it at the policy level: 2, 4, 8 ms.
+  BackoffSchedule schedule(BackoffPolicy{});
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 8.0);
+}
+
+TEST(BackoffTest, TqdConfigDefaultsPinTheSchedule) {
+  // TqdConfig embeds the shared policy; its defaults must stay 2/4/8 or the
+  // daemon's calibrated retry timing silently shifts.
+  TqdConfig config;
+  BackoffSchedule schedule(config.backoff);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 8.0);
+}
+
+TEST(BackoffTest, CapBoundsEveryDelay) {
+  BackoffSchedule schedule(BackoffPolicy{5.0, 2.0, 12.0, 0});
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 5.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 10.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 12.0);  // Capped, not 20.
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 12.0);  // Stays capped.
+}
+
+TEST(BackoffTest, PeekDoesNotRatchet) {
+  BackoffSchedule schedule(BackoffPolicy{});
+  EXPECT_DOUBLE_EQ(schedule.PeekDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.PeekDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.PeekDelayMs(), 4.0);
+  EXPECT_EQ(schedule.retries_issued(), 1);
+}
+
+TEST(BackoffTest, ResetStartsOver) {
+  BackoffSchedule schedule(BackoffPolicy{});
+  schedule.NextDelayMs();
+  schedule.NextDelayMs();
+  schedule.Reset();
+  EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 2.0);
+}
+
+TEST(BackoffTest, JitterShrinksWithinFractionAndReplaysBitExact) {
+  BackoffPolicy jittered{10.0, 2.0, 0, 0.5};
+  BackoffSchedule a(jittered, 1234);
+  BackoffSchedule b(jittered, 1234);
+  BackoffSchedule c(jittered, 99);
+  bool any_differs_across_seeds = false;
+  for (int i = 0; i < 8; ++i) {
+    double base = 10.0 * (1 << i);
+    double da = a.NextDelayMs();
+    EXPECT_GE(da, base * 0.5 - 1e-9);
+    EXPECT_LE(da, base + 1e-9);
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs());  // Same seed: bit-exact replay.
+    if (da != c.NextDelayMs()) {
+      any_differs_across_seeds = true;
+    }
+  }
+  EXPECT_TRUE(any_differs_across_seeds);
+}
+
+}  // namespace
+}  // namespace flicker

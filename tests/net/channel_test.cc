@@ -35,6 +35,18 @@ TEST(ChannelTest, AverageNearProfileAvg) {
   EXPECT_NEAR(avg_rtt, channel.profile().avg_rtt_ms, 0.25);
 }
 
+TEST(ChannelTest, SamplingAloneIsNotADelivery) {
+  // Regression: SampleOneWayMs() used to bump messages_delivered, so code
+  // that merely inspected latencies inflated the delivery count.
+  SimClock clock;
+  Channel channel(&clock);
+  channel.SampleOneWayMs();
+  channel.SampleOneWayMs();
+  EXPECT_EQ(channel.messages_delivered(), 0u);
+  channel.Deliver();
+  EXPECT_EQ(channel.messages_delivered(), 1u);
+}
+
 TEST(ChannelTest, RoundTripIsTwoMessages) {
   SimClock clock;
   Channel channel(&clock);

@@ -1,0 +1,227 @@
+#include "src/net/session.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/serde.h"
+
+namespace flicker {
+namespace {
+
+// An echo handler that counts real invocations (duplicates served from the
+// reply cache must not re-invoke it).
+struct EchoHandler {
+  int invocations = 0;
+  SessionServer::Handler Fn() {
+    return [this](const Bytes& request) -> Result<Bytes> {
+      ++invocations;
+      return request;
+    };
+  }
+};
+
+struct Rig {
+  SimClock clock;
+  LossyChannel channel{&clock};
+  SessionClient client{&channel, NetEndpoint::kClient};
+  SessionServer server{&channel, NetEndpoint::kServer};
+  EchoHandler echo;
+
+  SessionClient::PeerPump Pump() {
+    return [this](double deadline_ms) { server.ServePending(deadline_ms, echo.Fn()); };
+  }
+};
+
+TEST(SessionFrameTest, RoundTrips) {
+  SessionFrame frame;
+  frame.type = SessionFrame::kResponse;
+  frame.seq = 42;
+  frame.status_code = static_cast<uint8_t>(StatusCode::kPermissionDenied);
+  frame.status_message = "no";
+  frame.payload = BytesOf("data");
+  Result<SessionFrame> parsed = SessionFrame::Deserialize(frame.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().type, SessionFrame::kResponse);
+  EXPECT_EQ(parsed.value().seq, 42u);
+  EXPECT_EQ(parsed.value().status_message, "no");
+  EXPECT_EQ(parsed.value().payload, BytesOf("data"));
+}
+
+TEST(SessionFrameTest, RejectsHostileInput) {
+  SessionFrame frame;
+  frame.payload = BytesOf("x");
+  Bytes good = frame.Serialize();
+
+  // Truncations at every length must fail typed, never crash.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes truncated(good.begin(), good.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SessionFrame::Deserialize(truncated).ok()) << "cut=" << cut;
+  }
+  // Bad magic.
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(SessionFrame::Deserialize(bad_magic).ok());
+  // Unknown type.
+  Bytes bad_type = good;
+  bad_type[4] = 9;
+  EXPECT_FALSE(SessionFrame::Deserialize(bad_type).ok());
+  // Unknown status code.
+  Bytes bad_status = good;
+  bad_status[13] = 0xEE;
+  EXPECT_FALSE(SessionFrame::Deserialize(bad_status).ok());
+  // Trailing garbage.
+  Bytes padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(SessionFrame::Deserialize(padded).ok());
+  // Oversized.
+  Bytes huge(kMaxSessionFrameBytes + 1, 0);
+  EXPECT_FALSE(SessionFrame::Deserialize(huge).ok());
+}
+
+TEST(SessionFrameTest, EveryBitFlipIsDetected) {
+  // The frame checksum must catch corruption anywhere - including inside the
+  // payload, where magic/type/length checks are blind. A garbled frame is a
+  // retransmit, never garbled bytes handed to the application.
+  SessionFrame frame;
+  frame.type = SessionFrame::kResponse;
+  frame.seq = 7;
+  frame.payload = BytesOf("verdict");
+  Bytes good = frame.Serialize();
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    Bytes flipped = good;
+    flipped[pos] ^= 0x5A;  // The LossyChannel corrupt fault's XOR pattern.
+    EXPECT_FALSE(SessionFrame::Deserialize(flipped).ok()) << "pos=" << pos;
+  }
+}
+
+TEST(SessionTest, EchoOverCleanWire) {
+  Rig rig;
+  Result<Bytes> reply = rig.client.Call(BytesOf("ping"), rig.Pump());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), BytesOf("ping"));
+  EXPECT_EQ(rig.echo.invocations, 1);
+  EXPECT_EQ(rig.client.retransmits(), 0u);
+  // A clean exchange costs about one RTT, not a whole timeout window.
+  EXPECT_LT(rig.clock.NowMillis(), 12.0);
+}
+
+TEST(SessionTest, ServerStatusArrivesTyped) {
+  Rig rig;
+  auto deny = [](const Bytes&) -> Result<Bytes> {
+    return PermissionDeniedError("policy says no");
+  };
+  SessionClient::PeerPump pump = [&](double deadline_ms) {
+    rig.server.ServePending(deadline_ms, deny);
+  };
+  Result<Bytes> reply = rig.client.Call(BytesOf("req"), pump);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(reply.status().message().find("policy says no"), std::string::npos);
+}
+
+TEST(SessionTest, RetransmitRecoversFromLostRequest) {
+  Rig rig;
+  // Partition swallows exactly the first datagram (the initial request).
+  rig.channel.set_fault_schedule(NetFaultSchedule(3, NetFaultMix{}, {{1, 2}}));
+  Result<Bytes> reply = rig.client.Call(BytesOf("ping"), rig.Pump());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), BytesOf("ping"));
+  EXPECT_EQ(rig.client.retransmits(), 1u);
+  EXPECT_EQ(rig.echo.invocations, 1);
+}
+
+TEST(SessionTest, DuplicatedRequestExecutesAtMostOnce) {
+  Rig rig;
+  NetFaultMix all_dup;
+  all_dup.duplicate_bp = 10000;
+  rig.channel.set_fault_schedule(NetFaultSchedule(3, all_dup));
+  Result<Bytes> reply = rig.client.Call(BytesOf("once"), rig.Pump());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), BytesOf("once"));
+  // The wire duplicated the request, but the handler ran exactly once; the
+  // twin was answered from the reply cache.
+  EXPECT_EQ(rig.echo.invocations, 1);
+  EXPECT_GE(rig.server.duplicates_served(), 1u);
+}
+
+TEST(SessionTest, FailsClosedWithinTotalDeadline) {
+  Rig rig;
+  NetFaultMix all_drop;
+  all_drop.drop_bp = 10000;
+  rig.channel.set_fault_schedule(NetFaultSchedule(3, all_drop));
+  Result<Bytes> reply = rig.client.Call(BytesOf("void"), rig.Pump());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  SessionConfig defaults;
+  EXPECT_LE(rig.clock.NowMillis(), defaults.total_deadline_ms + 1e-6);
+  EXPECT_EQ(rig.echo.invocations, 0);
+}
+
+TEST(SessionTest, GarbledFramesNeverSurface) {
+  Rig rig;
+  NetFaultMix all_corrupt;
+  all_corrupt.corrupt_bp = 10000;
+  rig.channel.set_fault_schedule(NetFaultSchedule(3, all_corrupt));
+  Result<Bytes> reply = rig.client.Call(BytesOf("garble-me"), rig.Pump());
+  // Every frame in both directions is garbled: the call must fail closed,
+  // and both ends must have counted (not crashed on) the hostile bytes.
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(rig.server.rejected_frames(), 1u);
+}
+
+TEST(SessionTest, StaleResponseIsIgnored) {
+  Rig rig;
+  // Forge a response for a sequence number this client never issued and
+  // park it on the wire ahead of the real exchange.
+  SessionFrame forged;
+  forged.type = SessionFrame::kResponse;
+  forged.seq = 999;
+  forged.payload = BytesOf("ghost");
+  rig.channel.Send(NetEndpoint::kServer, forged.Serialize());
+  Result<Bytes> reply = rig.client.Call(BytesOf("real"), rig.Pump());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value(), BytesOf("real"));  // Never the ghost payload.
+  EXPECT_GE(rig.client.stale_frames(), 1u);
+}
+
+TEST(SessionTest, SequenceNumbersPairCallsAcrossRetries) {
+  Rig rig;
+  // Drop ~20% with a seed that exercises retransmits across several calls;
+  // every call must still return its own payload.
+  NetFaultMix mix;
+  mix.drop_bp = 2000;
+  rig.channel.set_fault_schedule(NetFaultSchedule(11, mix));
+  for (int i = 0; i < 10; ++i) {
+    Writer w;
+    w.U32(static_cast<uint32_t>(i));
+    Bytes payload = w.Take();
+    Result<Bytes> reply = rig.client.Call(payload, rig.Pump());
+    if (reply.ok()) {
+      EXPECT_EQ(reply.value(), payload) << "call " << i;
+    } else {
+      EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+    }
+  }
+  EXPECT_EQ(rig.client.calls(), 10u);
+}
+
+TEST(SessionTest, ReplyCacheEvictsFifoButStaysCorrect) {
+  SimClock clock;
+  LossyChannel channel(&clock);
+  SessionClient client(&channel, NetEndpoint::kClient);
+  SessionServer server(&channel, NetEndpoint::kServer, /*reply_cache_capacity=*/2);
+  EchoHandler echo;
+  SessionClient::PeerPump pump = [&](double deadline_ms) {
+    server.ServePending(deadline_ms, echo.Fn());
+  };
+  for (int i = 0; i < 6; ++i) {
+    Result<Bytes> reply = client.Call(BytesOf("m"), pump);
+    ASSERT_TRUE(reply.ok());
+  }
+  EXPECT_EQ(server.requests_handled(), 6u);
+  EXPECT_EQ(echo.invocations, 6);
+}
+
+}  // namespace
+}  // namespace flicker

@@ -7,18 +7,25 @@
 #   verify.sh --faults   additionally run the fault-injection campaign
 #                        (ctest -L faults, crash matrix included) under
 #                        ASan+UBSan and refresh BENCH_robustness.json
+#   verify.sh --net      additionally run the adversarial-network campaign
+#                        (ctest -L net, chaos matrix included) under
+#                        ASan+UBSan and refresh BENCH_net.json
 #
-# Usage: verify.sh [--asan|--faults] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 asan=0
 faults=0
+net=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
 elif [ "${1:-}" = "--faults" ]; then
   faults=1
+  shift
+elif [ "${1:-}" = "--net" ]; then
+  net=1
   shift
 fi
 build_dir=${1:-"$repo_root/build"}
@@ -33,7 +40,7 @@ if [ "$asan" = 1 ]; then
   cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
   cmake --build "$asan_dir" -j "$jobs" --target \
     tpm_pcr_bank_test tpm_tpm_test tpm_param_test tpm_transport_test \
-    core_platform_test core_remote_attestation_test \
+    tpm_commands_negative_test core_platform_test core_remote_attestation_test \
     os_tqd_robustness_test common_serde_test
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -R \
     '^(tpm_|core_|os_tqd_robustness_test|common_serde_test)'
@@ -51,6 +58,20 @@ if [ "$faults" = 1 ]; then
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L faults
   cmake --build "$build_dir" -j "$jobs" --target micro_recovery
   "$build_dir/bench/micro_recovery" --bench_json="$repo_root/BENCH_robustness.json"
+fi
+
+if [ "$net" = 1 ]; then
+  # Adversarial-network campaign: the chaos matrix and the rest of the
+  # `net`-labeled suite, under ASan+UBSan so hostile-frame handling is also
+  # memory-clean, plus the deterministic session-layer loss report.
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    net_channel_test net_lossy_channel_test net_session_test \
+    tpm_commands_negative_test integration_net_chaos_test
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L net
+  cmake --build "$build_dir" -j "$jobs" --target micro_net
+  "$build_dir/bench/micro_net" --bench_json="$repo_root/BENCH_net.json"
 fi
 
 echo "verify.sh: all checks passed"
