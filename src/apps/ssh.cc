@@ -1,6 +1,7 @@
 #include "src/apps/ssh.h"
 
 #include "src/common/serde.h"
+#include "src/obs/trace.h"
 #include "src/crypto/md5crypt.h"
 #include "src/crypto/sha1.h"
 
@@ -83,6 +84,7 @@ Status SshServer::AddUser(const std::string& username, const std::string& passwo
 }
 
 Result<SshServer::SetupResult> SshServer::Setup(const Bytes& client_nonce) {
+  obs::ScopedSpan setup_span("app", "app.ssh_setup");
   SetupResult result;
   result.nonce = client_nonce;
   SimStopwatch watch(platform_->clock());
@@ -122,6 +124,7 @@ Result<SshServer::SetupResult> SshServer::Setup(const Bytes& client_nonce) {
 Result<SshServer::LoginResult> SshServer::HandleLogin(const std::string& username,
                                                       const Bytes& encrypted_password,
                                                       const Bytes& login_nonce) {
+  obs::ScopedSpan login_span("app", "app.ssh_login");
   auto user = passwd_.find(username);
   if (user == passwd_.end()) {
     return NotFoundError("unknown user");
@@ -222,6 +225,7 @@ Result<SshLoginRequest> SshLoginRequest::Deserialize(const Bytes& data) {
 }
 
 Result<Bytes> SshServer::HandleLoginFrame(const Bytes& frame) {
+  obs::ScopedSpan frame_span("app", "app.ssh_login_frame");
   Result<SshLoginRequest> request = SshLoginRequest::Deserialize(frame);
   if (!request.ok()) {
     return request.status();

@@ -1,5 +1,8 @@
 #include "src/core/flicker_platform.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace flicker {
 
 FlickerPlatform::FlickerPlatform(const FlickerPlatformConfig& config)
@@ -15,14 +18,30 @@ Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& bi
                                                              const Bytes& inputs,
                                                              const SlbCoreOptions& options) {
   FlickerSessionResult result;
+  // Ids are assigned whether or not a tracer is installed, so a session's
+  // identity is stable across traced and untraced runs of the same seed.
+  result.session_id = ++next_session_id_;
+  obs::Count(obs::Ctr::kFlickerSessions);
+  obs::ScopedSession session_scope(result.session_id);
+  obs::ScopedSpan session_span("core", "flicker.session");
+  session_span.Arg("id", result.session_id);
+  const uint64_t session_start_ns = obs::NowNs(machine_.clock());
   SimStopwatch total_watch(machine_.clock());
 
   // Untrusted staging via the sysfs interface.
-  FLICKER_RETURN_IF_ERROR(module_.WriteSlb(binary.image));
-  FLICKER_RETURN_IF_ERROR(module_.WriteInputs(inputs));
+  {
+    obs::ScopedSpan stage_span("core", "platform.stage");
+    FLICKER_RETURN_IF_ERROR(module_.WriteSlb(binary.image));
+    FLICKER_RETURN_IF_ERROR(module_.WriteInputs(inputs));
+  }
 
   SimStopwatch suspend_watch(machine_.clock());
-  Result<SkinitLaunch> launch = module_.StartSession();
+  Result<SkinitLaunch> launch = [&]() {
+    // AP parking, kernel state save and the SKINIT instruction itself; the
+    // hw.skinit child span marks where suspend ends and the launch begins.
+    obs::ScopedSpan suspend_span("core", "platform.suspend_skinit");
+    return module_.StartSession();
+  }();
   if (!launch.ok()) {
     return launch.status();
   }
@@ -44,8 +63,13 @@ Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& bi
   }
   result.record = record.take();
 
-  FLICKER_RETURN_IF_ERROR(module_.FinishSession());
+  {
+    obs::ScopedSpan resume_span("core", "platform.resume");
+    FLICKER_RETURN_IF_ERROR(module_.FinishSession());
+  }
   result.session_total_ms = total_watch.ElapsedMillis();
+  obs::ObserveMs(obs::Hist::kFlickerSessionTotalMs,
+                 static_cast<double>(obs::NowNs(machine_.clock()) - session_start_ns) / 1e6);
   return result;
 }
 

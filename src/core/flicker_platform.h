@@ -15,6 +15,7 @@
 #ifndef FLICKER_SRC_CORE_FLICKER_PLATFORM_H_
 #define FLICKER_SRC_CORE_FLICKER_PLATFORM_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "src/common/bytes.h"
@@ -38,6 +39,7 @@ struct FlickerPlatformConfig {
 // Everything a completed session yields, including the timing breakdown the
 // evaluation tables report.
 struct FlickerSessionResult {
+  uint64_t session_id = 0;       // Monotonic platform-assigned id (1-based).
   SessionRecord record;          // PAL status, outputs, PCR values, in-session timings.
   SkinitLaunch launch;           // What SKINIT measured.
   double suspend_ms = 0;         // AP deschedule + INIT IPIs + state save.
@@ -66,7 +68,11 @@ class FlickerPlatform {
   Result<FlickerSessionResult> ExecuteSession(const PalBinary& binary, const Bytes& inputs,
                                               const SlbCoreOptions& options = SlbCoreOptions());
 
+  // Sessions executed so far; the next session gets sessions_started() + 1.
+  uint64_t sessions_started() const { return next_session_id_; }
+
  private:
+  uint64_t next_session_id_ = 0;
   Machine machine_;
   SlbMeasurementCache measurement_cache_;
   OsKernel kernel_;

@@ -1,5 +1,8 @@
 #include "src/core/remote_attestation.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 #include "src/common/serde.h"
 #include "src/tpm/pcr_bank.h"
 
@@ -180,6 +183,8 @@ void AttestationService::RememberNonce(const Bytes& nonce) {
 Result<Bytes> AttestationService::HandleChallenge(const Bytes& challenge_wire,
                                                   const PalBinary& binary, const Bytes& inputs,
                                                   const std::vector<Bytes>& pal_extends) {
+  obs::ScopedSpan challenge_span("attest", "attest.handle_challenge");
+  obs::Count(obs::Ctr::kAttestChallengesHandled);
   if (challenge_wire.size() > kMaxChallengeWireBytes) {
     return InvalidArgumentError("challenge exceeds wire bound");
   }
@@ -192,6 +197,8 @@ Result<Bytes> AttestationService::HandleChallenge(const Bytes& challenge_wire,
   }
   if (options_.replay_protection && NonceSeen(challenge.value().nonce)) {
     ++replays_rejected_;
+    obs::Count(obs::Ctr::kAttestReplaysRejected);
+    obs::Instant("attest", "attest.replay_rejected");
     return ReplayDetectedError("challenge nonce already answered");
   }
 

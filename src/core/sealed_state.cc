@@ -1,5 +1,8 @@
 #include "src/core/sealed_state.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 #include "src/common/fault.h"
 #include "src/tpm/pcr_bank.h"
 
@@ -146,6 +149,7 @@ CrashConsistentSealedStore::CrashConsistentSealedStore(TpmClient* tpm, uint32_t 
 
 Status CrashConsistentSealedStore::Seal(const Bytes& data, const Bytes& release_pcr17,
                                         const Bytes& blob_auth) {
+  obs::ScopedSpan seal_span("seal", "seal.two_phase");
   if (fail_closed_) {
     return IntegrityFailureError("store failed closed; refusing further seals");
   }
@@ -198,17 +202,20 @@ Status CrashConsistentSealedStore::Seal(const Bytes& data, const Bytes& release_
 }
 
 Result<RecoveryClass> CrashConsistentSealedStore::Recover() {
+  obs::ScopedSpan recover_span("seal", "seal.recover");
   Result<uint64_t> live = tpm_->ReadCounter(counter_id_);
   if (!live.ok()) {
     return live.status();
   }
   if (!staged_.has_value()) {
+    obs::Count(obs::Ctr::kSealRecoverClean);
     return RecoveryClass::kClean;
   }
   const uint64_t staged_version = staged_->version;
   if (staged_version == live.value() + 1) {
     // Crash before the increment: the seal never committed.
     staged_.reset();
+    obs::Count(obs::Ctr::kSealRecoverDiscardedStaged);
     return RecoveryClass::kDiscardedStaged;
   }
   if (staged_version == live.value()) {
@@ -216,16 +223,20 @@ Result<RecoveryClass> CrashConsistentSealedStore::Recover() {
     // blob the counter will accept - roll it forward.
     committed_ = staged_;
     staged_.reset();
+    obs::Count(obs::Ctr::kSealRecoverRolledForward);
     return RecoveryClass::kRolledForward;
   }
   if (staged_version < live.value()) {
     // Orphan from an older crash; the committed blob is newer.
     staged_.reset();
+    obs::Count(obs::Ctr::kSealRecoverDiscardedStaged);
     return RecoveryClass::kDiscardedStaged;
   }
   // staged_version > live + 1: the protocol cannot produce this. Serve
   // nothing rather than guess which state is real.
   fail_closed_ = true;
+  obs::Count(obs::Ctr::kSealRecoverFailClosed);
+  obs::Instant("seal", "seal.fail_closed");
   return RecoveryClass::kFailClosed;
 }
 

@@ -2,6 +2,8 @@
 
 #include "src/common/fault.h"
 #include "src/crypto/sha1.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flicker {
 
@@ -58,6 +60,14 @@ Result<SkinitLaunch> Machine::Skinit(int cpu_index, uint64_t slb_base) {
   }
   CRASH_POINT("skinit.enter");
 
+  // Preconditions all hold: the launch proper starts here. The span covers
+  // measurement, the locality-4 PCR-17 handshake and the modeled SKINIT
+  // latency charge - its TPM_HW_SkinitReset child is the paper's dynamic
+  // PCR reset event.
+  obs::ScopedSpan skinit_span("hw", "hw.skinit");
+  obs::Count(obs::Ctr::kSkinitLaunches);
+  const uint64_t skinit_start_ns = obs::NowNs(&clock_);
+
   // Parse and validate the SLB header: first two 16-bit words are length and
   // entry point (§2.4).
   Result<Bytes> header = memory_.Read(slb_base, 4);
@@ -109,6 +119,9 @@ Result<SkinitLaunch> Machine::Skinit(int cpu_index, uint64_t slb_base) {
   }
   CRASH_POINT("skinit.pcr_extended");
   clock_.AdvanceMillis(timing_.SkinitMillis(length));
+  obs::ObserveMs(obs::Hist::kSkinitLatencyMs,
+                 static_cast<double>(obs::NowNs(&clock_) - skinit_start_ns) / 1e6);
+  skinit_span.Arg("slb_length", static_cast<uint64_t>(length));
 
   // CPU enters flat 32-bit protected mode at the SLB entry point.
   cpu.paging_enabled = false;
@@ -152,6 +165,7 @@ Status Machine::ExitSecureMode(int cpu_index, uint64_t restored_cr3) {
 Status Machine::DmaWrite(uint64_t addr, const Bytes& data) {
   if (dev_.Blocks(addr, data.size())) {
     ++dma_blocked_count_;
+    obs::Count(obs::Ctr::kDmaBlocked);
     return PermissionDeniedError("DMA write blocked by Device Exclusion Vector");
   }
   return memory_.Write(addr, data);
@@ -160,6 +174,7 @@ Status Machine::DmaWrite(uint64_t addr, const Bytes& data) {
 Result<Bytes> Machine::DmaRead(uint64_t addr, size_t len) {
   if (dev_.Blocks(addr, len)) {
     ++dma_blocked_count_;
+    obs::Count(obs::Ctr::kDmaBlocked);
     return PermissionDeniedError("DMA read blocked by Device Exclusion Vector");
   }
   return memory_.Read(addr, len);
@@ -199,6 +214,8 @@ void Machine::ResetCommon() {
 }
 
 void Machine::PowerCut() {
+  obs::Count(obs::Ctr::kPowerCuts);
+  obs::Instant("hw", "hw.power_cut");
   // RAM loses its contents; Erase also dirties measurement-cache watches so
   // no cached SLB digest survives the outage.
   Status erased = memory_.Erase(0, memory_.size());
@@ -206,6 +223,10 @@ void Machine::PowerCut() {
   ResetCommon();
 }
 
-void Machine::WarmReset() { ResetCommon(); }
+void Machine::WarmReset() {
+  obs::Count(obs::Ctr::kWarmResets);
+  obs::Instant("hw", "hw.warm_reset");
+  ResetCommon();
+}
 
 }  // namespace flicker

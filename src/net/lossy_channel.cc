@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <ostream>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace flicker {
 
 namespace {
@@ -123,17 +126,22 @@ void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
   const double now_ms = clock_->NowMillis();
   const double one_way_ms = SampleOneWayMs();
   const NetFault fault = schedule_.Classify(seq);
+  // Scheduled arrival on the wire; fault verdicts below may push it out.
+  double arrival_ms = now_ms + one_way_ms;
 
   NetTraceEntry trace;
   trace.seq = seq;
   trace.from = from;
   trace.bytes = datagram.size();
   trace.fault = fault;
-  trace.sent_at_ms = now_ms;
-  trace.arrival_ms = now_ms + one_way_ms;
+  trace.sent_at_ns = obs::NowNs(clock_);
 
+  obs::Count(obs::Ctr::kNetMessagesSent);
   if (fault != NetFault::kNone) {
     ++faults_injected_;
+    obs::Count(obs::Ctr::kNetFaultsInjected);
+    obs::Instant("net", NetFaultName(fault),
+                 {{"seq", std::to_string(seq)}, {"from", NetEndpointName(from)}});
   }
   switch (fault) {
     case NetFault::kDrop:
@@ -142,17 +150,17 @@ void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
       // bytes left the sender), keeping replays aligned across verdicts.
       break;
     case NetFault::kDuplicate: {
-      Enqueue(dest, seq, now_ms + one_way_ms, datagram);
+      Enqueue(dest, seq, arrival_ms, datagram);
       // The duplicate trails by its own fresh latency (a retransmitting
       // middlebox), so both copies arrive and the receiver must dedup.
       double dup_extra = SampleOneWayMs();
-      Enqueue(dest, seq, now_ms + one_way_ms + dup_extra, datagram);
+      Enqueue(dest, seq, arrival_ms + dup_extra, datagram);
       break;
     }
     case NetFault::kReorder:
       // Held back long enough for a later message to overtake it.
-      Enqueue(dest, seq, now_ms + one_way_ms + schedule_.mix().reorder_ms, datagram);
-      trace.arrival_ms += schedule_.mix().reorder_ms;
+      arrival_ms += schedule_.mix().reorder_ms;
+      Enqueue(dest, seq, arrival_ms, datagram);
       break;
     case NetFault::kCorrupt: {
       Bytes garbled = datagram;
@@ -160,17 +168,20 @@ void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
         size_t pos = static_cast<size_t>(seq * 0x9E3779B97F4A7C15ULL % garbled.size());
         garbled[pos] ^= 0x5A;
       }
-      Enqueue(dest, seq, now_ms + one_way_ms, std::move(garbled));
+      Enqueue(dest, seq, arrival_ms, std::move(garbled));
       break;
     }
     case NetFault::kDelay:
-      Enqueue(dest, seq, now_ms + one_way_ms + schedule_.mix().delay_ms, datagram);
-      trace.arrival_ms += schedule_.mix().delay_ms;
+      arrival_ms += schedule_.mix().delay_ms;
+      Enqueue(dest, seq, arrival_ms, datagram);
       break;
     case NetFault::kNone:
-      Enqueue(dest, seq, now_ms + one_way_ms, datagram);
+      Enqueue(dest, seq, arrival_ms, datagram);
       break;
   }
+  // Derive the traced arrival from the same rounded microsecond value the
+  // in-flight queue uses, so the ring and a later Receive() agree exactly.
+  trace.arrival_ns = static_cast<uint64_t>(arrival_ms * 1000.0 + 0.5) * 1000;
   Record(dest, trace);
 }
 
@@ -210,6 +221,7 @@ bool LossyChannel::Receive(NetEndpoint at, Bytes* out) {
   *out = std::move(in_flight_[index].payload);
   in_flight_.erase(in_flight_.begin() + index);
   ++messages_delivered_;
+  obs::Count(obs::Ctr::kNetMessagesDelivered);
   return true;
 }
 
@@ -245,7 +257,7 @@ void LossyChannel::DumpTrace(std::ostream& os) const {
     for (const NetTraceEntry& entry : TraceSnapshot(at)) {
       os << "  #" << entry.seq << " " << NetEndpointName(entry.from) << "->"
          << NetEndpointName(at) << " " << entry.bytes << "B " << NetFaultName(entry.fault)
-         << " sent@" << entry.sent_at_ms << "ms arrive@" << entry.arrival_ms << "ms\n";
+         << " sent@" << entry.sent_at_ns << "ns arrive@" << entry.arrival_ns << "ns\n";
     }
   }
 }

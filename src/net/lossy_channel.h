@@ -15,7 +15,11 @@
 //
 // Each endpoint keeps a fixed-capacity delivery trace ring (like
 // TpmTransport's command trace) so a failing chaos cell can dump exactly
-// what the wire did to every frame.
+// what the wire did to every frame. Ring timestamps sit on the shared
+// sim-clock nanosecond epoch (obs::NowNs), and every send/delivery/fault is
+// also counted in the global metrics registry and surfaced as an instant
+// event on the unified trace stream: the rings are bounded dump-on-failure
+// views, not a parallel truth.
 
 #ifndef FLICKER_SRC_NET_LOSSY_CHANNEL_H_
 #define FLICKER_SRC_NET_LOSSY_CHANNEL_H_
@@ -83,13 +87,17 @@ class NetFaultSchedule {
 };
 
 // One delivery-trace record: what happened to one Send at one endpoint.
+// Timestamps are sim-clock nanoseconds on the shared trace epoch
+// (obs::NowNs) - the same unit the TpmTransport command ring and the
+// unified span stream use, so a dumped frame lines up against the TPM
+// command it triggered.
 struct NetTraceEntry {
   uint64_t seq = 0;          // Global Send() index (1-based).
   NetEndpoint from = NetEndpoint::kClient;
   size_t bytes = 0;
   NetFault fault = NetFault::kNone;
-  double sent_at_ms = 0;     // Simulated send time.
-  double arrival_ms = 0;     // Scheduled arrival (dropped: never delivered).
+  uint64_t sent_at_ns = 0;   // Simulated send time (shared ns epoch).
+  uint64_t arrival_ns = 0;   // Scheduled arrival (dropped: never delivered).
 };
 
 class LossyChannel {

@@ -1,6 +1,8 @@
 #include "src/net/session.h"
 
 #include "src/common/serde.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flicker {
 
@@ -74,7 +76,11 @@ Result<SessionFrame> SessionFrame::Deserialize(const Bytes& data) {
 
 Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
   ++calls_;
+  obs::Count(obs::Ctr::kSessionCalls);
   const uint64_t seq = ++next_seq_;
+  obs::ScopedSpan call_span("net", "net.call");
+  call_span.Arg("seq", seq);
+  const uint64_t call_start_ns = obs::NowNs(channel_->clock());
   SessionFrame frame;
   frame.type = SessionFrame::kRequest;
   frame.seq = seq;
@@ -95,6 +101,8 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
       }
       channel_->clock()->AdvanceMillis(delay_ms);
       ++retransmits_;
+      obs::Count(obs::Ctr::kSessionRetransmits);
+      obs::Instant("net", "net.retransmit", {{"seq", std::to_string(seq)}});
     }
     channel_->Send(side_, wire);
 
@@ -113,13 +121,17 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
       Result<SessionFrame> parsed = SessionFrame::Deserialize(inbound);
       if (!parsed.ok()) {
         ++rejected_frames_;  // Garbled or hostile: ignore, keep waiting.
+        obs::Count(obs::Ctr::kSessionRejectedFrames);
         continue;
       }
       const SessionFrame& response = parsed.value();
       if (response.type != SessionFrame::kResponse || response.seq != seq) {
         ++stale_frames_;  // A reply to some earlier life; never surfaced.
+        obs::Count(obs::Ctr::kSessionStaleFrames);
         continue;
       }
+      obs::ObserveMs(obs::Hist::kSessionCallLatencyMs,
+                     static_cast<double>(obs::NowNs(channel_->clock()) - call_start_ns) / 1e6);
       if (response.status_code != 0) {
         return Status(static_cast<StatusCode>(response.status_code), response.status_message);
       }
@@ -131,6 +143,9 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
       break;
     }
   }
+  obs::Instant("net", "net.call_deadline", {{"seq", std::to_string(seq)}});
+  obs::ObserveMs(obs::Hist::kSessionCallLatencyMs,
+                 static_cast<double>(obs::NowNs(channel_->clock()) - call_start_ns) / 1e6);
   return Status(StatusCode::kUnavailable,
                 "session call failed closed by deadline: " + last_failure.message());
 }
@@ -153,6 +168,7 @@ size_t SessionServer::ServePending(double deadline_ms, const Handler& handler) {
     Result<SessionFrame> parsed = SessionFrame::Deserialize(inbound);
     if (!parsed.ok() || parsed.value().type != SessionFrame::kRequest) {
       ++rejected_frames_;
+      obs::Count(obs::Ctr::kSessionRejectedFrames);
       continue;
     }
     const SessionFrame& request = parsed.value();
@@ -161,6 +177,7 @@ size_t SessionServer::ServePending(double deadline_ms, const Handler& handler) {
     if (cached != reply_cache_.end()) {
       // Retransmit or wire duplicate: answer what we answered before.
       ++duplicates_served_;
+      obs::Count(obs::Ctr::kSessionDuplicatesServed);
       channel_->Send(side_, cached->second);
       continue;
     }
@@ -183,6 +200,7 @@ size_t SessionServer::ServePending(double deadline_ms, const Handler& handler) {
     reply_cache_.emplace(request.seq, response_wire);
     cache_order_.push_back(request.seq);
     ++requests_handled_;
+    obs::Count(obs::Ctr::kSessionRequestsHandled);
     channel_->Send(side_, response_wire);
   }
   return processed;

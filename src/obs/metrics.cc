@@ -1,0 +1,252 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace flicker {
+namespace obs {
+
+namespace {
+
+// The canonical metric set. docs/METRICS.md is generated from this table
+// (micro_obs --dump_metrics_md); verify.sh fails when the checked-in copy
+// drifts, so a metric cannot be added or renamed without the docs noticing.
+constexpr MetricDef kCounterDefs[static_cast<size_t>(Ctr::kCount)] = {
+    {"flicker_sessions_total", "count",
+     "Flicker sessions executed (one per FlickerPlatform::ExecuteSession)"},
+    {"skinit_launches_total", "count", "Successful SKINIT/SENTER late launches"},
+    {"tpm_commands_total", "count",
+     "TPM command frames dispatched through TpmTransport (incl. TIS/hardware pseudo-commands)"},
+    {"tpm_transport_faults_total", "count",
+     "Frames dropped/garbled/delayed by the transport fault plan"},
+    {"tqd_retries_total", "count",
+     "Transient quote failures absorbed by the quote daemon's retry loop"},
+    {"tqd_breaker_trips_total", "count",
+     "Times the quote daemon's circuit breaker opened on consecutive TPM failures"},
+    {"tqd_challenges_queued_total", "count",
+     "Attestation challenges queued behind an open circuit breaker"},
+    {"net_messages_sent_total", "count", "Datagrams handed to LossyChannel::Send"},
+    {"net_messages_delivered_total", "count", "Datagrams delivered to a receiving endpoint"},
+    {"net_faults_injected_total", "count",
+     "Datagrams faulted by the armed NetFaultSchedule (drop/dup/reorder/corrupt/delay/partition)"},
+    {"session_calls_total", "count", "Reliable request/response calls issued by SessionClient"},
+    {"session_retransmits_total", "count", "Request frames retransmitted after a timed-out window"},
+    {"session_stale_frames_total", "count",
+     "Well-formed frames ignored for carrying a stale or mismatched sequence number"},
+    {"session_rejected_frames_total", "count",
+     "Inbound frames rejected as malformed/corrupt (client and server sides)"},
+    {"session_requests_handled_total", "count",
+     "Requests executed by SessionServer handlers (at-most-once executions)"},
+    {"session_duplicates_served_total", "count",
+     "Duplicate requests answered from the server reply cache without re-execution"},
+    {"attest_challenges_handled_total", "count",
+     "Attestation challenges answered with a fresh PAL session and quote"},
+    {"attest_replays_rejected_total", "count",
+     "Attestation challenges refused because their nonce was already answered"},
+    {"measure_hashes_total", "count",
+     "SLB measurements that ran a full SHA-1 pass (cache miss or changed content)"},
+    {"measure_verified_hits_total", "count",
+     "SLB measurements served after a snapshot compare (written but byte-identical)"},
+    {"measure_clean_hits_total", "count",
+     "SLB measurements served from an untouched cache entry (no memory traffic)"},
+    {"seal_recover_clean_total", "count",
+     "Crash recoveries that found no staged snapshot (nothing to repair)"},
+    {"seal_recover_discarded_staged_total", "count",
+     "Crash recoveries that discarded a pre-increment or orphaned staged snapshot"},
+    {"seal_recover_rolled_forward_total", "count",
+     "Crash recoveries that promoted a staged snapshot whose counter increment had landed"},
+    {"seal_recover_fail_closed_total", "count",
+     "Crash recoveries that refused to serve any state (staged version ahead of the counter)"},
+    {"dma_blocked_total", "count", "DMA accesses refused by the Device Exclusion Vector"},
+    {"power_cuts_total", "count", "Simulated power losses (RAM erased, TPM reset line fired)"},
+    {"warm_resets_total", "count", "Simulated warm resets (RAM preserved, TPM reset line fired)"},
+};
+
+constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
+    {"tpm_command_latency_ms", "ms",
+     "Simulated latency charged per dispatched TPM command frame"},
+    {"skinit_latency_ms", "ms", "Simulated cost of the SKINIT/SENTER instruction per launch"},
+    {"flicker_session_total_ms", "ms",
+     "Simulated wall time of one full Flicker session (suspend through resume)"},
+    {"session_call_latency_ms", "ms",
+     "Simulated time one SessionClient::Call spent until verdict (success or fail-closed)"},
+};
+
+const char* TypeName(MetricType type) {
+  return type == MetricType::kCounter ? "counter" : "histogram";
+}
+
+}  // namespace
+
+const MetricDef& CounterDef(Ctr c) { return kCounterDefs[static_cast<size_t>(c)]; }
+const MetricDef& HistogramDef(Hist h) { return kHistogramDefs[static_cast<size_t>(h)]; }
+
+MetricsRegistry::MetricsRegistry() = default;
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+void MetricsRegistry::Observe(Hist h, double value_ms) {
+  HistogramState& state = histograms_[static_cast<size_t>(h)];
+  int bucket = kHistogramBucketCount - 1;
+  for (int i = 0; i < kHistogramBucketCount - 1; ++i) {
+    if (value_ms <= kHistogramBoundsMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  state.buckets[static_cast<size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+  state.count.fetch_add(1, std::memory_order_relaxed);
+  if (value_ms > 0) {
+    state.sum_us.fetch_add(static_cast<uint64_t>(value_ms * 1000.0 + 0.5),
+                           std::memory_order_relaxed);
+  }
+}
+
+uint64_t MetricsRegistry::HistogramCount(Hist h) const {
+  return histograms_[static_cast<size_t>(h)].count.load(std::memory_order_relaxed);
+}
+
+double MetricsRegistry::HistogramSumMs(Hist h) const {
+  return static_cast<double>(
+             histograms_[static_cast<size_t>(h)].sum_us.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+uint64_t MetricsRegistry::HistogramBucket(Hist h, int bucket) const {
+  if (bucket < 0 || bucket >= kHistogramBucketCount) {
+    return 0;
+  }
+  return histograms_[static_cast<size_t>(h)].buckets[static_cast<size_t>(bucket)].load(
+      std::memory_order_relaxed);
+}
+
+Result<int> MetricsRegistry::RegisterCounter(const std::string& name, const std::string& unit,
+                                             const std::string& help) {
+  for (const MetricDef& def : kCounterDefs) {
+    if (name == def.name) {
+      return InvalidArgumentError("metric name collides with standard counter: " + name);
+    }
+  }
+  for (const MetricDef& def : kHistogramDefs) {
+    if (name == def.name) {
+      return InvalidArgumentError("metric name collides with standard histogram: " + name);
+    }
+  }
+  std::lock_guard<std::mutex> lock(dynamic_mu_);
+  auto it = dynamic_by_name_.find(name);
+  if (it != dynamic_by_name_.end()) {
+    const DynamicCounter& existing = dynamic_[static_cast<size_t>(it->second)];
+    if (existing.unit != unit || existing.help != help) {
+      return InvalidArgumentError("metric re-registered with conflicting metadata: " + name);
+    }
+    return it->second;  // Idempotent: same definition, same id.
+  }
+  int id = static_cast<int>(dynamic_.size());
+  DynamicCounter& counter = dynamic_.emplace_back();
+  counter.name = name;
+  counter.unit = unit;
+  counter.help = help;
+  dynamic_by_name_.emplace(name, id);
+  return id;
+}
+
+void MetricsRegistry::IncDynamic(int id, uint64_t n) {
+  std::lock_guard<std::mutex> lock(dynamic_mu_);
+  if (id >= 0 && static_cast<size_t>(id) < dynamic_.size()) {
+    dynamic_[static_cast<size_t>(id)].value.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+uint64_t MetricsRegistry::GetDynamic(int id) const {
+  std::lock_guard<std::mutex> lock(dynamic_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= dynamic_.size()) {
+    return 0;
+  }
+  return dynamic_[static_cast<size_t>(id)].value.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::DumpText(std::ostream& os) const {
+  os << "# flicker metrics dump\n";
+  for (size_t i = 0; i < static_cast<size_t>(Ctr::kCount); ++i) {
+    os << kCounterDefs[i].name << " " << counters_[i].load(std::memory_order_relaxed) << "\n";
+  }
+  for (size_t i = 0; i < static_cast<size_t>(Hist::kCount); ++i) {
+    const HistogramState& state = histograms_[i];
+    os << kHistogramDefs[i].name << "_count " << state.count.load(std::memory_order_relaxed)
+       << "\n";
+    char sum[64];
+    std::snprintf(sum, sizeof(sum), "%.3f",
+                  static_cast<double>(state.sum_us.load(std::memory_order_relaxed)) / 1000.0);
+    os << kHistogramDefs[i].name << "_sum_ms " << sum << "\n";
+    for (int b = 0; b < kHistogramBucketCount; ++b) {
+      uint64_t count = state.buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      if (count == 0) {
+        continue;  // Sparse: only occupied buckets print.
+      }
+      if (b < kHistogramBucketCount - 1) {
+        char bound[32];
+        std::snprintf(bound, sizeof(bound), "%g", kHistogramBoundsMs[b]);
+        os << kHistogramDefs[i].name << "_bucket{le=\"" << bound << "\"} " << count << "\n";
+      } else {
+        os << kHistogramDefs[i].name << "_bucket{le=\"+inf\"} " << count << "\n";
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(dynamic_mu_);
+  for (const DynamicCounter& counter : dynamic_) {
+    os << counter.name << " " << counter.value.load(std::memory_order_relaxed) << "\n";
+  }
+}
+
+void MetricsRegistry::DumpMarkdown(std::ostream& os) {
+  os << "# Metrics reference\n"
+     << "\n"
+     << "Generated by `micro_obs --dump_metrics_md=docs/METRICS.md` from the\n"
+     << "definition table in `src/obs/metrics.cc`. Do not edit by hand:\n"
+     << "`verify.sh` fails when this file drifts from the code.\n"
+     << "\n"
+     << "All values aggregate over the life of the process in the global\n"
+     << "`obs::MetricsRegistry`. Histograms use the shared bucket bounds\n";
+  os << "`{";
+  for (int i = 0; i < kHistogramBucketCount - 1; ++i) {
+    char bound[32];
+    std::snprintf(bound, sizeof(bound), "%g", kHistogramBoundsMs[i]);
+    os << (i > 0 ? ", " : "") << bound;
+  }
+  os << ", +inf}` (simulated milliseconds).\n"
+     << "\n"
+     << "| Metric | Type | Unit | Description |\n"
+     << "|---|---|---|---|\n";
+  for (const MetricDef& def : kCounterDefs) {
+    os << "| `" << def.name << "` | " << TypeName(MetricType::kCounter) << " | " << def.unit
+       << " | " << def.help << " |\n";
+  }
+  for (const MetricDef& def : kHistogramDefs) {
+    os << "| `" << def.name << "` | " << TypeName(MetricType::kHistogram) << " | " << def.unit
+       << " | " << def.help << " |\n";
+  }
+}
+
+void MetricsRegistry::ResetValuesForTesting() {
+  for (auto& counter : counters_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  for (auto& state : histograms_) {
+    for (auto& bucket : state.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    state.count.store(0, std::memory_order_relaxed);
+    state.sum_us.store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(dynamic_mu_);
+  for (DynamicCounter& counter : dynamic_) {
+    counter.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace flicker

@@ -1,5 +1,8 @@
 #include "src/os/tqd.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace flicker {
 
 Result<AttestationResponse> TpmQuoteDaemon::QuoteOnce(const Bytes& nonce,
@@ -19,6 +22,8 @@ void TpmQuoteDaemon::NoteTpmFailure() {
   if (!breaker_open_ && consecutive_tpm_failures_ >= config_.breaker_threshold) {
     breaker_open_ = true;
     breaker_opened_at_us_ = machine_->clock()->NowMicros();
+    obs::Count(obs::Ctr::kTqdBreakerTrips);
+    obs::Instant("tqd", "tqd.breaker_open");
   }
 }
 
@@ -46,11 +51,13 @@ bool TpmQuoteDaemon::BreakerAllows() {
 
 Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
                                                             const PcrSelection& selection) {
+  obs::ScopedSpan quote_span("tqd", "tqd.quote");
   if (machine_->in_secure_session()) {
     return FailedPreconditionError("OS suspended: quote daemon not running");
   }
   if (!BreakerAllows()) {
     queued_.push_back(QueuedChallenge{nonce, selection});
+    obs::Count(obs::Ctr::kTqdChallengesQueued);
     return TpmFailedError("TPM circuit breaker open; challenge queued");
   }
 
@@ -73,6 +80,7 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
       }
       machine_->clock()->AdvanceMillis(backoff.NextDelayMs());
       ++retries_;
+      obs::Count(obs::Ctr::kTqdRetries);
     }
     Result<AttestationResponse> response = QuoteOnce(nonce, selection);
     if (response.ok()) {
@@ -83,6 +91,7 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
       NoteTpmFailure();
       if (breaker_open_) {
         queued_.push_back(QueuedChallenge{nonce, selection});
+        obs::Count(obs::Ctr::kTqdChallengesQueued);
         return TpmFailedError("TPM entered failure mode; challenge queued");
       }
       return response.status();

@@ -1,6 +1,7 @@
 #include "src/slb/measurement_cache.h"
 
 #include "src/crypto/sha1.h"
+#include "src/obs/metrics.h"
 
 namespace flicker {
 
@@ -11,6 +12,7 @@ Result<Bytes> SlbMeasurementCache::Measure(PhysicalMemory* memory, uint64_t base
 
   if (it != entries_.end() && !memory->IsWatchDirty(it->second.watch_id)) {
     ++clean_hit_count_;
+    obs::Count(obs::Ctr::kMeasureCleanHits);
     if (outcome != nullptr) {
       *outcome = MeasureOutcome::kCleanHit;
     }
@@ -26,6 +28,7 @@ Result<Bytes> SlbMeasurementCache::Measure(PhysicalMemory* memory, uint64_t base
     memory->ClearWatchDirty(it->second.watch_id);
     if (region.value() == it->second.snapshot) {
       ++verified_hit_count_;
+      obs::Count(obs::Ctr::kMeasureVerifiedHits);
       if (outcome != nullptr) {
         *outcome = MeasureOutcome::kVerifiedHit;
       }
@@ -34,6 +37,7 @@ Result<Bytes> SlbMeasurementCache::Measure(PhysicalMemory* memory, uint64_t base
     it->second.digest = Sha1::Digest(region.value());
     it->second.snapshot = region.take();
     ++hash_count_;
+    obs::Count(obs::Ctr::kMeasureHashes);
     if (outcome != nullptr) {
       *outcome = MeasureOutcome::kHashed;
     }
@@ -45,6 +49,7 @@ Result<Bytes> SlbMeasurementCache::Measure(PhysicalMemory* memory, uint64_t base
   entry.digest = Sha1::Digest(region.value());
   entry.snapshot = region.take();
   ++hash_count_;
+  obs::Count(obs::Ctr::kMeasureHashes);
   if (outcome != nullptr) {
     *outcome = MeasureOutcome::kHashed;
   }

@@ -2,6 +2,7 @@
 
 #include "src/common/fault.h"
 #include "src/crypto/sha1.h"
+#include "src/obs/trace.h"
 #include "src/slb/pal.h"
 #include "src/tpm/pcr_bank.h"
 
@@ -44,6 +45,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   Cpu* bsp = machine->bsp();
   TpmClient* tpm = machine->tpm();
   SessionRecord record;
+  obs::ScopedSpan run_span("slb", "slb.run");
   CRASH_POINT("slb.entry");
 
   // Step 1: measurement-stub path. SKINIT only measured the stub; the stub
@@ -51,6 +53,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   // When the measurement cache serves the digest, the session is charged the
   // (much cheaper) snapshot-compare cost instead of a full SHA-1 pass.
   if (binary.options.measurement_stub) {
+    obs::ScopedSpan stub_span("slb", "slb.stub_hash");
     SimStopwatch stub_watch(machine->clock());
     Bytes region_digest;
     MeasureOutcome outcome = MeasureOutcome::kHashed;
@@ -112,7 +115,10 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
     bsp->ring = 3;  // IRET into the PAL (§5.1.2).
   }
   SimStopwatch pal_watch(machine->clock());
-  record.pal_status = binary.pal->Execute(&context);
+  {
+    obs::ScopedSpan pal_span("slb", "slb.pal_execute");
+    record.pal_status = binary.pal->Execute(&context);
+  }
   if (record.pal_status.ok() && context.deadline_exceeded()) {
     record.pal_status =
         ResourceExhaustedError("PAL exceeded its execution budget (SLB-core timer fired)");
@@ -132,16 +138,19 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
 
   // Step 5: closing extends (§4.4.1): inputs, outputs, nonce, termination
   // constant - in that order, mirrored by the verifier.
-  SimStopwatch extend_watch(machine->clock());
-  record.inputs_digest = Sha1::Digest(inputs.value());
-  record.outputs_digest = Sha1::Digest(record.outputs);
-  FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.inputs_digest));
-  FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.outputs_digest));
-  if (!options.nonce.empty()) {
-    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, Sha1::Digest(options.nonce)));
+  {
+    obs::ScopedSpan extend_span("slb", "slb.extends");
+    SimStopwatch extend_watch(machine->clock());
+    record.inputs_digest = Sha1::Digest(inputs.value());
+    record.outputs_digest = Sha1::Digest(record.outputs);
+    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.inputs_digest));
+    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.outputs_digest));
+    if (!options.nonce.empty()) {
+      FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, Sha1::Digest(options.nonce)));
+    }
+    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, FlickerTerminationConstant()));
+    record.extend_ms = extend_watch.ElapsedMillis();
   }
-  FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, FlickerTerminationConstant()));
-  record.extend_ms = extend_watch.ElapsedMillis();
 
   Result<Bytes> final_pcr = tpm->PcrRead(kSkinitPcr);
   if (!final_pcr.ok()) {

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "src/crypto/sha1.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tpm/commands.h"
 
 namespace flicker {
@@ -19,8 +21,15 @@ void TpmTransport::Record(uint32_t ordinal, int locality, double latency_ms,
   entry.seq = seq_++;
   entry.ordinal = ordinal;
   entry.locality = locality;
+  entry.at_ns = obs::NowNs(tpm_->sim_clock());
   entry.latency_ms = latency_ms;
   entry.result_code = result_code;
+  // The ring is a bounded view; the unified stream gets the same record as
+  // a completed span (the charged latency ends exactly at `at_ns`), plus
+  // the command count the metrics dump reports.
+  obs::Count(obs::Ctr::kTpmCommands);
+  obs::EmitComplete("tpm", TpmOrdinalName(ordinal),
+                    entry.at_ns - static_cast<uint64_t>(latency_ms * 1e6 + 0.5), entry.at_ns);
   if (ring_.size() < kTraceCapacity) {
     ring_.push_back(entry);
   } else {
@@ -52,7 +61,7 @@ void TpmTransport::DumpTrace(std::ostream& os) const {
   os << "TPM command trace (" << entries.size() << " of " << total_commands_
      << " commands retained):\n";
   for (const TraceEntry& e : entries) {
-    os << "  #" << std::setw(4) << e.seq << "  L" << e.locality << "  "
+    os << "  #" << std::setw(4) << e.seq << "  @" << e.at_ns << "ns  L" << e.locality << "  "
        << TpmOrdinalName(e.ordinal) << "  rc=0x" << std::hex << e.result_code << std::dec
        << "  " << e.latency_ms << "ms\n";
   }
@@ -72,6 +81,7 @@ Result<Bytes> TpmTransport::Transmit(const Bytes& request_frame) {
   if (plan_.kind != FaultPlan::Kind::kNone && plan_.every_n > 0 &&
       transmit_count_ % plan_.every_n == 0) {
     ++faults_injected_;
+    obs::Count(obs::Ctr::kTpmTransportFaults);
     switch (plan_.kind) {
       case FaultPlan::Kind::kDrop: {
         // The driver burns its receive timeout waiting for a reply that
@@ -79,6 +89,7 @@ Result<Bytes> TpmTransport::Transmit(const Bytes& request_frame) {
         tpm_->sim_clock()->AdvanceMillis(plan_.drop_timeout_ms);
         Record(ordinal, at_locality, plan_.drop_timeout_ms,
                ReturnCodeFor(StatusCode::kUnavailable));
+        obs::ObserveMs(obs::Hist::kTpmCommandLatencyMs, plan_.drop_timeout_ms);
         return UnavailableError("TPM frame dropped (injected fault)");
       }
       case FaultPlan::Kind::kGarble: {
@@ -115,6 +126,7 @@ Result<Bytes> TpmTransport::Transmit(const Bytes& request_frame) {
   double latency_ms =
       static_cast<double>(tpm_->sim_clock()->NowMicros() - start_us) / 1000.0;
   Record(ordinal, at_locality, latency_ms, PeekReturnCode(response));
+  obs::ObserveMs(obs::Hist::kTpmCommandLatencyMs, latency_ms);
   return response;
 }
 

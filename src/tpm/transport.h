@@ -9,6 +9,12 @@
 // locality, simulated latency, result code), and can inject faults - drop,
 // garble or delay every Nth frame - so upper layers' retry logic is testable.
 //
+// Every ring record is also forwarded to the unified observability stream
+// (src/obs/trace.h) as a completed span and counted in the global metrics
+// registry: the ring is a bounded dump-on-failure view over that stream,
+// not a parallel truth, and both report timestamps on the shared sim-clock
+// nanosecond epoch.
+//
 // TpmClient is the driver built on top: it mirrors the Tpm software API
 // method-for-method so call sites keep their shape, but every operation is
 // marshalled, transmitted, policy-checked and unmarshalled. Timing is
@@ -31,11 +37,16 @@
 
 namespace flicker {
 
-// One traced command (or TIS/hardware pseudo-command).
+// One traced command (or TIS/hardware pseudo-command). `at_ns` is the
+// sim-clock timestamp when dispatch completed, on the same nanosecond epoch
+// as every other trace in the tree (obs::NowNs) - the LossyChannel delivery
+// rings and the unified span stream report in the identical unit, so a TPM
+// command can be lined up against the network frame that caused it.
 struct TraceEntry {
   uint64_t seq = 0;
   uint32_t ordinal = 0;
   int locality = 0;
+  uint64_t at_ns = 0;        // Sim-clock completion time (shared ns epoch).
   double latency_ms = 0;     // Simulated time charged while dispatching.
   uint32_t result_code = 0;  // Wire return code (0 = TPM_SUCCESS).
 };

@@ -1,0 +1,209 @@
+// End-to-end observability: one full SSH attestation round under a tracer
+// must produce the nested span tree the design promises (app frame down to
+// individual TPM ordinals), export byte-identically across same-seed runs,
+// and leave the simulated clock exactly where an untraced run leaves it.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/ssh.h"
+#include "src/core/remote_attestation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace flicker {
+namespace {
+
+// The same round bench/micro_obs.cc exports: SSH server setup (attested) plus
+// one successful login frame, optionally under a tracer.
+struct SshRoundResult {
+  bool ok = false;
+  uint64_t final_sim_us = 0;
+  uint64_t sessions_started = 0;
+  std::string trace_json;
+  std::vector<obs::SpanRecord> spans;
+};
+
+SshRoundResult RunSshRound(bool traced) {
+  SshRoundResult result;
+  FlickerPlatform platform;
+  PalBuildOptions options;
+  options.measurement_stub = true;
+  PalBinary binary = BuildPal(std::make_shared<SshPal>(), options).value();
+
+  SshServer server(&platform, &binary);
+  if (!server.AddUser("alice", "correct horse", "a1b2c3d4").ok()) {
+    return result;
+  }
+  PrivacyCa ca;
+  AikCertificate cert = ca.Certify(platform.tpm()->aik_public(), "ssh-server");
+  SshClient client(&binary, ca.public_key(), cert);
+
+  obs::Tracer tracer(platform.clock());
+  if (traced) {
+    obs::InstallGlobalTracer(&tracer);
+  }
+
+  Bytes setup_nonce = client.MakeNonce();
+  Result<SshServer::SetupResult> setup = server.Setup(setup_nonce);
+  bool ok = setup.ok() && client.VerifyServerSetup(setup.value(), setup_nonce).ok();
+  if (ok) {
+    Bytes login_nonce = client.MakeNonce();
+    Result<Bytes> ciphertext = client.EncryptPassword("correct horse", login_nonce);
+    ok = ciphertext.ok();
+    if (ok) {
+      SshLoginRequest request;
+      request.username = "alice";
+      request.encrypted_password = ciphertext.value();
+      request.login_nonce = login_nonce;
+      Result<Bytes> verdict = server.HandleLoginFrame(request.Serialize());
+      ok = verdict.ok() && verdict.value().size() == 1 && verdict.value()[0] == 1;
+    }
+  }
+
+  obs::InstallGlobalTracer(nullptr);
+  result.ok = ok;
+  result.final_sim_us = platform.clock()->NowMicros();
+  result.sessions_started = platform.sessions_started();
+  if (traced) {
+    result.trace_json = tracer.ExportChromeTrace();
+    result.spans = tracer.spans();
+  }
+  return result;
+}
+
+const obs::SpanRecord* FindSpan(const std::vector<obs::SpanRecord>& spans,
+                                const std::string& name) {
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == name) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+const obs::SpanRecord* FindById(const std::vector<obs::SpanRecord>& spans, uint64_t id) {
+  for (const obs::SpanRecord& span : spans) {
+    if (span.id == id) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+// True when `ancestor` is on `span`'s parent chain.
+bool HasAncestor(const std::vector<obs::SpanRecord>& spans, const obs::SpanRecord* span,
+                 const obs::SpanRecord* ancestor) {
+  while (span != nullptr && span->parent_id != 0) {
+    span = FindById(spans, span->parent_id);
+    if (span == ancestor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ObsSessionTest, SshRoundProducesTheFullSpanTree) {
+  SshRoundResult run = RunSshRound(/*traced=*/true);
+  ASSERT_TRUE(run.ok);
+  ASSERT_FALSE(run.spans.empty());
+
+  // Every layer contributed at least one span.
+  const char* const kExpected[] = {
+      "app.ssh_setup",    "app.ssh_login_frame", "app.ssh_login",
+      "flicker.session",  "platform.stage",      "platform.suspend_skinit",
+      "platform.resume",  "hw.skinit",           "HW_SkinitReset",
+      "slb.run",          "slb.stub_hash",       "slb.pal_execute",
+      "slb.extends",      "tqd.quote",           "TPM_ORD_Quote",
+      "TPM_ORD_Extend",
+  };
+  for (const char* name : kExpected) {
+    EXPECT_NE(FindSpan(run.spans, name), nullptr) << "missing span: " << name;
+  }
+
+  // Nesting: the SKINIT reset pseudo-command sits under hw.skinit, which
+  // sits under the platform suspend phase, which sits inside the session,
+  // which sits inside the app frame handler.
+  const obs::SpanRecord* frame = FindSpan(run.spans, "app.ssh_login_frame");
+  const obs::SpanRecord* session = FindSpan(run.spans, "flicker.session");
+  const obs::SpanRecord* suspend = FindSpan(run.spans, "platform.suspend_skinit");
+  const obs::SpanRecord* skinit = FindSpan(run.spans, "hw.skinit");
+  const obs::SpanRecord* reset = FindSpan(run.spans, "HW_SkinitReset");
+  const obs::SpanRecord* pal = FindSpan(run.spans, "slb.pal_execute");
+  const obs::SpanRecord* quote = FindSpan(run.spans, "TPM_ORD_Quote");
+  const obs::SpanRecord* tqd = FindSpan(run.spans, "tqd.quote");
+  ASSERT_NE(session, nullptr);
+  EXPECT_TRUE(HasAncestor(run.spans, skinit, suspend));
+  EXPECT_TRUE(HasAncestor(run.spans, reset, skinit));
+  EXPECT_TRUE(HasAncestor(run.spans, pal, session));
+  EXPECT_TRUE(HasAncestor(run.spans, quote, tqd));
+  // There are two sessions (setup PAL + login PAL); the login one nests
+  // under the app's frame handler.
+  const obs::SpanRecord* login_session = nullptr;
+  for (const obs::SpanRecord& span : run.spans) {
+    if (span.name == "flicker.session" && HasAncestor(run.spans, &span, frame)) {
+      login_session = &span;
+    }
+  }
+  EXPECT_NE(login_session, nullptr);
+
+  // Session tagging: spans inside a Flicker session carry its id; ids are
+  // assigned monotonically from 1.
+  EXPECT_GE(run.sessions_started, 2u);
+  EXPECT_GT(session->session_id, 0u);
+  ASSERT_NE(pal, nullptr);
+  EXPECT_GT(pal->session_id, 0u);
+  EXPECT_LE(pal->session_id, run.sessions_started);
+
+  // All spans were closed: no open leftovers after the round.
+  for (const obs::SpanRecord& span : run.spans) {
+    EXPECT_FALSE(span.open) << span.name;
+    EXPECT_GE(span.end_ns, span.start_ns) << span.name;
+  }
+}
+
+TEST(ObsSessionTest, SameSeedRunsExportByteIdenticalTraces) {
+  SshRoundResult a = RunSshRound(/*traced=*/true);
+  SshRoundResult b = RunSshRound(/*traced=*/true);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(ObsSessionTest, TracingNeverAdvancesTheSimulatedClock) {
+  SshRoundResult untraced = RunSshRound(/*traced=*/false);
+  SshRoundResult traced = RunSshRound(/*traced=*/true);
+  ASSERT_TRUE(untraced.ok);
+  ASSERT_TRUE(traced.ok);
+  // Exact equality: this is what keeps Table 1/2/4 and Fig. 9 bit-identical
+  // with tracing on or off.
+  EXPECT_EQ(untraced.final_sim_us, traced.final_sim_us);
+}
+
+TEST(ObsSessionTest, RoundFeedsTheGlobalMetricsRegistry) {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+  const uint64_t sessions_before = registry->Get(obs::Ctr::kFlickerSessions);
+  const uint64_t skinit_before = registry->Get(obs::Ctr::kSkinitLaunches);
+  const uint64_t tpm_before = registry->Get(obs::Ctr::kTpmCommands);
+  const uint64_t hashes_before = registry->Get(obs::Ctr::kMeasureHashes);
+  const uint64_t session_hist_before =
+      registry->HistogramCount(obs::Hist::kFlickerSessionTotalMs);
+
+  SshRoundResult run = RunSshRound(/*traced=*/false);
+  ASSERT_TRUE(run.ok);
+
+  // Metrics flow with or without a tracer installed.
+  EXPECT_GE(registry->Get(obs::Ctr::kFlickerSessions) - sessions_before, 2u);
+  EXPECT_GE(registry->Get(obs::Ctr::kSkinitLaunches) - skinit_before, 2u);
+  EXPECT_GT(registry->Get(obs::Ctr::kTpmCommands) - tpm_before, 0u);
+  EXPECT_GT(registry->Get(obs::Ctr::kMeasureHashes) - hashes_before, 0u);
+  EXPECT_GE(registry->HistogramCount(obs::Hist::kFlickerSessionTotalMs) -
+                session_hist_before,
+            2u);
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,139 @@
+// The shared trace epoch pin (PR 5 fix): the TpmTransport command ring and
+// the LossyChannel delivery rings both timestamp in sim-clock nanoseconds
+// (obs::NowNs) on the same epoch as the unified span stream. Before this
+// fix the TPM ring reported milliseconds-as-double and the net ring its own
+// ms fields, so a dumped frame could not be lined up against the TPM
+// command it triggered. These tests pin the unit, the epoch, and the
+// cross-layer ordering with one shared clock.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/clock.h"
+#include "src/hw/timing.h"
+#include "src/net/lossy_channel.h"
+#include "src/obs/trace.h"
+#include "src/tpm/transport.h"
+
+namespace flicker {
+namespace {
+
+TEST(RingEpochTest, TpmRingTimestampsAreSimClockNanoseconds) {
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
+  transport.ClearTrace();
+
+  clock.AdvanceMicros(2500);  // A non-zero epoch offset the ring must carry.
+  ASSERT_TRUE(client.PcrRead(0).ok());
+  const uint64_t now_ns = obs::NowNs(&clock);
+
+  std::vector<TraceEntry> trace = transport.TraceSnapshot();
+  ASSERT_FALSE(trace.empty());
+  const TraceEntry& last = trace.back();
+  // Dispatch completed exactly now: the ring records the same ns value the
+  // span stream would.
+  EXPECT_EQ(last.at_ns, now_ns);
+  // And the charged latency is consistent with the timestamp: the command
+  // began at at_ns - latency, which cannot precede the pre-advance epoch.
+  EXPECT_GE(last.at_ns,
+            2'500'000u + static_cast<uint64_t>(last.latency_ms * 1e6));
+}
+
+TEST(RingEpochTest, NetRingTimestampsAreSimClockNanoseconds) {
+  SimClock clock;
+  LossyChannel channel(&clock);
+
+  clock.AdvanceMicros(1200);
+  const uint64_t sent_ns = obs::NowNs(&clock);
+  channel.Send(NetEndpoint::kClient, BytesOf("hello"));
+
+  Bytes out;
+  ASSERT_TRUE(channel.Receive(NetEndpoint::kServer, &out));
+  const uint64_t arrival_ns = obs::NowNs(&clock);
+
+  std::vector<NetTraceEntry> trace = channel.TraceSnapshot(NetEndpoint::kServer);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].sent_at_ns, sent_ns);
+  // Receive() advanced the clock exactly to the scheduled arrival, so the
+  // ring's arrival matches the clock's ns reading afterwards.
+  EXPECT_EQ(trace[0].arrival_ns, arrival_ns);
+  EXPECT_GT(trace[0].arrival_ns, trace[0].sent_at_ns);
+}
+
+TEST(RingEpochTest, CrossLayerEventsOrderOnTheSharedEpoch) {
+  // One clock drives both layers, as on the real simulated platform: a
+  // network frame arrives, then a TPM command runs. The two rings must
+  // interleave correctly when merged on their ns timestamps.
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
+  LossyChannel channel(&clock, LatencyProfile());
+  transport.ClearTrace();
+
+  channel.Send(NetEndpoint::kClient, BytesOf("challenge"));
+  Bytes frame;
+  ASSERT_TRUE(channel.Receive(NetEndpoint::kServer, &frame));
+  ASSERT_TRUE(client.PcrRead(0).ok());
+
+  std::vector<NetTraceEntry> net = channel.TraceSnapshot(NetEndpoint::kServer);
+  std::vector<TraceEntry> tpm_trace = transport.TraceSnapshot();
+  ASSERT_FALSE(net.empty());
+  ASSERT_FALSE(tpm_trace.empty());
+  // The frame arrived before the command it triggered completed - and both
+  // sides are directly comparable because they share unit and epoch.
+  EXPECT_LE(net.back().arrival_ns, tpm_trace.back().at_ns);
+  EXPECT_LE(net.back().sent_at_ns, net.back().arrival_ns);
+}
+
+TEST(RingEpochTest, DumpTraceRendersNanosecondTimestamps) {
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
+  LossyChannel channel(&clock);
+  transport.ClearTrace();
+
+  clock.AdvanceMicros(7);
+  ASSERT_TRUE(client.PcrRead(0).ok());
+  channel.Send(NetEndpoint::kClient, BytesOf("x"));
+  Bytes out;
+  ASSERT_TRUE(channel.Receive(NetEndpoint::kServer, &out));
+
+  std::ostringstream tpm_dump;
+  transport.DumpTrace(tpm_dump);
+  std::ostringstream net_dump;
+  channel.DumpTrace(net_dump);
+  // Both dumps label their timestamps as ns on the shared epoch.
+  EXPECT_NE(tpm_dump.str().find("ns"), std::string::npos) << tpm_dump.str();
+  EXPECT_NE(net_dump.str().find("sent@"), std::string::npos) << net_dump.str();
+  EXPECT_NE(net_dump.str().find("ns"), std::string::npos) << net_dump.str();
+}
+
+TEST(RingEpochTest, EpochSurvivesRingWraparound) {
+  SimClock clock;
+  Tpm tpm(&clock, BroadcomBcm0102Profile());
+  TpmTransport transport(&tpm);
+  TpmClient client(&transport);
+  transport.ClearTrace();
+
+  // Overflow the ring; retained entries must still carry monotonically
+  // nondecreasing shared-epoch timestamps.
+  for (size_t i = 0; i < TpmTransport::kTraceCapacity + 16; ++i) {
+    ASSERT_TRUE(client.PcrRead(0).ok());
+  }
+  std::vector<TraceEntry> trace = transport.TraceSnapshot();
+  ASSERT_EQ(trace.size(), TpmTransport::kTraceCapacity);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].at_ns, trace[i - 1].at_ns);
+  }
+  EXPECT_EQ(trace.back().at_ns, obs::NowNs(&clock));
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,191 @@
+// Tracer mechanics: span nesting, session tagging, the EmitComplete path
+// the TPM transport uses, and the deterministic Chrome trace_event export.
+
+#include "src/obs/trace.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/clock.h"
+
+namespace flicker {
+namespace obs {
+namespace {
+
+// Installs a tracer for the test body and guarantees removal on exit, so no
+// test leaks a dangling global tracer into its neighbors.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(Tracer* tracer) { InstallGlobalTracer(tracer); }
+  ~ScopedInstall() { InstallGlobalTracer(nullptr); }
+};
+
+TEST(TracerTest, SpansNestByStackDiscipline) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  uint64_t outer = tracer.BeginSpan("test", "outer");
+  clock.AdvanceMillis(5);
+  uint64_t inner = tracer.BeginSpan("test", "inner");
+  clock.AdvanceMillis(2);
+  tracer.EndSpan(inner);
+  clock.AdvanceMillis(1);
+  tracer.EndSpan(outer);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& outer_span = tracer.spans()[0];
+  const SpanRecord& inner_span = tracer.spans()[1];
+  EXPECT_EQ(outer_span.parent_id, 0u);
+  EXPECT_EQ(inner_span.parent_id, outer_span.id);
+  EXPECT_EQ(outer_span.start_ns, 0u);
+  EXPECT_EQ(outer_span.end_ns, 8'000'000u);
+  EXPECT_EQ(inner_span.start_ns, 5'000'000u);
+  EXPECT_EQ(inner_span.end_ns, 7'000'000u);
+  EXPECT_FALSE(outer_span.open);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+}
+
+TEST(TracerTest, MismatchedEndClosesEverythingAbove) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  uint64_t a = tracer.BeginSpan("test", "a");
+  tracer.BeginSpan("test", "b");
+  tracer.BeginSpan("test", "c");
+  tracer.EndSpan(a);  // Instrumentation bug: b and c were never ended.
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_FALSE(span.open) << span.name;
+  }
+}
+
+TEST(TracerTest, EmitCompleteParentsUnderInnermostOpenSpan) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  uint64_t parent = tracer.BeginSpan("test", "parent");
+  clock.AdvanceMillis(10);
+  tracer.EmitComplete("tpm", "TPM_ORD_Extend", NowNs(&clock) - 1'000'000, NowNs(&clock));
+  tracer.EndSpan(parent);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& cmd = tracer.spans()[1];
+  EXPECT_EQ(cmd.parent_id, parent);
+  EXPECT_EQ(cmd.name, "TPM_ORD_Extend");
+  EXPECT_EQ(cmd.end_ns - cmd.start_ns, 1'000'000u);
+  EXPECT_FALSE(cmd.open);
+}
+
+TEST(TracerTest, EmitCompleteClampsBackwardsIntervals) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.EmitComplete("test", "backwards", 500, 100);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].start_ns, 500u);
+  EXPECT_EQ(tracer.spans()[0].end_ns, 500u);
+}
+
+TEST(TracerTest, SessionTagsOnlySpansInsideTheScope) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.BeginSpan("test", "before");
+  uint64_t previous = tracer.SetSession(3);
+  EXPECT_EQ(previous, 0u);
+  tracer.BeginSpan("test", "inside");
+  tracer.Instant("test", "inside_instant");
+  tracer.SetSession(previous);
+  tracer.BeginSpan("test", "after");
+
+  EXPECT_EQ(tracer.spans()[0].session_id, 0u);
+  EXPECT_EQ(tracer.spans()[1].session_id, 3u);
+  EXPECT_EQ(tracer.instants()[0].session_id, 3u);
+  EXPECT_EQ(tracer.spans()[2].session_id, 0u);
+}
+
+TEST(TracerTest, ScopedHelpersNoOpWithoutGlobalTracer) {
+  ASSERT_EQ(GlobalTracer(), nullptr);
+  {
+    ScopedSpan span("test", "orphan");
+    span.Arg("key", std::string("value"));
+    Instant("test", "orphan_instant");
+    EmitComplete("test", "orphan_complete", 0, 1);
+    ScopedSession session(7);
+  }
+  // Nothing crashed, nothing recorded anywhere: that is the whole contract.
+}
+
+TEST(TracerTest, ScopedHelpersRecordAgainstInstalledTracer) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  ScopedInstall install(&tracer);
+  {
+    ScopedSession session(4);
+    ScopedSpan span("test", "scoped");
+    span.Arg("bytes", static_cast<uint64_t>(512));
+    clock.AdvanceMillis(3);
+    Instant("test", "marker");
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].session_id, 4u);
+  EXPECT_EQ(tracer.spans()[0].end_ns, 3'000'000u);
+  ASSERT_EQ(tracer.spans()[0].args.size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].args[0].key, "bytes");
+  EXPECT_EQ(tracer.spans()[0].args[0].value, "512");
+  ASSERT_EQ(tracer.instants().size(), 1u);
+  EXPECT_EQ(tracer.instants()[0].session_id, 4u);
+  EXPECT_EQ(tracer.current_session(), 0u);  // ScopedSession restored.
+}
+
+TEST(TracerTest, ExportIsByteIdenticalForIdenticalHistories) {
+  auto record = [](Tracer* tracer, SimClock* clock) {
+    uint64_t span = tracer->BeginSpan("test", "work");
+    clock->AdvanceMillis(7);
+    tracer->Instant("test", "tick", {{"n", "1"}});
+    tracer->EndSpan(span);
+  };
+  SimClock clock_a;
+  Tracer tracer_a(&clock_a);
+  record(&tracer_a, &clock_a);
+  SimClock clock_b;
+  Tracer tracer_b(&clock_b);
+  record(&tracer_b, &clock_b);
+  EXPECT_EQ(tracer_a.ExportChromeTrace(), tracer_b.ExportChromeTrace());
+}
+
+TEST(TracerTest, ExportRendersExactMicrosecondTimestamps) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  clock.AdvanceMicros(1234);
+  uint64_t span = tracer.BeginSpan("test", "precise");
+  clock.AdvanceMicros(501);
+  tracer.EndSpan(span);
+  const std::string json = tracer.ExportChromeTrace();
+  // Integer nanoseconds render as exact microseconds with three decimals:
+  // no float formatting drift between runs or platforms.
+  EXPECT_NE(json.find("\"ts\":1234.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":501.000"), std::string::npos) << json;
+}
+
+TEST(TracerTest, ExportEscapesHostileStrings) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  uint64_t span = tracer.BeginSpan("test", "quote\"and\\slash");
+  tracer.AddSpanArg(span, "msg", "line\nbreak");
+  tracer.EndSpan(span);
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(TracerTest, SessionIdBecomesChromeTid) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  tracer.SetSession(12);
+  uint64_t span = tracer.BeginSpan("test", "in_session");
+  tracer.EndSpan(span);
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_NE(json.find("\"tid\":12"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace flicker

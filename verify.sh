@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 verification: configure, build everything, run the full ctest suite.
+# Tier-1 verification: configure, build everything, run the full ctest suite,
+# then check the generated docs have not drifted from the code.
 #
-#   verify.sh            build + ctest in ./build (Release by default)
+#   verify.sh            build + ctest in ./build (Release by default),
+#                        then the doc-drift gate (docs/METRICS.md must match
+#                        its regenerated form; DESIGN.md must keep its
+#                        numbered sections)
 #   verify.sh --asan     additionally build with ASan+UBSan in ./build-asan
 #                        and run the TPM and core suites under the sanitizers
 #   verify.sh --faults   additionally run the fault-injection campaign
@@ -10,14 +14,20 @@
 #   verify.sh --net      additionally run the adversarial-network campaign
 #                        (ctest -L net, chaos matrix included) under
 #                        ASan+UBSan and refresh BENCH_net.json
+#   verify.sh --obs      additionally run the observability campaign:
+#                        obs-labeled suites under ASan+UBSan, two same-seed
+#                        SSH trace exports diffed byte-for-byte, a
+#                        -DFLICKER_OBS=OFF build proving the instrumentation
+#                        compiles out, and a BENCH_obs.json refresh
 #
-# Usage: verify.sh [--asan|--faults|--net] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net|--obs] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 asan=0
 faults=0
 net=0
+obs=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
@@ -27,6 +37,9 @@ elif [ "${1:-}" = "--faults" ]; then
 elif [ "${1:-}" = "--net" ]; then
   net=1
   shift
+elif [ "${1:-}" = "--obs" ]; then
+  obs=1
+  shift
 fi
 build_dir=${1:-"$repo_root/build"}
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -34,6 +47,28 @@ jobs=$(nproc 2>/dev/null || echo 4)
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+# ---- Doc-drift gate (always on) ----
+#
+# docs/METRICS.md is generated from the metric definition tables in
+# src/obs/metrics.cc; a hand edit or a new metric without a regen fails here.
+# Regenerate with: build/bench/micro_obs --dump_metrics_md=docs/METRICS.md
+"$build_dir/bench/micro_obs" --dump_metrics_md="$build_dir/METRICS.regen.md" > /dev/null
+if ! cmp -s "$build_dir/METRICS.regen.md" "$repo_root/docs/METRICS.md"; then
+  echo "verify.sh: docs/METRICS.md drifted from src/obs/metrics.cc" >&2
+  echo "  regenerate with: $build_dir/bench/micro_obs --dump_metrics_md=docs/METRICS.md" >&2
+  diff -u "$repo_root/docs/METRICS.md" "$build_dir/METRICS.regen.md" >&2 || true
+  exit 1
+fi
+# DESIGN.md must keep its numbered sections; a refactor that silently drops
+# the observability/robustness design record fails here.
+for heading in \
+  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.'; do
+  if ! grep -q "^$heading" "$repo_root/DESIGN.md"; then
+    echo "verify.sh: DESIGN.md is missing section heading '$heading'" >&2
+    exit 1
+  fi
+done
 
 if [ "$asan" = 1 ]; then
   asan_dir="$repo_root/build-asan"
@@ -72,6 +107,39 @@ if [ "$net" = 1 ]; then
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L net
   cmake --build "$build_dir" -j "$jobs" --target micro_net
   "$build_dir/bench/micro_net" --bench_json="$repo_root/BENCH_net.json"
+fi
+
+if [ "$obs" = 1 ]; then
+  # Observability campaign. The obs-labeled suites run under ASan+UBSan
+  # (tracer/registry lifetimes must be memory-clean), two same-seed SSH
+  # rounds must export byte-identical Chrome traces, the -DFLICKER_OBS=OFF
+  # configuration must still build and pass its own overhead proof, and the
+  # committed overhead report is refreshed.
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    obs_metrics_test obs_trace_test obs_session_test obs_ring_epoch_test
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L obs
+
+  cmake --build "$build_dir" -j "$jobs" --target micro_obs
+  "$build_dir/bench/micro_obs" --trace_json="$build_dir/trace_a.json" > /dev/null
+  "$build_dir/bench/micro_obs" --trace_json="$build_dir/trace_b.json" > /dev/null
+  if ! cmp -s "$build_dir/trace_a.json" "$build_dir/trace_b.json"; then
+    echo "verify.sh: same-seed trace exports differ (tracing is nondeterministic)" >&2
+    exit 1
+  fi
+  echo "verify.sh: same-seed SSH traces byte-identical"
+
+  noobs_dir="$repo_root/build-noobs"
+  cmake -B "$noobs_dir" -S "$repo_root" -DFLICKER_OBS=OFF
+  cmake --build "$noobs_dir" -j "$jobs" --target micro_obs
+  "$noobs_dir/bench/micro_obs" --bench_json="$noobs_dir/BENCH_obs_off.json"
+  if ! grep -q '"obs_compiled_in": false' "$noobs_dir/BENCH_obs_off.json"; then
+    echo "verify.sh: FLICKER_OBS=OFF build still has instrumentation compiled in" >&2
+    exit 1
+  fi
+
+  "$build_dir/bench/micro_obs" --bench_json="$repo_root/BENCH_obs.json"
 fi
 
 echo "verify.sh: all checks passed"
