@@ -1,5 +1,6 @@
 #include "src/attest/verifier.h"
 
+#include "src/crypto/merkle.h"
 #include "src/crypto/sha1.h"
 #include "src/slb/slb_core.h"
 #include "src/tpm/pcr_bank.h"
@@ -102,6 +103,24 @@ Status VerifyAttestation(const SessionExpectation& expectation,
         "Flicker session)");
   }
   return Status::Ok();
+}
+
+Status VerifyBatchQuote(const SessionExpectation& expectation, const BatchQuoteResponse& response,
+                        const AikCertificate& aik_cert, const RsaPublicKey& privacy_ca_public,
+                        const Bytes& expected_nonce) {
+  // The response's own nonce field is advisory; the proof must hold for the
+  // nonce this challenger actually issued.
+  if (response.nonce != expected_nonce) {
+    return ReplayDetectedError("batch slice does not answer this challenge");
+  }
+  if (response.path.steps.size() > kMaxMerklePathSteps) {
+    return InvalidArgumentError("batch auth path implausibly deep");
+  }
+  Bytes root = MerkleTree::RootFromPath(expected_nonce, response.path);
+  // VerifyAttestation's nonce-freshness check now pins the quote's
+  // externalData to the recomputed root: a quote from any other batch - or a
+  // path for any other leaf - yields a different root and fails there.
+  return VerifyAttestation(expectation, response.response, aik_cert, privacy_ca_public, root);
 }
 
 }  // namespace flicker

@@ -57,6 +57,17 @@ Status VerifyAttestation(const SessionExpectation& expectation,
                          const AttestationResponse& response, const AikCertificate& aik_cert,
                          const RsaPublicKey& privacy_ca_public, const Bytes& expected_nonce);
 
+// One challenger's check of a Merkle-aggregated batch quote. The challenger
+// recomputes the batch root from its OWN nonce (`expected_nonce`, the one it
+// issued) and the shipped authentication path, then runs the full
+// VerifyAttestation chain with that root as the quote's externalData. A
+// response carrying a wrong path, another challenger's slice, or a quote
+// from a different batch therefore fails closed: nothing in the response is
+// trusted to name the nonce being proven.
+Status VerifyBatchQuote(const SessionExpectation& expectation, const BatchQuoteResponse& response,
+                        const AikCertificate& aik_cert, const RsaPublicKey& privacy_ca_public,
+                        const Bytes& expected_nonce);
+
 // Reconstructs TPM_COMPOSITE_HASH from a quote's selection + values; must
 // match the TPM-side computation bit for bit.
 Bytes RecomputeQuoteComposite(const TpmQuote& quote);

@@ -71,6 +71,43 @@ Result<AttestationResponse> DeserializeAttestationResponse(const Bytes& data) {
   return response;
 }
 
+Bytes SerializeBatchQuoteResponse(const BatchQuoteResponse& response) {
+  Writer w;
+  w.Blob(response.nonce);
+  w.Blob(SerializeAttestationResponse(response.response));
+  w.Blob(response.path.Serialize());
+  return w.Take();
+}
+
+Result<BatchQuoteResponse> DeserializeBatchQuoteResponse(const Bytes& data) {
+  if (data.size() > kMaxReplyWireBytes) {
+    return InvalidArgumentError("batch quote response exceeds wire bound");
+  }
+  Reader r(data);
+  Bytes nonce = r.Blob();
+  Bytes response_wire = r.Blob();
+  Bytes path_wire = r.Blob();
+  if (!r.ok() || !r.AtEnd()) {
+    return InvalidArgumentError("corrupt batch quote response");
+  }
+  if (nonce.size() > kMaxNonceBytes) {
+    return InvalidArgumentError("batch quote nonce exceeds wire bound");
+  }
+  Result<AttestationResponse> inner = DeserializeAttestationResponse(response_wire);
+  if (!inner.ok()) {
+    return inner.status();
+  }
+  Result<MerkleAuthPath> path = MerkleAuthPath::Deserialize(path_wire);
+  if (!path.ok()) {
+    return path.status();
+  }
+  BatchQuoteResponse response;
+  response.nonce = std::move(nonce);
+  response.response = inner.take();
+  response.path = path.take();
+  return response;
+}
+
 Bytes SerializeAikCertificate(const AikCertificate& certificate) {
   Writer w;
   w.Blob(certificate.aik_public);

@@ -38,6 +38,10 @@ Result<AikCertificate> DeserializeAikCertificate(const Bytes& data);
 // ship it inside their own frames.
 Bytes SerializeAttestationResponse(const AttestationResponse& response);
 Result<AttestationResponse> DeserializeAttestationResponse(const Bytes& data);
+// One challenger's slice of a batch quote: nonce, shared quote+AIK bundle,
+// Merkle auth path (DESIGN.md §12 documents the frame layout).
+Bytes SerializeBatchQuoteResponse(const BatchQuoteResponse& response);
+Result<BatchQuoteResponse> DeserializeBatchQuoteResponse(const Bytes& data);
 
 struct AttestationChallenge {
   Bytes nonce;

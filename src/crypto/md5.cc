@@ -139,6 +139,7 @@ Bytes Md5::Finish() {
     digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 16);
     digest[i * 4 + 3] = static_cast<uint8_t>(state_[i] >> 24);
   }
+  Reset();  // Finish leaves the object ready for the next message.
   return digest;
 }
 

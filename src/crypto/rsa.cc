@@ -4,6 +4,7 @@
 
 #include "src/crypto/montgomery.h"
 #include "src/crypto/sha1.h"
+#include "src/crypto/sha_multibuf.h"
 
 namespace flicker {
 
@@ -329,18 +330,11 @@ Bytes RsaSignSha1(const RsaPrivateKey& key, const Bytes& message) {
   return s.ToBytesBe(k);
 }
 
-bool RsaVerifySha1(const RsaPublicKey& key, const Bytes& message, const Bytes& signature) {
-  size_t k = key.ModulusBytes();
-  if (signature.size() != k) {
-    return false;
-  }
-  BigInt s = BigInt::FromBytesBe(signature);
-  if (s >= key.n) {
-    return false;
-  }
-  Bytes em = RsaPublicOp(key, s).ToBytesBe(k);
+namespace {
 
-  Bytes digest = Sha1::Digest(message);
+// PKCS#1 v1.5 block-type-1 encoding of a SHA-1 digest, the value a valid
+// signature must decrypt to.
+Bytes EmsaPkcs1Sha1(const Bytes& digest, size_t k) {
   Bytes t(kSha1DigestInfoPrefix, kSha1DigestInfoPrefix + sizeof(kSha1DigestInfoPrefix));
   t.insert(t.end(), digest.begin(), digest.end());
 
@@ -351,8 +345,39 @@ bool RsaVerifySha1(const RsaPublicKey& key, const Bytes& message, const Bytes& s
   expected.insert(expected.end(), k - t.size() - 3, 0xff);
   expected.push_back(0x00);
   expected.insert(expected.end(), t.begin(), t.end());
+  return expected;
+}
 
-  return ConstantTimeEquals(em, expected);
+bool RsaVerifySha1Digest(const RsaPublicKey& key, const Bytes& digest, const Bytes& signature) {
+  size_t k = key.ModulusBytes();
+  if (signature.size() != k) {
+    return false;
+  }
+  BigInt s = BigInt::FromBytesBe(signature);
+  if (s >= key.n) {
+    return false;
+  }
+  Bytes em = RsaPublicOp(key, s).ToBytesBe(k);
+  return ConstantTimeEquals(em, EmsaPkcs1Sha1(digest, k));
+}
+
+}  // namespace
+
+bool RsaVerifySha1(const RsaPublicKey& key, const Bytes& message, const Bytes& signature) {
+  return RsaVerifySha1Digest(key, Sha1::Digest(message), signature);
+}
+
+std::vector<bool> RsaVerifySha1Batch(const RsaPublicKey& key, const std::vector<Bytes>& messages,
+                                     const std::vector<Bytes>& signatures) {
+  std::vector<bool> verdicts(messages.size(), false);
+  if (messages.size() != signatures.size()) {
+    return verdicts;
+  }
+  std::vector<Bytes> digests = Sha1DigestMany(messages);
+  for (size_t i = 0; i < messages.size(); ++i) {
+    verdicts[i] = RsaVerifySha1Digest(key, digests[i], signatures[i]);
+  }
+  return verdicts;
 }
 
 }  // namespace flicker

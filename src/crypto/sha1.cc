@@ -119,6 +119,7 @@ Bytes Sha1::Finish() {
     digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
     digest[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
   }
+  Reset();  // Finish leaves the object ready for the next message.
   return digest;
 }
 

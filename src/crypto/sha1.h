@@ -28,8 +28,8 @@ class Sha1 {
   void Update(const void* data, size_t len);
   void Update(const Bytes& data) { Update(data.data(), data.size()); }
 
-  // Appends padding and returns the 20-byte digest. The object must be
-  // Reset() before reuse.
+  // Appends padding and returns the 20-byte digest. The object is Reset()
+  // automatically, ready for the next message.
   Bytes Finish();
 
   // One-shot convenience.

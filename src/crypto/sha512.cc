@@ -172,6 +172,7 @@ Bytes Sha512::Finish() {
       digest[i * 8 + j] = static_cast<uint8_t>(state_[i] >> (56 - 8 * j));
     }
   }
+  Reset();  // Finish leaves the object ready for the next message.
   return digest;
 }
 

@@ -1,0 +1,188 @@
+#include "src/crypto/sha_multibuf.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/crypto/sha_multibuf_kernel.h"
+
+namespace flicker {
+
+namespace multibuf_internal {
+
+// ISA kernels, each in its own translation unit so it can be compiled with
+// the matching -m flags (see src/crypto/CMakeLists.txt). On non-x86-64
+// builds, or with -DFLICKER_SIMD=OFF, the TUs are empty and the extern
+// symbols below are never referenced.
+#if defined(__x86_64__) && !defined(FLICKER_SIMD_DISABLED)
+void Sha1CompressSse2(uint32_t* state, const uint32_t* blocks);
+void Sha256CompressSse2(uint32_t* state, const uint32_t* blocks);
+void Sha1CompressAvx2(uint32_t* state, const uint32_t* blocks);
+void Sha256CompressAvx2(uint32_t* state, const uint32_t* blocks);
+#endif
+
+}  // namespace multibuf_internal
+
+namespace {
+
+using multibuf_internal::ScalarVec;
+
+constexpr int kMaxLanes = 8;
+
+constexpr uint32_t kSha1Iv[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0};
+constexpr uint32_t kSha256Iv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+void Sha1CompressScalar(uint32_t* state, const uint32_t* blocks) {
+  multibuf_internal::Sha1CompressLanes<ScalarVec<4>>(state, blocks);
+}
+void Sha256CompressScalar(uint32_t* state, const uint32_t* blocks) {
+  multibuf_internal::Sha256CompressLanes<ScalarVec<4>>(state, blocks);
+}
+
+using CompressFn = void (*)(uint32_t*, const uint32_t*);
+
+struct Engine {
+  const char* name;
+  int lanes;
+  CompressFn sha1;
+  CompressFn sha256;
+};
+
+constexpr Engine kScalarEngine = {"scalar", 4, &Sha1CompressScalar, &Sha256CompressScalar};
+
+const Engine& HostEngine() {
+#if defined(__x86_64__) && !defined(FLICKER_SIMD_DISABLED)
+  static const Engine engine = [] {
+    if (__builtin_cpu_supports("avx2")) {
+      return Engine{"avx2", 8, &multibuf_internal::Sha1CompressAvx2,
+                    &multibuf_internal::Sha256CompressAvx2};
+    }
+    return Engine{"sse2", 4, &multibuf_internal::Sha1CompressSse2,
+                  &multibuf_internal::Sha256CompressSse2};
+  }();
+  return engine;
+#else
+  return kScalarEngine;
+#endif
+}
+
+bool g_force_scalar = false;
+
+const Engine& ActiveEngine() { return g_force_scalar ? kScalarEngine : HostEngine(); }
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  uint32_t raw;
+  std::memcpy(&raw, p, 4);
+  return __builtin_bswap32(raw);
+}
+
+// Writes the 16 big-endian-decoded words of padded block `t` of (data, len)
+// into column `lane` of the W-wide transposed word matrix. `nblocks` is the
+// message's total padded block count.
+void GatherBlockColumn(const uint8_t* data, size_t len, uint64_t t, uint64_t nblocks, int lane,
+                       int width, uint32_t* words) {
+  const uint64_t offset = t * 64;
+  if (offset + 64 <= len) {
+    // Pure data block: the common case on long messages.
+    const uint8_t* p = data + offset;
+    for (int w = 0; w < 16; ++w) {
+      words[w * width + lane] = LoadBe32(p + 4 * w);
+    }
+    return;
+  }
+  // Tail: remaining data, the 0x80 marker, zero fill, and (in the final
+  // block) the 64-bit big-endian message bit length.
+  uint8_t block[64];
+  std::memset(block, 0, sizeof(block));
+  if (offset < len) {
+    std::memcpy(block, data + offset, len - offset);
+  }
+  if (len >= offset && len - offset < 64) {
+    block[len - offset] = 0x80;
+  }
+  if (t == nblocks - 1) {
+    const uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+    for (int i = 0; i < 8; ++i) {
+      block[56 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+    }
+  }
+  for (int w = 0; w < 16; ++w) {
+    words[w * width + lane] = LoadBe32(block + 4 * w);
+  }
+}
+
+// The lane scheduler shared by SHA-1 (rows = 5) and SHA-256 (rows = 8).
+// Messages are assigned to lanes in groups of `width`; within a group every
+// compression step advances all lanes, and a lane whose message ends early
+// has its digest snapshotted right after its final block (later steps feed
+// it zero blocks whose output is discarded), so ragged lengths cost only the
+// wasted lanes of the longest message's tail steps.
+std::vector<Bytes> DigestManyImpl(const std::vector<Bytes>& messages, int rows,
+                                  const uint32_t* iv, CompressFn compress, int width) {
+  std::vector<Bytes> digests(messages.size());
+  uint32_t state[8 * kMaxLanes];
+  uint32_t words[16 * kMaxLanes];
+  uint64_t nblocks[kMaxLanes];
+
+  for (size_t group = 0; group < messages.size(); group += static_cast<size_t>(width)) {
+    const int lanes = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(width), messages.size() - group));
+    uint64_t max_blocks = 0;
+    for (int lane = 0; lane < lanes; ++lane) {
+      const size_t len = messages[group + lane].size();
+      nblocks[lane] = (static_cast<uint64_t>(len) + 9 + 63) / 64;
+      max_blocks = std::max(max_blocks, nblocks[lane]);
+      for (int r = 0; r < rows; ++r) {
+        state[r * width + lane] = iv[r];
+      }
+    }
+    for (uint64_t t = 0; t < max_blocks; ++t) {
+      std::memset(words, 0, sizeof(uint32_t) * 16 * static_cast<size_t>(width));
+      for (int lane = 0; lane < lanes; ++lane) {
+        if (t < nblocks[lane]) {
+          const Bytes& msg = messages[group + lane];
+          GatherBlockColumn(msg.data(), msg.size(), t, nblocks[lane], lane, width, words);
+        }
+      }
+      compress(state, words);
+      for (int lane = 0; lane < lanes; ++lane) {
+        if (t + 1 == nblocks[lane]) {
+          Bytes& digest = digests[group + lane];
+          digest.resize(static_cast<size_t>(rows) * 4);
+          for (int r = 0; r < rows; ++r) {
+            const uint32_t word = state[r * width + lane];
+            digest[static_cast<size_t>(r) * 4] = static_cast<uint8_t>(word >> 24);
+            digest[static_cast<size_t>(r) * 4 + 1] = static_cast<uint8_t>(word >> 16);
+            digest[static_cast<size_t>(r) * 4 + 2] = static_cast<uint8_t>(word >> 8);
+            digest[static_cast<size_t>(r) * 4 + 3] = static_cast<uint8_t>(word);
+          }
+        }
+      }
+    }
+  }
+  return digests;
+}
+
+}  // namespace
+
+std::vector<Bytes> Sha1DigestMany(const std::vector<Bytes>& messages) {
+  const Engine& engine = ActiveEngine();
+  return DigestManyImpl(messages, 5, kSha1Iv, engine.sha1, engine.lanes);
+}
+
+std::vector<Bytes> Sha256DigestMany(const std::vector<Bytes>& messages) {
+  const Engine& engine = ActiveEngine();
+  return DigestManyImpl(messages, 8, kSha256Iv, engine.sha256, engine.lanes);
+}
+
+int ShaMultiBufLanes() { return ActiveEngine().lanes; }
+
+const char* ShaMultiBufEngine() { return ActiveEngine().name; }
+
+bool ShaMultiBufForceScalar(bool force) {
+  bool previous = g_force_scalar;
+  g_force_scalar = force;
+  return previous;
+}
+
+}  // namespace flicker

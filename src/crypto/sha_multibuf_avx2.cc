@@ -1,0 +1,52 @@
+// 8-lane AVX2 instantiation of the multi-buffer SHA kernels. This TU is
+// compiled with -mavx2 (see CMakeLists.txt); the dispatcher in
+// sha_multibuf.cc only calls into it after __builtin_cpu_supports("avx2"),
+// so no other TU may reference these symbols directly.
+
+#if defined(__x86_64__) && !defined(FLICKER_SIMD_DISABLED)
+
+#include <immintrin.h>
+
+#include "src/crypto/sha_multibuf_kernel.h"
+
+namespace flicker {
+namespace multibuf_internal {
+
+struct Vec256 {
+  static constexpr int kLanes = 8;
+  __m256i v;
+
+  static Vec256 Load(const uint32_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static void Store(uint32_t* p, const Vec256& a) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+  }
+  static Vec256 Set1(uint32_t x) { return {_mm256_set1_epi32(static_cast<int>(x))}; }
+};
+
+inline Vec256 Add(const Vec256& a, const Vec256& b) { return {_mm256_add_epi32(a.v, b.v)}; }
+inline Vec256 Xor(const Vec256& a, const Vec256& b) { return {_mm256_xor_si256(a.v, b.v)}; }
+inline Vec256 And(const Vec256& a, const Vec256& b) { return {_mm256_and_si256(a.v, b.v)}; }
+inline Vec256 Or(const Vec256& a, const Vec256& b) { return {_mm256_or_si256(a.v, b.v)}; }
+inline Vec256 AndNot(const Vec256& a, const Vec256& b) {
+  return {_mm256_andnot_si256(a.v, b.v)};
+}
+template <int N>
+inline Vec256 Rotl(const Vec256& a) {
+  return {_mm256_or_si256(_mm256_slli_epi32(a.v, N), _mm256_srli_epi32(a.v, 32 - N))};
+}
+inline Vec256 Shr(const Vec256& a, int n) { return {_mm256_srli_epi32(a.v, n)}; }
+
+void Sha1CompressAvx2(uint32_t* state, const uint32_t* blocks) {
+  Sha1CompressLanes<Vec256>(state, blocks);
+}
+
+void Sha256CompressAvx2(uint32_t* state, const uint32_t* blocks) {
+  Sha256CompressLanes<Vec256>(state, blocks);
+}
+
+}  // namespace multibuf_internal
+}  // namespace flicker
+
+#endif  // __x86_64__ && !FLICKER_SIMD_DISABLED

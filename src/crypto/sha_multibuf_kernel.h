@@ -1,0 +1,252 @@
+// Width-generic multi-buffer SHA-1/SHA-256 compression kernels.
+//
+// The multi-buffer engine lays W independent hash states out "vertically":
+// vector element j of every working variable belongs to lane j, so one
+// vector instruction advances W compressions at once. This header holds the
+// round logic, templated over a vector trait type V; each translation unit
+// instantiates it for its ISA:
+//
+//   sha_multibuf.cc       ScalarVec<4>  (plain arrays; the bit-exact fallback,
+//                                        also what -DFLICKER_SIMD=OFF uses)
+//   sha_multibuf_sse2.cc  __m128i       (4 lanes, baseline x86-64)
+//   sha_multibuf_avx2.cc  __m256i       (8 lanes, runtime-dispatched)
+//
+// A trait type V must provide:
+//   V::kLanes                       lane count
+//   V::Load(const uint32_t* p)      load kLanes consecutive u32
+//   V::Store(uint32_t* p, v)        inverse of Load
+//   Add(a, b), Xor(a, b), And(a, b), Or(a, b), AndNot(a, b)  (~a & b)
+//   Rotl<n>(a), Set1(x)
+//
+// Blocks enter pre-byteswapped: the caller gathers word t of each lane's
+// 64-byte block into blocks[t * kLanes + lane], already big-endian decoded,
+// so the kernel itself is ISA-agnostic and endian-free.
+
+#ifndef FLICKER_SRC_CRYPTO_SHA_MULTIBUF_KERNEL_H_
+#define FLICKER_SRC_CRYPTO_SHA_MULTIBUF_KERNEL_H_
+
+#include <cstdint>
+
+namespace flicker {
+namespace multibuf_internal {
+
+// Plain-array vector: the compiler is free to vectorize the per-element
+// loops, but correctness never depends on it. This is the scalar oracle.
+template <int W>
+struct ScalarVec {
+  static constexpr int kLanes = W;
+  uint32_t v[W];
+
+  static ScalarVec Load(const uint32_t* p) {
+    ScalarVec out;
+    for (int i = 0; i < W; ++i) {
+      out.v[i] = p[i];
+    }
+    return out;
+  }
+  static void Store(uint32_t* p, const ScalarVec& a) {
+    for (int i = 0; i < W; ++i) {
+      p[i] = a.v[i];
+    }
+  }
+  static ScalarVec Set1(uint32_t x) {
+    ScalarVec out;
+    for (int i = 0; i < W; ++i) {
+      out.v[i] = x;
+    }
+    return out;
+  }
+};
+
+template <int W>
+inline ScalarVec<W> Add(const ScalarVec<W>& a, const ScalarVec<W>& b) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = a.v[i] + b.v[i];
+  }
+  return out;
+}
+template <int W>
+inline ScalarVec<W> Xor(const ScalarVec<W>& a, const ScalarVec<W>& b) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = a.v[i] ^ b.v[i];
+  }
+  return out;
+}
+template <int W>
+inline ScalarVec<W> And(const ScalarVec<W>& a, const ScalarVec<W>& b) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = a.v[i] & b.v[i];
+  }
+  return out;
+}
+template <int W>
+inline ScalarVec<W> Or(const ScalarVec<W>& a, const ScalarVec<W>& b) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = a.v[i] | b.v[i];
+  }
+  return out;
+}
+template <int W>
+inline ScalarVec<W> AndNot(const ScalarVec<W>& a, const ScalarVec<W>& b) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = ~a.v[i] & b.v[i];
+  }
+  return out;
+}
+template <int N, int W>
+inline ScalarVec<W> Rotl(const ScalarVec<W>& a) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = (a.v[i] << N) | (a.v[i] >> (32 - N));
+  }
+  return out;
+}
+template <int W>
+inline ScalarVec<W> Shr(const ScalarVec<W>& a, int n) {
+  ScalarVec<W> out;
+  for (int i = 0; i < W; ++i) {
+    out.v[i] = a.v[i] >> n;
+  }
+  return out;
+}
+
+// ---- SHA-1: W lanes, one 64-byte block each ------------------------------
+//
+// `state` is 5 * kLanes words, state[r * kLanes + lane]; `blocks` is
+// 16 * kLanes pre-byteswapped message words in the same layout.
+template <typename V>
+inline void Sha1CompressLanes(uint32_t* state, const uint32_t* blocks) {
+  constexpr int W = V::kLanes;
+  V w[16];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = V::Load(blocks + t * W);
+  }
+
+  V a = V::Load(state + 0 * W);
+  V b = V::Load(state + 1 * W);
+  V c = V::Load(state + 2 * W);
+  V d = V::Load(state + 3 * W);
+  V e = V::Load(state + 4 * W);
+
+  const V k0 = V::Set1(0x5a827999);
+  const V k1 = V::Set1(0x6ed9eba1);
+  const V k2 = V::Set1(0x8f1bbcdc);
+  const V k3 = V::Set1(0xca62c1d6);
+
+  for (int t = 0; t < 80; ++t) {
+    V wt;
+    if (t < 16) {
+      wt = w[t & 15];
+    } else {
+      wt = Rotl<1>(Xor(Xor(w[(t - 3) & 15], w[(t - 8) & 15]),
+                       Xor(w[(t - 14) & 15], w[(t - 16) & 15])));
+      w[t & 15] = wt;
+    }
+    V f;
+    V k;
+    if (t < 20) {
+      f = Or(And(b, c), AndNot(b, d));
+      k = k0;
+    } else if (t < 40) {
+      f = Xor(Xor(b, c), d);
+      k = k1;
+    } else if (t < 60) {
+      f = Or(Or(And(b, c), And(b, d)), And(c, d));
+      k = k2;
+    } else {
+      f = Xor(Xor(b, c), d);
+      k = k3;
+    }
+    V tmp = Add(Add(Add(Rotl<5>(a), f), Add(e, k)), wt);
+    e = d;
+    d = c;
+    c = Rotl<30>(b);
+    b = a;
+    a = tmp;
+  }
+
+  V::Store(state + 0 * W, Add(a, V::Load(state + 0 * W)));
+  V::Store(state + 1 * W, Add(b, V::Load(state + 1 * W)));
+  V::Store(state + 2 * W, Add(c, V::Load(state + 2 * W)));
+  V::Store(state + 3 * W, Add(d, V::Load(state + 3 * W)));
+  V::Store(state + 4 * W, Add(e, V::Load(state + 4 * W)));
+}
+
+inline constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+// ---- SHA-256: W lanes, one 64-byte block each ----------------------------
+//
+// Same layout as SHA-1 with 8 state rows.
+template <typename V>
+inline void Sha256CompressLanes(uint32_t* state, const uint32_t* blocks) {
+  constexpr int W = V::kLanes;
+  V w[16];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = V::Load(blocks + t * W);
+  }
+
+  V a = V::Load(state + 0 * W);
+  V b = V::Load(state + 1 * W);
+  V c = V::Load(state + 2 * W);
+  V d = V::Load(state + 3 * W);
+  V e = V::Load(state + 4 * W);
+  V f = V::Load(state + 5 * W);
+  V g = V::Load(state + 6 * W);
+  V h = V::Load(state + 7 * W);
+
+  for (int t = 0; t < 64; ++t) {
+    V wt;
+    if (t < 16) {
+      wt = w[t & 15];
+    } else {
+      V w15 = w[(t - 15) & 15];
+      V w2 = w[(t - 2) & 15];
+      V s0 = Xor(Xor(Rotl<25>(w15), Rotl<14>(w15)), Shr(w15, 3));
+      V s1 = Xor(Xor(Rotl<15>(w2), Rotl<13>(w2)), Shr(w2, 10));
+      wt = Add(Add(w[(t - 16) & 15], s0), Add(w[(t - 7) & 15], s1));
+      w[t & 15] = wt;
+    }
+    V s1 = Xor(Xor(Rotl<26>(e), Rotl<21>(e)), Rotl<7>(e));
+    V ch = Xor(And(e, f), AndNot(e, g));
+    V temp1 = Add(Add(h, s1), Add(Add(ch, V::Set1(kSha256K[t])), wt));
+    V s0 = Xor(Xor(Rotl<30>(a), Rotl<19>(a)), Rotl<10>(a));
+    V maj = Xor(Xor(And(a, b), And(a, c)), And(b, c));
+    V temp2 = Add(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = Add(d, temp1);
+    d = c;
+    c = b;
+    b = a;
+    a = Add(temp1, temp2);
+  }
+
+  V::Store(state + 0 * W, Add(a, V::Load(state + 0 * W)));
+  V::Store(state + 1 * W, Add(b, V::Load(state + 1 * W)));
+  V::Store(state + 2 * W, Add(c, V::Load(state + 2 * W)));
+  V::Store(state + 3 * W, Add(d, V::Load(state + 3 * W)));
+  V::Store(state + 4 * W, Add(e, V::Load(state + 4 * W)));
+  V::Store(state + 5 * W, Add(f, V::Load(state + 5 * W)));
+  V::Store(state + 6 * W, Add(g, V::Load(state + 6 * W)));
+  V::Store(state + 7 * W, Add(h, V::Load(state + 7 * W)));
+}
+
+}  // namespace multibuf_internal
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_CRYPTO_SHA_MULTIBUF_KERNEL_H_

@@ -1,0 +1,49 @@
+// 4-lane SSE2 instantiation of the multi-buffer SHA kernels. SSE2 is part of
+// the x86-64 baseline, so this TU needs no extra -m flags; it is the floor
+// every x86-64 host gets even when AVX2 is absent.
+
+#if defined(__x86_64__) && !defined(FLICKER_SIMD_DISABLED)
+
+#include <emmintrin.h>
+
+#include "src/crypto/sha_multibuf_kernel.h"
+
+namespace flicker {
+namespace multibuf_internal {
+
+struct Vec128 {
+  static constexpr int kLanes = 4;
+  __m128i v;
+
+  static Vec128 Load(const uint32_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static void Store(uint32_t* p, const Vec128& a) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+  }
+  static Vec128 Set1(uint32_t x) { return {_mm_set1_epi32(static_cast<int>(x))}; }
+};
+
+inline Vec128 Add(const Vec128& a, const Vec128& b) { return {_mm_add_epi32(a.v, b.v)}; }
+inline Vec128 Xor(const Vec128& a, const Vec128& b) { return {_mm_xor_si128(a.v, b.v)}; }
+inline Vec128 And(const Vec128& a, const Vec128& b) { return {_mm_and_si128(a.v, b.v)}; }
+inline Vec128 Or(const Vec128& a, const Vec128& b) { return {_mm_or_si128(a.v, b.v)}; }
+inline Vec128 AndNot(const Vec128& a, const Vec128& b) { return {_mm_andnot_si128(a.v, b.v)}; }
+template <int N>
+inline Vec128 Rotl(const Vec128& a) {
+  return {_mm_or_si128(_mm_slli_epi32(a.v, N), _mm_srli_epi32(a.v, 32 - N))};
+}
+inline Vec128 Shr(const Vec128& a, int n) { return {_mm_srli_epi32(a.v, n)}; }
+
+void Sha1CompressSse2(uint32_t* state, const uint32_t* blocks) {
+  Sha1CompressLanes<Vec128>(state, blocks);
+}
+
+void Sha256CompressSse2(uint32_t* state, const uint32_t* blocks) {
+  Sha256CompressLanes<Vec128>(state, blocks);
+}
+
+}  // namespace multibuf_internal
+}  // namespace flicker
+
+#endif  // __x86_64__ && !FLICKER_SIMD_DISABLED

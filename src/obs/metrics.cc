@@ -26,6 +26,14 @@ constexpr MetricDef kCounterDefs[static_cast<size_t>(Ctr::kCount)] = {
      "Times the quote daemon's circuit breaker opened on consecutive TPM failures"},
     {"tqd_challenges_queued_total", "count",
      "Attestation challenges queued behind an open circuit breaker"},
+    {"tqd_batch_quotes_total", "count",
+     "Merkle-aggregated batch quotes issued (one TPM quote per flushed window)"},
+    {"tqd_batched_challenges_total", "count",
+     "Attestation challenges answered through a coalesced batch quote"},
+    {"attest_session_hits_total", "count",
+     "Attested-session calls authenticated by session MAC, skipping the TPM quote"},
+    {"attest_session_misses_total", "count",
+     "Attested-session lookups that found no live session (fresh quote required)"},
     {"net_messages_sent_total", "count", "Datagrams handed to LossyChannel::Send"},
     {"net_messages_delivered_total", "count", "Datagrams delivered to a receiving endpoint"},
     {"net_faults_injected_total", "count",
@@ -71,6 +79,10 @@ constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
      "Simulated wall time of one full Flicker session (suspend through resume)"},
     {"session_call_latency_ms", "ms",
      "Simulated time one SessionClient::Call spent until verdict (success or fail-closed)"},
+    {"tqd_batch_size", "challenges",
+     "Challenges coalesced into each flushed batch-quote window"},
+    {"tqd_coalesce_wait_ms", "ms",
+     "Simulated age of a batch window (oldest challenge) when its quote was issued"},
 };
 
 const char* TypeName(MetricType type) {

@@ -49,6 +49,10 @@ enum class Ctr : int {
   kTqdRetries,
   kTqdBreakerTrips,
   kTqdChallengesQueued,
+  kTqdBatchQuotes,
+  kTqdBatchedChallenges,
+  kAttestSessionHits,
+  kAttestSessionMisses,
   kNetMessagesSent,
   kNetMessagesDelivered,
   kNetFaultsInjected,
@@ -79,6 +83,8 @@ enum class Hist : int {
   kSkinitLatencyMs,
   kFlickerSessionTotalMs,
   kSessionCallLatencyMs,
+  kTqdBatchSize,
+  kTqdCoalesceWaitMs,
   kCount
 };
 

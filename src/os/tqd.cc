@@ -1,5 +1,8 @@
 #include "src/os/tqd.h"
 
+#include <algorithm>
+
+#include "src/common/fault.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -49,22 +52,13 @@ bool TpmQuoteDaemon::BreakerAllows() {
   return false;
 }
 
-Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
-                                                            const PcrSelection& selection) {
-  obs::ScopedSpan quote_span("tqd", "tqd.quote");
-  if (machine_->in_secure_session()) {
-    return FailedPreconditionError("OS suspended: quote daemon not running");
-  }
-  if (!BreakerAllows()) {
-    queued_.push_back(QueuedChallenge{nonce, selection});
-    obs::Count(obs::Ctr::kTqdChallengesQueued);
-    return TpmFailedError("TPM circuit breaker open; challenge queued");
-  }
-
-  // Bounded retry with exponential backoff on transient transport faults.
-  // The quote is a single TPM_ORD_Quote frame, so one lost frame costs one
-  // retry; anything other than kUnavailable is a real TPM verdict. kTpmFailed
-  // verdicts feed the circuit breaker; other errors surface immediately.
+// Bounded retry with exponential backoff on transient transport faults.
+// The quote is a single TPM_ORD_Quote frame, so one lost frame costs one
+// retry; anything other than kUnavailable is a real TPM verdict. kTpmFailed
+// verdicts feed the circuit breaker (the caller reacts to breaker_open_);
+// other errors surface immediately.
+Result<AttestationResponse> TpmQuoteDaemon::QuoteWithRetry(const Bytes& nonce,
+                                                           const PcrSelection& selection) {
   const uint64_t challenge_start_us = machine_->clock()->NowMicros();
   BackoffSchedule backoff(config_.backoff);
   Status last_failure = UnavailableError("quote never attempted");
@@ -89,11 +83,6 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
     }
     if (response.status().code() == StatusCode::kTpmFailed) {
       NoteTpmFailure();
-      if (breaker_open_) {
-        queued_.push_back(QueuedChallenge{nonce, selection});
-        obs::Count(obs::Ctr::kTqdChallengesQueued);
-        return TpmFailedError("TPM entered failure mode; challenge queued");
-      }
       return response.status();
     }
     if (response.status().code() != StatusCode::kUnavailable) {
@@ -103,6 +92,128 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
   }
   return Status(StatusCode::kUnavailable,
                 "quote retry budget exhausted: " + last_failure.message());
+}
+
+Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
+                                                            const PcrSelection& selection) {
+  obs::ScopedSpan quote_span("tqd", "tqd.quote");
+  if (machine_->in_secure_session()) {
+    return FailedPreconditionError("OS suspended: quote daemon not running");
+  }
+  if (!BreakerAllows()) {
+    queued_.push_back(QueuedChallenge{nonce, selection});
+    obs::Count(obs::Ctr::kTqdChallengesQueued);
+    return TpmFailedError("TPM circuit breaker open; challenge queued");
+  }
+
+  Result<AttestationResponse> response = QuoteWithRetry(nonce, selection);
+  if (!response.ok() && response.status().code() == StatusCode::kTpmFailed && breaker_open_) {
+    queued_.push_back(QueuedChallenge{nonce, selection});
+    obs::Count(obs::Ctr::kTqdChallengesQueued);
+    return TpmFailedError("TPM entered failure mode; challenge queued");
+  }
+  return response;
+}
+
+Status TpmQuoteDaemon::SubmitBatched(const Bytes& nonce, const PcrSelection& selection) {
+  if (machine_->in_secure_session()) {
+    return FailedPreconditionError("OS suspended: quote daemon not running");
+  }
+  for (PendingBatch& batch : batches_) {
+    if (batch.selection.mask() == selection.mask()) {
+      batch.nonces.push_back(nonce);
+      return Status::Ok();
+    }
+  }
+  PendingBatch batch;
+  batch.selection = selection;
+  batch.nonces.push_back(nonce);
+  batch.opened_at_us = machine_->clock()->NowMicros();
+  batches_.push_back(std::move(batch));
+  return Status::Ok();
+}
+
+bool TpmQuoteDaemon::BatchIsReady(const PendingBatch& batch) const {
+  if (config_.max_batch_size <= 1 || batch.nonces.size() >= config_.max_batch_size) {
+    return true;
+  }
+  double age_ms =
+      static_cast<double>(machine_->clock()->NowMicros() - batch.opened_at_us) / 1000.0;
+  return age_ms >= config_.max_batch_wait_ms;
+}
+
+bool TpmQuoteDaemon::BatchReady() const {
+  return std::any_of(batches_.begin(), batches_.end(),
+                     [this](const PendingBatch& batch) { return BatchIsReady(batch); });
+}
+
+size_t TpmQuoteDaemon::batched_pending() const {
+  size_t total = 0;
+  for (const PendingBatch& batch : batches_) {
+    total += batch.nonces.size();
+  }
+  return total;
+}
+
+Status TpmQuoteDaemon::FlushOneBatch(PendingBatch&& batch,
+                                     std::vector<BatchQuoteResponse>* responses) {
+  obs::ScopedSpan flush_span("tqd", "tqd.batch_quote");
+  double wait_ms =
+      static_cast<double>(machine_->clock()->NowMicros() - batch.opened_at_us) / 1000.0;
+
+  Result<MerkleTree> tree = MerkleTree::Build(batch.nonces);
+  if (!tree.ok()) {
+    return tree.status();
+  }
+  // A power cut here loses only unanswered challenges: the challengers time
+  // out and re-issue, and no TPM or sealed state has been touched yet.
+  CRASH_POINT("tqd.batch_flush");
+  Result<AttestationResponse> quoted = QuoteWithRetry(tree.value().root(), batch.selection);
+  if (!quoted.ok()) {
+    batches_.push_back(std::move(batch));  // Keep the window; nothing is lost.
+    return quoted.status();
+  }
+  for (size_t i = 0; i < batch.nonces.size(); ++i) {
+    BatchQuoteResponse response;
+    response.nonce = batch.nonces[i];
+    response.response = quoted.value();
+    response.path = tree.value().PathFor(i);
+    responses->push_back(std::move(response));
+  }
+  ++batch_quotes_;
+  obs::Count(obs::Ctr::kTqdBatchQuotes);
+  obs::Count(obs::Ctr::kTqdBatchedChallenges, batch.nonces.size());
+  obs::ObserveMs(obs::Hist::kTqdBatchSize, static_cast<double>(batch.nonces.size()));
+  obs::ObserveMs(obs::Hist::kTqdCoalesceWaitMs, wait_ms);
+  return Status::Ok();
+}
+
+Status TpmQuoteDaemon::FlushReadyBatches(std::vector<BatchQuoteResponse>* responses, bool force) {
+  if (machine_->in_secure_session()) {
+    return FailedPreconditionError("OS suspended: quote daemon not running");
+  }
+  if (!BreakerAllows()) {
+    // Windows simply stay open; unlike single challenges there is no
+    // separate queue to move them to.
+    return TpmFailedError("TPM circuit breaker open; batches held");
+  }
+  std::vector<PendingBatch> ready;
+  for (size_t i = 0; i < batches_.size();) {
+    if ((force && !batches_[i].nonces.empty()) || BatchIsReady(batches_[i])) {
+      ready.push_back(std::move(batches_[i]));
+      batches_.erase(batches_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  Status first_failure = Status::Ok();
+  for (PendingBatch& batch : ready) {
+    Status flushed = FlushOneBatch(std::move(batch), responses);
+    if (!flushed.ok() && first_failure.ok()) {
+      first_failure = flushed;
+    }
+  }
+  return first_failure;
 }
 
 Status TpmQuoteDaemon::DrainQueued(std::vector<AttestationResponse>* responses) {

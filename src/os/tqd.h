@@ -24,6 +24,7 @@
 #include "src/common/backoff.h"
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/crypto/merkle.h"
 #include "src/hw/machine.h"
 #include "src/tpm/structures.h"
 
@@ -34,6 +35,18 @@ struct AttestationResponse {
   // The AIK public key, shipped alongside (its certificate chain is checked
   // by the verifier against the Privacy CA).
   Bytes aik_public;
+};
+
+// One challenger's slice of a Merkle-aggregated batch quote: the shared
+// quote (whose externalData nonce is the batch's Merkle root) plus the
+// authentication path tying this challenger's own nonce to that root. The
+// challenger recomputes the root from its OWN nonce and the path, so a
+// response carrying someone else's path - or a path from another batch -
+// fails verification.
+struct BatchQuoteResponse {
+  Bytes nonce;  // The challenge nonce this slice answers.
+  AttestationResponse response;
+  MerkleAuthPath path;
 };
 
 struct TqdConfig {
@@ -49,6 +62,13 @@ struct TqdConfig {
   // long (simulated ms) it stays open before a half-open probe.
   int breaker_threshold = 3;
   double breaker_cooldown_ms = 500.0;
+  // Batch coalescing window (SubmitBatched/FlushReadyBatches): a batch is
+  // flushed once it holds max_batch_size challenges or its oldest challenge
+  // has waited max_batch_wait_ms on the simulated clock, whichever comes
+  // first. max_batch_size <= 1 disables coalescing (every submit is ready
+  // immediately, as a degenerate one-leaf batch).
+  size_t max_batch_size = 32;
+  double max_batch_wait_ms = 10.0;
 };
 
 class TpmQuoteDaemon {
@@ -66,10 +86,32 @@ class TpmQuoteDaemon {
   // ones that now succeed are appended to `responses`; the rest stay queued.
   Status DrainQueued(std::vector<AttestationResponse>* responses);
 
+  // Batch coalescing: adds a challenge to the open window for its PCR
+  // selection (windows never mix selections, so every challenge in a batch
+  // shares the quote's composite). The challenge is answered by a later
+  // FlushReadyBatches() call.
+  Status SubmitBatched(const Bytes& nonce, const PcrSelection& selection);
+
+  // True when some window is ready to flush: full, or its oldest challenge
+  // has waited out max_batch_wait_ms.
+  bool BatchReady() const;
+
+  // Quotes every ready window (all non-empty windows when `force` is set):
+  // the window's nonces become a leaf-sorted Merkle tree, ONE TPM quote is
+  // issued over the root through the usual retry/breaker machinery, and one
+  // BatchQuoteResponse per challenge is appended to `responses`. A window
+  // whose quote fails stays pending - a power cut or breaker trip mid-flush
+  // loses no challenges - and the first failure status is returned after the
+  // remaining ready windows have been attempted.
+  Status FlushReadyBatches(std::vector<BatchQuoteResponse>* responses, bool force = false);
+
   // Transient failures absorbed by retries since construction.
   uint64_t retries() const { return retries_; }
   bool breaker_open() const { return breaker_open_; }
   size_t queued_count() const { return queued_.size(); }
+  // Challenges sitting in open coalescing windows.
+  size_t batched_pending() const;
+  uint64_t batch_quotes() const { return batch_quotes_; }
 
  private:
   struct QueuedChallenge {
@@ -77,7 +119,20 @@ class TpmQuoteDaemon {
     PcrSelection selection;
   };
 
+  // An open coalescing window: challenges sharing one PCR selection.
+  struct PendingBatch {
+    PcrSelection selection;
+    std::vector<Bytes> nonces;
+    uint64_t opened_at_us = 0;
+  };
+
   Result<AttestationResponse> QuoteOnce(const Bytes& nonce, const PcrSelection& selection);
+  // The shared bounded-retry/backoff/deadline loop around QuoteOnce. On
+  // kTpmFailed the breaker has already been fed; the caller decides whether
+  // to queue or keep the work.
+  Result<AttestationResponse> QuoteWithRetry(const Bytes& nonce, const PcrSelection& selection);
+  bool BatchIsReady(const PendingBatch& batch) const;
+  Status FlushOneBatch(PendingBatch&& batch, std::vector<BatchQuoteResponse>* responses);
   void NoteTpmFailure();
   // True when the breaker may pass traffic again (closed, or cooldown over
   // and the half-open GetTestResult probe came back clean).
@@ -86,11 +141,13 @@ class TpmQuoteDaemon {
   Machine* machine_;
   TqdConfig config_;
   uint64_t retries_ = 0;
+  uint64_t batch_quotes_ = 0;
 
   bool breaker_open_ = false;
   int consecutive_tpm_failures_ = 0;
   uint64_t breaker_opened_at_us_ = 0;
   std::vector<QueuedChallenge> queued_;
+  std::vector<PendingBatch> batches_;
 };
 
 }  // namespace flicker

@@ -1,0 +1,215 @@
+// Quote amortization: one verified quote buys an HMAC session, and every
+// later exchange rides AuthedFrames with no TPM in the loop. The cache must
+// fail CLOSED on tampering/replay/reflection within a live session, and fail
+// SOFT (kNotFound miss, re-attest) when a session expires, exhausts its use
+// budget, or is evicted.
+
+#include <gtest/gtest.h>
+
+#include "src/core/secure_channel.h"
+#include "src/crypto/drbg.h"
+#include "src/hw/clock.h"
+
+namespace flicker {
+namespace {
+
+// Both ends of an amortized attestation session: the challenger (initiator)
+// and the attesting platform (responder) sharing one key.
+struct SessionPair {
+  SessionPair(SimClock* clock, AttestedSessionConfig config = AttestedSessionConfig())
+      : challenger(clock, config), platform(clock, config) {
+    Drbg rng(BytesOf("session key exchange"));
+    Bytes key = rng.Generate(32);
+    challenger_id = challenger.Establish(key, /*is_initiator=*/true);
+    platform_id = platform.Establish(key, /*is_initiator=*/false);
+  }
+
+  AttestedSessionCache challenger;
+  AttestedSessionCache platform;
+  uint64_t challenger_id = 0;
+  uint64_t platform_id = 0;
+};
+
+TEST(AttestedSessionTest, SealOpenRoundTripBothDirections) {
+  SimClock clock;
+  SessionPair pair(&clock);
+
+  Result<AuthedFrame> c2p = pair.challenger.Seal(pair.challenger_id, BytesOf("are you fresh?"));
+  ASSERT_TRUE(c2p.ok());
+  Result<Bytes> at_platform = pair.platform.Open(c2p.value());
+  ASSERT_TRUE(at_platform.ok());
+  EXPECT_EQ(at_platform.value(), BytesOf("are you fresh?"));
+
+  Result<AuthedFrame> p2c = pair.platform.Seal(pair.platform_id, BytesOf("still sealed"));
+  ASSERT_TRUE(p2c.ok());
+  Result<Bytes> at_challenger = pair.challenger.Open(p2c.value());
+  ASSERT_TRUE(at_challenger.ok());
+  EXPECT_EQ(at_challenger.value(), BytesOf("still sealed"));
+
+  EXPECT_EQ(pair.platform.hits(), 1u);
+  EXPECT_EQ(pair.challenger.hits(), 1u);
+  EXPECT_EQ(pair.platform.misses(), 0u);
+}
+
+TEST(AttestedSessionTest, ReplayedFrameFailsClosed) {
+  SimClock clock;
+  SessionPair pair(&clock);
+
+  AuthedFrame frame = pair.challenger.Seal(pair.challenger_id, BytesOf("once")).value();
+  ASSERT_TRUE(pair.platform.Open(frame).ok());
+  // The identical recorded frame must be rejected as a HARD error on the
+  // live session, not a soft miss that invites a downgrade.
+  Result<Bytes> replay = pair.platform.Open(frame);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kReplayDetected);
+}
+
+TEST(AttestedSessionTest, ReflectedFrameFailsClosed) {
+  SimClock clock;
+  SessionPair pair(&clock);
+
+  // An attacker bounces the challenger's own frame back at it.
+  AuthedFrame frame = pair.challenger.Seal(pair.challenger_id, BytesOf("ping")).value();
+  Result<Bytes> reflected = pair.challenger.Open(frame);
+  ASSERT_FALSE(reflected.ok());
+  EXPECT_EQ(reflected.status().code(), StatusCode::kIntegrityFailure);
+}
+
+TEST(AttestedSessionTest, TamperedFrameFailsClosed) {
+  SimClock clock;
+  SessionPair pair(&clock);
+
+  AuthedFrame frame = pair.challenger.Seal(pair.challenger_id, BytesOf("payload")).value();
+  AuthedFrame tampered = frame;
+  tampered.payload[0] ^= 0x01;
+  Result<Bytes> opened = pair.platform.Open(tampered);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIntegrityFailure);
+
+  // Bumping the counter without the key fails the MAC too.
+  AuthedFrame bumped = frame;
+  ++bumped.counter;
+  opened = pair.platform.Open(bumped);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIntegrityFailure);
+}
+
+TEST(AttestedSessionTest, WireRoundTripAndRoleValidation) {
+  SimClock clock;
+  SessionPair pair(&clock);
+
+  AuthedFrame frame = pair.challenger.Seal(pair.challenger_id, BytesOf("over the wire")).value();
+  Result<AuthedFrame> round = AuthedFrame::Deserialize(frame.Serialize());
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(pair.platform.Open(round.value()).ok());
+
+  Bytes wire = frame.Serialize();
+  wire.pop_back();
+  EXPECT_FALSE(AuthedFrame::Deserialize(wire).ok());
+}
+
+TEST(AttestedSessionTest, ExpiryIsASoftMissInvitingReattestation) {
+  SimClock clock;
+  AttestedSessionConfig config;
+  config.ttl_ms = 100.0;
+  SessionPair pair(&clock, config);
+
+  AuthedFrame frame = pair.challenger.Seal(pair.challenger_id, BytesOf("late")).value();
+  clock.AdvanceMillis(101.0);
+
+  // Both the seal side and the open side see kNotFound, never a MAC error:
+  // the correct reaction is a fresh quote, not an alarm.
+  Result<Bytes> opened = pair.platform.Open(frame);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(pair.platform.misses(), 1u);
+  EXPECT_EQ(pair.platform.live_sessions(), 0u);
+
+  Result<AuthedFrame> sealed = pair.challenger.Seal(pair.challenger_id, BytesOf("more"));
+  ASSERT_FALSE(sealed.ok());
+  EXPECT_EQ(sealed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttestedSessionTest, UseBudgetExhaustionRetiresTheSession) {
+  // Asymmetric budgets: the challenger can keep sealing, the platform's
+  // session dies after 3 accepted frames - exercising both the open-side
+  // retirement and, below, the seal-side one.
+  SimClock clock;
+  AttestedSessionConfig platform_config;
+  platform_config.max_uses = 3;
+  AttestedSessionCache challenger(&clock);
+  AttestedSessionCache platform(&clock, platform_config);
+  Drbg rng(BytesOf("budget"));
+  Bytes key = rng.Generate(32);
+  uint64_t cid = challenger.Establish(key, /*is_initiator=*/true);
+  platform.Establish(key, /*is_initiator=*/false);
+
+  for (int i = 0; i < 3; ++i) {
+    AuthedFrame frame = challenger.Seal(cid, BytesOf("n" + std::to_string(i))).value();
+    ASSERT_TRUE(platform.Open(frame).ok()) << i;
+  }
+  AuthedFrame frame = challenger.Seal(cid, BytesOf("past budget")).value();
+  Result<Bytes> opened = platform.Open(frame);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(platform.hits(), 3u);
+  EXPECT_EQ(platform.misses(), 1u);
+
+  // Seal-side budget: a cache with max_uses=2 refuses the third seal.
+  AttestedSessionConfig sealer_config;
+  sealer_config.max_uses = 2;
+  AttestedSessionCache sealer(&clock, sealer_config);
+  uint64_t sid = sealer.Establish(key, /*is_initiator=*/true);
+  ASSERT_TRUE(sealer.Seal(sid, BytesOf("one")).ok());
+  ASSERT_TRUE(sealer.Seal(sid, BytesOf("two")).ok());
+  Result<AuthedFrame> third = sealer.Seal(sid, BytesOf("three"));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttestedSessionTest, CapacityEvictsOldestSession) {
+  SimClock clock;
+  AttestedSessionConfig config;
+  config.capacity = 2;
+  AttestedSessionCache cache(&clock, config);
+
+  Drbg rng(BytesOf("many sessions"));
+  uint64_t first = cache.Establish(rng.Generate(32), true);
+  cache.Establish(rng.Generate(32), true);
+  EXPECT_EQ(cache.live_sessions(), 2u);
+  cache.Establish(rng.Generate(32), true);
+  EXPECT_EQ(cache.live_sessions(), 2u);
+
+  // The oldest id was evicted; sealing under it is a miss.
+  Result<AuthedFrame> sealed = cache.Seal(first, BytesOf("gone"));
+  ASSERT_FALSE(sealed.ok());
+  EXPECT_EQ(sealed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttestedSessionTest, SessionKeyTransportRidesTheSecureChannel) {
+  // The key-exchange story end to end at the crypto layer: the challenger
+  // wraps a fresh session key under the attested K_PAL (SecureChannelEncrypt)
+  // and only the holder of the sealed private key can recover it.
+  Drbg rng(BytesOf("key transport"));
+  RsaPrivateKey pal_key = RsaGenerateKey(1024, &rng);
+  Bytes session_key = rng.Generate(32);
+
+  Result<Bytes> wrapped =
+      SecureChannelEncrypt(pal_key.pub.Serialize(), session_key, &rng);
+  ASSERT_TRUE(wrapped.ok());
+  Result<Bytes> unwrapped = RsaDecryptPkcs1(pal_key, wrapped.value());
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped.value(), session_key);
+
+  // Both ends register the transported key; frames authenticate.
+  SimClock clock;
+  AttestedSessionCache challenger(&clock);
+  AttestedSessionCache platform(&clock);
+  uint64_t cid = challenger.Establish(session_key, true);
+  platform.Establish(unwrapped.value(), false);
+  AuthedFrame frame = challenger.Seal(cid, BytesOf("amortized")).value();
+  EXPECT_TRUE(platform.Open(frame).ok());
+}
+
+}  // namespace
+}  // namespace flicker

@@ -171,6 +171,40 @@ TEST(HashTest, InstancesAreIndependent) {
   EXPECT_EQ(db, Sha1::Digest(BytesOf("second")));
 }
 
+// Finish() leaves the object reset: hashing a second message on the same
+// instance must equal a fresh one-shot digest, for every hash class.
+TEST(HashTest, FinishAutoResetsForReuse) {
+  Sha1 sha1;
+  sha1.Update(BytesOf("first message"));
+  EXPECT_EQ(sha1.Finish(), Sha1::Digest(BytesOf("first message")));
+  sha1.Update(BytesOf("second message"));
+  EXPECT_EQ(sha1.Finish(), Sha1::Digest(BytesOf("second message")));
+
+  Sha256 sha256;
+  sha256.Update(BytesOf("first"));
+  EXPECT_EQ(sha256.Finish(), Sha256::Digest(BytesOf("first")));
+  sha256.Update(BytesOf("second"));
+  EXPECT_EQ(sha256.Finish(), Sha256::Digest(BytesOf("second")));
+
+  Sha512 sha512;
+  sha512.Update(BytesOf("first"));
+  EXPECT_EQ(sha512.Finish(), Sha512::Digest(BytesOf("first")));
+  sha512.Update(BytesOf("second"));
+  EXPECT_EQ(sha512.Finish(), Sha512::Digest(BytesOf("second")));
+
+  Md5 md5;
+  md5.Update(BytesOf("first"));
+  EXPECT_EQ(md5.Finish(), Md5::Digest(BytesOf("first")));
+  md5.Update(BytesOf("second"));
+  EXPECT_EQ(md5.Finish(), Md5::Digest(BytesOf("second")));
+
+  // An empty follow-up (Finish with no Update) is the empty-string digest.
+  Sha1 empty;
+  empty.Update(BytesOf("spent"));
+  empty.Finish();
+  EXPECT_EQ(ToHex(empty.Finish()), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
 TEST(HashTest, DigestSizesMatchConstants) {
   EXPECT_EQ(Sha1::Digest(BytesOf("x")).size(), Sha1::kDigestSize);
   EXPECT_EQ(Sha256::Digest(BytesOf("x")).size(), Sha256::kDigestSize);

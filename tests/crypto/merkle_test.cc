@@ -1,0 +1,106 @@
+// The batch-quote Merkle tree: every leaf must prove membership through its
+// auth path, the root must be arrival-order independent (leaf-sorted), and
+// the domain separation must keep leaves and interior nodes in disjoint
+// hash domains.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha1.h"
+
+namespace flicker {
+namespace {
+
+std::vector<Bytes> MakeNonces(size_t count) {
+  std::vector<Bytes> nonces;
+  for (size_t i = 0; i < count; ++i) {
+    nonces.push_back(Sha1::Digest(BytesOf("nonce-" + std::to_string(i))));
+  }
+  return nonces;
+}
+
+TEST(MerkleTreeTest, EveryLeafAuthenticatesForEveryBatchSize) {
+  for (size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 32u}) {
+    std::vector<Bytes> nonces = MakeNonces(count);
+    Result<MerkleTree> tree = MerkleTree::Build(nonces);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree.value().leaf_count(), count);
+    for (size_t i = 0; i < count; ++i) {
+      MerkleAuthPath path = tree.value().PathFor(i);
+      EXPECT_EQ(MerkleTree::RootFromPath(nonces[i], path), tree.value().root())
+          << "leaf " << i << " of " << count;
+    }
+  }
+}
+
+TEST(MerkleTreeTest, RootIndependentOfArrivalOrder) {
+  std::vector<Bytes> nonces = MakeNonces(9);
+  Bytes root = MerkleTree::Build(nonces).value().root();
+  std::vector<Bytes> reversed(nonces.rbegin(), nonces.rend());
+  EXPECT_EQ(MerkleTree::Build(reversed).value().root(), root);
+  std::rotate(nonces.begin(), nonces.begin() + 4, nonces.end());
+  EXPECT_EQ(MerkleTree::Build(nonces).value().root(), root);
+}
+
+TEST(MerkleTreeTest, EmptyBatchRefused) {
+  EXPECT_EQ(MerkleTree::Build({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MerkleTreeTest, DomainSeparationKeepsLeavesOutOfInteriorPositions) {
+  // SHA1(0x00 || x) and SHA1(0x01 || x) must differ, and a leaf digest must
+  // not equal the plain hash of the nonce (which an attacker could obtain
+  // from other protocol contexts).
+  Bytes nonce = Sha1::Digest(BytesOf("n"));
+  EXPECT_NE(MerkleTree::LeafDigest(nonce), Sha1::Digest(nonce));
+  Bytes left = MerkleTree::LeafDigest(nonce);
+  Bytes right = MerkleTree::LeafDigest(Sha1::Digest(BytesOf("m")));
+  Bytes concat = Concat(left, right);
+  EXPECT_NE(MerkleTree::InteriorDigest(left, right), Sha1::Digest(concat));
+  EXPECT_NE(MerkleTree::InteriorDigest(left, right), MerkleTree::LeafDigest(concat));
+}
+
+TEST(MerkleTreeTest, WrongNonceOrTamperedPathChangesRoot) {
+  std::vector<Bytes> nonces = MakeNonces(6);
+  MerkleTree tree = MerkleTree::Build(nonces).value();
+  MerkleAuthPath path = tree.PathFor(2);
+
+  EXPECT_NE(MerkleTree::RootFromPath(nonces[3], path), tree.root());
+
+  MerkleAuthPath tampered = path;
+  tampered.steps[0].sibling[0] ^= 0x01;
+  EXPECT_NE(MerkleTree::RootFromPath(nonces[2], tampered), tree.root());
+
+  MerkleAuthPath flipped = path;
+  flipped.steps[0].sibling_is_left = !flipped.steps[0].sibling_is_left;
+  EXPECT_NE(MerkleTree::RootFromPath(nonces[2], flipped), tree.root());
+}
+
+TEST(MerkleAuthPathTest, SerializeRoundTripsAndRejectsGarbage) {
+  std::vector<Bytes> nonces = MakeNonces(11);
+  MerkleTree tree = MerkleTree::Build(nonces).value();
+  for (size_t i = 0; i < nonces.size(); ++i) {
+    MerkleAuthPath path = tree.PathFor(i);
+    Result<MerkleAuthPath> round = MerkleAuthPath::Deserialize(path.Serialize());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(MerkleTree::RootFromPath(nonces[i], round.value()), tree.root());
+  }
+
+  EXPECT_FALSE(MerkleAuthPath::Deserialize(Bytes{0x01, 0x02}).ok());
+  Bytes wire = tree.PathFor(0).Serialize();
+  wire.pop_back();
+  EXPECT_FALSE(MerkleAuthPath::Deserialize(wire).ok());
+  // A count field claiming an absurd depth is refused before allocation.
+  Bytes deep;
+  PutUint32(&deep, 1u << 30);
+  EXPECT_FALSE(MerkleAuthPath::Deserialize(deep).ok());
+  // Side bytes other than 0/1 are refused.
+  Bytes bad_side = tree.PathFor(0).Serialize();
+  bad_side[4] = 0x02;
+  EXPECT_FALSE(MerkleAuthPath::Deserialize(bad_side).ok());
+}
+
+}  // namespace
+}  // namespace flicker

@@ -1,0 +1,129 @@
+// The multi-buffer SHA engine must be a drop-in replacement for the scalar
+// Sha1/Sha256 classes: bit-exact on every lane for every message length,
+// whatever kernel (AVX2, SSE2, or the scalar fallback) the dispatcher picks.
+// The differential battery drives random lengths and lane counts with the
+// ragged tails that stress the per-lane padding scheduler.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha_multibuf.h"
+
+namespace flicker {
+namespace {
+
+// Restores the dispatcher after a test that forces the scalar path.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) : previous_(ShaMultiBufForceScalar(force)) {}
+  ~ScopedForceScalar() { ShaMultiBufForceScalar(previous_); }
+
+ private:
+  bool previous_;
+};
+
+std::vector<Bytes> ReferenceSha1(const std::vector<Bytes>& messages) {
+  std::vector<Bytes> digests;
+  for (const Bytes& m : messages) {
+    digests.push_back(Sha1::Digest(m));
+  }
+  return digests;
+}
+
+std::vector<Bytes> ReferenceSha256(const std::vector<Bytes>& messages) {
+  std::vector<Bytes> digests;
+  for (const Bytes& m : messages) {
+    digests.push_back(Sha256::Digest(m));
+  }
+  return digests;
+}
+
+TEST(ShaMultiBufTest, EngineReportsSaneConfiguration) {
+  EXPECT_TRUE(ShaMultiBufLanes() == 4 || ShaMultiBufLanes() == 8);
+  std::string engine = ShaMultiBufEngine();
+  EXPECT_TRUE(engine == "avx2" || engine == "sse2" || engine == "scalar");
+}
+
+TEST(ShaMultiBufTest, KnownAnswerVectors) {
+  // FIPS 180 example messages, one batch covering short/empty/two-block.
+  std::vector<Bytes> messages = {
+      BytesOf("abc"),
+      Bytes(),
+      BytesOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+  };
+  std::vector<Bytes> sha1 = Sha1DigestMany(messages);
+  EXPECT_EQ(ToHex(sha1[0]), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(ToHex(sha1[1]), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(ToHex(sha1[2]), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+
+  std::vector<Bytes> sha256 = Sha256DigestMany(messages);
+  EXPECT_EQ(ToHex(sha256[0]),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(ToHex(sha256[1]),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(ToHex(sha256[2]),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(ShaMultiBufTest, RaggedTailLengthsMatchScalar) {
+  // Every length that straddles a padding boundary: the 0x80 byte and the
+  // 64-bit length can land in the same block or spill into an extra one.
+  std::vector<Bytes> messages;
+  Drbg rng(BytesOf("ragged tails"));
+  for (size_t len : {0u, 1u, 54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 127u, 128u, 129u}) {
+    messages.push_back(rng.Generate(len));
+  }
+  EXPECT_EQ(Sha1DigestMany(messages), ReferenceSha1(messages));
+  EXPECT_EQ(Sha256DigestMany(messages), ReferenceSha256(messages));
+}
+
+TEST(ShaMultiBufTest, DifferentialRandomLengthsAndBatchSizes) {
+  Drbg rng(BytesOf("differential battery"));
+  for (int trial = 0; trial < 40; ++trial) {
+    // Batch sizes sweep through every lane-occupancy pattern: below one
+    // vector width, exactly one, partial second pass, several passes.
+    size_t count = 1 + (GetUint32(rng.Generate(4), 0) % 21);
+    std::vector<Bytes> messages;
+    for (size_t i = 0; i < count; ++i) {
+      size_t len = GetUint32(rng.Generate(4), 0) % 500;
+      messages.push_back(rng.Generate(len));
+    }
+    EXPECT_EQ(Sha1DigestMany(messages), ReferenceSha1(messages)) << "trial " << trial;
+    EXPECT_EQ(Sha256DigestMany(messages), ReferenceSha256(messages)) << "trial " << trial;
+  }
+}
+
+TEST(ShaMultiBufTest, ForcedScalarBitExactAgainstSimd) {
+  Drbg rng(BytesOf("scalar vs simd"));
+  std::vector<Bytes> messages;
+  for (size_t i = 0; i < 17; ++i) {
+    messages.push_back(rng.Generate(GetUint32(rng.Generate(4), 0) % 300));
+  }
+  std::vector<Bytes> simd_sha1 = Sha1DigestMany(messages);
+  std::vector<Bytes> simd_sha256 = Sha256DigestMany(messages);
+  {
+    ScopedForceScalar force(true);
+    EXPECT_EQ(Sha1DigestMany(messages), simd_sha1);
+    EXPECT_EQ(Sha256DigestMany(messages), simd_sha256);
+  }
+}
+
+TEST(ShaMultiBufTest, EmptyBatchAndLargeMessages) {
+  EXPECT_TRUE(Sha1DigestMany({}).empty());
+  EXPECT_TRUE(Sha256DigestMany({}).empty());
+
+  // Mixed batch where one lane runs 100x longer than its neighbours.
+  Drbg rng(BytesOf("uneven lanes"));
+  std::vector<Bytes> messages = {rng.Generate(64 * 1024), rng.Generate(3), rng.Generate(700),
+                                 rng.Generate(0), rng.Generate(65)};
+  EXPECT_EQ(Sha1DigestMany(messages), ReferenceSha1(messages));
+  EXPECT_EQ(Sha256DigestMany(messages), ReferenceSha256(messages));
+}
+
+}  // namespace
+}  // namespace flicker

@@ -105,6 +105,12 @@ class CrashMatrixTest : public ::testing::Test {
     (void)rig->nv->Seal(BytesOf("nv-2"), rig->release_pcr, rig->blob_auth);
     (void)rig->platform->ExecuteSession(rig->detector, rig->inputs);
     (void)rig->platform->tpm()->SaveState();
+    // A coalesced batch quote, so the matrix sweeps a power cut through the
+    // batch-flush boundary too.
+    (void)rig->platform->tqd()->SubmitBatched(BytesOf("batch-a"), PcrSelection({17}));
+    (void)rig->platform->tqd()->SubmitBatched(BytesOf("batch-b"), PcrSelection({17}));
+    std::vector<BatchQuoteResponse> slices;
+    (void)rig->platform->tqd()->FlushReadyBatches(&slices, /*force=*/true);
   }
 
   static void Reset(Rig* rig, ResetKind kind) {
@@ -162,10 +168,16 @@ class CrashMatrixTest : public ::testing::Test {
       EXPECT_EQ(rig->nv->Unseal(fresh.value(), rig->blob_auth).value(), BytesOf("nv-post"));
     }
 
-    // D. Attestation service resumed.
+    // D. Attestation service resumed, for single and batched challenges.
     Result<AttestationResponse> quote =
         rig->platform->tqd()->HandleChallenge(BytesOf("post-crash"), PcrSelection({17}));
     EXPECT_TRUE(quote.ok()) << quote.status().ToString();
+    EXPECT_TRUE(
+        rig->platform->tqd()->SubmitBatched(BytesOf("post-crash-batch"), PcrSelection({17})).ok());
+    std::vector<BatchQuoteResponse> slices;
+    Status batch = rig->platform->tqd()->FlushReadyBatches(&slices, /*force=*/true);
+    EXPECT_TRUE(batch.ok()) << batch.ToString();
+    EXPECT_EQ(slices.size(), 1u);
 
     return !::testing::Test::HasFatalFailure();
   }
@@ -186,13 +198,14 @@ TEST_F(CrashMatrixTest, WorkloadCoversTheCrashSurface) {
   std::vector<std::string> hits = RecordHits();
   std::set<std::string> distinct(hits.begin(), hits.end());
   // The acceptance floor is 15 instrumented points; the workload reaches the
-  // full census of 18.
+  // full census of 19.
   EXPECT_GE(distinct.size(), 15u) << "crash surface shrank";
   for (const char* point :
        {"skinit.enter", "skinit.measured", "skinit.pcr_extended", "slb.entry", "slb.pal_done",
         "slb.erased", "machine.exit_secure", "seal.staged", "seal.incremented", "seal.committed",
         "tpm.counter.journal", "tpm.counter.staged", "tpm.counter.commit", "tpm.nv_write.journal",
-        "tpm.nv_write.staged", "tpm.nv_write.commit", "tpm.nv_write.apply", "tpm.save_state"}) {
+        "tpm.nv_write.staged", "tpm.nv_write.commit", "tpm.nv_write.apply", "tpm.save_state",
+        "tqd.batch_flush"}) {
     EXPECT_TRUE(distinct.count(point)) << "workload never reached " << point;
   }
 }

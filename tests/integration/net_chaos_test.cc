@@ -10,8 +10,10 @@
 // run through the same adversary as a control: it must FAIL the matrix,
 // proving the campaign can actually catch accepted-but-wrong endpoints.
 
+#include <algorithm>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,8 +23,10 @@
 #include "src/apps/distributed.h"
 #include "src/apps/hello.h"
 #include "src/apps/ssh.h"
+#include "src/attest/verifier.h"
 #include "src/common/serde.h"
 #include "src/core/remote_attestation.h"
+#include "src/crypto/sha1.h"
 #include "src/net/session.h"
 
 namespace flicker {
@@ -315,6 +319,118 @@ TEST_F(NetChaosTest, MatrixHoldsInvariantAcross200PlusCells) {
   // outcomes appear, and the partition mix guarantees fail-closed cells.
   EXPECT_GT(tally.verified, tally.cells / 3);
   EXPECT_GT(tally.failed_closed, replay_cells);
+}
+
+TEST_F(NetChaosTest, BatchQuoteSlicesSurviveChaosAndForeignSlicesFailClosed) {
+  // Batch-quote workload: one TPM quote answered K challengers; each slice
+  // (quote + auth path) now crosses a hostile wire. The invariant sharpens:
+  // no challenger may EVER accept a quote slice for a nonce outside its own
+  // auth path, whatever the wire or an on-path adversary serves it.
+  const size_t kChallengers = 8;
+
+  // One Flicker session all challengers attest.
+  Bytes session_nonce = Sha1::Digest(BytesOf("chaos batch session"));
+  SlbCoreOptions options;
+  options.nonce = session_nonce;
+  Result<FlickerSessionResult> session =
+      platform_.ExecuteSession(hello_binary_, Bytes(), options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().ok());
+  SessionExpectation expectation;
+  expectation.binary = &hello_binary_;
+  expectation.outputs = session.value().outputs();
+  expectation.nonce = session_nonce;
+
+  // One coalesced batch, flushed once; the chaos lives in delivering slices.
+  std::vector<Bytes> nonces;
+  for (size_t i = 0; i < kChallengers; ++i) {
+    nonces.push_back(Sha1::Digest(BytesOf("chaos challenger " + std::to_string(i))));
+    ASSERT_TRUE(platform_.tqd()->SubmitBatched(nonces.back(), PcrSelection({17})).ok());
+  }
+  std::vector<BatchQuoteResponse> slices;
+  ASSERT_TRUE(platform_.tqd()->FlushReadyBatches(&slices, /*force=*/true).ok());
+  ASSERT_EQ(slices.size(), kChallengers);
+  std::map<Bytes, Bytes> slice_wire;  // nonce -> serialized slice.
+  for (const BatchQuoteResponse& slice : slices) {
+    slice_wire[slice.nonce] = SerializeBatchQuoteResponse(slice);
+  }
+
+  const std::vector<MixSpec> mixes = ChaosMixes();
+  MatrixTally tally;
+  for (size_t mix_index = 0; mix_index < mixes.size(); ++mix_index) {
+    const MixSpec& spec = mixes[mix_index];
+    const bool clean = IsCleanMix(spec);
+    for (int seed = 1; seed <= 10; ++seed) {
+      const uint64_t schedule_seed = static_cast<uint64_t>(seed) * 7000003ULL + mix_index;
+      const size_t me = static_cast<size_t>(seed) % kChallengers;
+      // Every third seed an on-path adversary hands this challenger a
+      // NEIGHBOUR's genuine slice instead of its own.
+      const bool adversary = (seed % 3 == 0);
+      SessionServer::Handler handler = [&](const Bytes& wire) -> Result<Bytes> {
+        const Bytes& key = adversary ? nonces[(me + 1) % kChallengers] : wire;
+        auto it = slice_wire.find(key);
+        if (it == slice_wire.end()) {
+          return NotFoundError("unknown challenge nonce");
+        }
+        return it->second;
+      };
+      auto classify = [&](const Bytes& reply) {
+        Result<BatchQuoteResponse> slice = DeserializeBatchQuoteResponse(reply);
+        if (!slice.ok()) {
+          return CellVerdict::kFailedClosed;  // Garbled slice: rejected.
+        }
+        Status verdict =
+            VerifyBatchQuote(expectation, slice.value(), cert_, ca_.public_key(), nonces[me]);
+        if (!verdict.ok()) {
+          return CellVerdict::kFailedClosed;
+        }
+        // Accepted: it must be THIS challenger's slice.
+        return slice.value().nonce == nonces[me] ? CellVerdict::kVerified
+                                                 : CellVerdict::kWrongAnswer;
+      };
+      CellVerdict verdict = RunCell(schedule_seed, spec, nonces[me], handler, classify);
+      tally.Count(verdict);
+      if (clean) {
+        EXPECT_EQ(verdict,
+                  adversary ? CellVerdict::kFailedClosed : CellVerdict::kVerified)
+            << "clean batch cell, seed " << seed;
+      }
+    }
+  }
+  std::cerr << "batch-quote chaos: " << tally.cells << " cells, " << tally.verified
+            << " verified, " << tally.failed_closed << " failed closed, " << tally.wrong
+            << " wrong\n";
+  EXPECT_EQ(tally.wrong, 0) << "a challenger accepted a slice outside its own path";
+  EXPECT_GT(tally.verified, 0);
+  EXPECT_GT(tally.failed_closed, 0);
+
+  // Byte-level corruption sweep on one genuine slice: no single-byte flip
+  // may yield an ACCEPTED slice answering a different nonce or carrying a
+  // different quote. Flips in untrusted bytes the hardened verifier ignores
+  // (e.g. the wire's claimed quote nonce, which is recomputed from the auth
+  // path) may still verify - they leave the accepted content unchanged.
+  const Bytes& wire = slice_wire[nonces[0]];
+  const BatchQuoteResponse& genuine =
+      *std::find_if(slices.begin(), slices.end(),
+                    [&](const BatchQuoteResponse& s) { return s.nonce == nonces[0]; });
+  for (size_t pos = 0; pos < wire.size(); ++pos) {
+    Bytes mutated = wire;
+    mutated[pos] ^= 0xff;
+    Result<BatchQuoteResponse> slice = DeserializeBatchQuoteResponse(mutated);
+    if (!slice.ok()) {
+      continue;
+    }
+    Status verdict =
+        VerifyBatchQuote(expectation, slice.value(), cert_, ca_.public_key(), nonces[0]);
+    if (!verdict.ok()) {
+      continue;
+    }
+    EXPECT_EQ(slice.value().nonce, nonces[0]) << "flip at byte " << pos;
+    EXPECT_EQ(slice.value().response.quote.signature, genuine.response.quote.signature)
+        << "flip at byte " << pos;
+    EXPECT_EQ(slice.value().response.quote.pcr_values, genuine.response.quote.pcr_values)
+        << "flip at byte " << pos;
+  }
 }
 
 TEST_F(NetChaosTest, ReplayVulnerableVerifierFailsTheMatrix) {

@@ -19,8 +19,14 @@
 #                        SSH trace exports diffed byte-for-byte, a
 #                        -DFLICKER_OBS=OFF build proving the instrumentation
 #                        compiles out, and a BENCH_obs.json refresh
+#   verify.sh --perf     additionally run the SIMD differential campaign: a
+#                        -DFLICKER_SIMD=OFF rebuild in ./build-noperf whose
+#                        hash/batch-quote suites must pass and whose paper
+#                        tables/figures (Table 1/2/4, Fig. 9) must be
+#                        byte-identical to the vectorized build's - speed is
+#                        the only thing SIMD may change
 #
-# Usage: verify.sh [--asan|--faults|--net|--obs] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net|--obs|--perf] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -28,6 +34,7 @@ asan=0
 faults=0
 net=0
 obs=0
+perf=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
@@ -39,6 +46,9 @@ elif [ "${1:-}" = "--net" ]; then
   shift
 elif [ "${1:-}" = "--obs" ]; then
   obs=1
+  shift
+elif [ "${1:-}" = "--perf" ]; then
+  perf=1
   shift
 fi
 build_dir=${1:-"$repo_root/build"}
@@ -140,6 +150,36 @@ if [ "$obs" = 1 ]; then
   fi
 
   "$build_dir/bench/micro_obs" --bench_json="$repo_root/BENCH_obs.json"
+fi
+
+if [ "$perf" = 1 ]; then
+  # SIMD differential campaign. The multi-buffer SHA engine's scalar fallback
+  # must be a drop-in replacement: the forced-scalar build re-runs the hash
+  # KAT/differential battery, the Merkle and batch-quote protocol suites, and
+  # every reproduced paper table/figure must come out byte-identical to the
+  # vectorized build's. Any digest divergence shows up as a test failure or
+  # an output diff here.
+  noperf_dir="$repo_root/build-noperf"
+  cmake -B "$noperf_dir" -S "$repo_root" -DFLICKER_SIMD=OFF
+  cmake --build "$noperf_dir" -j "$jobs" --target \
+    crypto_hash_test crypto_sha_multibuf_test crypto_merkle_test \
+    attest_batch_quote_test os_tqd_batch_test \
+    table1_rootkit table2_skinit table4_distributed fig9_ssh
+  ctest --test-dir "$noperf_dir" --output-on-failure -j "$jobs" -R \
+    '^(crypto_hash_test|crypto_sha_multibuf_test|crypto_merkle_test|attest_batch_quote_test|os_tqd_batch_test)$'
+
+  cmake --build "$build_dir" -j "$jobs" --target \
+    table1_rootkit table2_skinit table4_distributed fig9_ssh
+  for bin in table1_rootkit table2_skinit table4_distributed fig9_ssh; do
+    "$build_dir/bench/$bin" > "$build_dir/$bin.perf.out"
+    "$noperf_dir/bench/$bin" > "$noperf_dir/$bin.perf.out"
+    if ! cmp -s "$build_dir/$bin.perf.out" "$noperf_dir/$bin.perf.out"; then
+      echo "verify.sh: $bin output differs between SIMD and scalar builds" >&2
+      diff -u "$build_dir/$bin.perf.out" "$noperf_dir/$bin.perf.out" >&2 || true
+      exit 1
+    fi
+  done
+  echo "verify.sh: SIMD and scalar builds byte-identical on Table 1/2/4 + Fig. 9"
 fi
 
 echo "verify.sh: all checks passed"
