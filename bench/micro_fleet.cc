@@ -1,0 +1,143 @@
+// The fleet-scale simulation bench: a thousand full Flicker machines and a
+// verifier farm under one discrete-event executor, driven by a seeded
+// open-loop Poisson client. Reports sessions/sec, round-latency percentiles,
+// verifier utilization and the batch-size distribution as BENCH_fleet.json.
+//
+// Determinism is part of the contract: the same seed must produce a
+// byte-identical JSON file and executor order digest run after run -
+// verify.sh --fleet runs this twice and cmp(1)s the outputs.
+//
+//   micro_fleet                          flagship 1000-machine run, summary
+//                                        to stdout
+//   micro_fleet --bench_json=PATH        also write the JSON report to PATH
+//   micro_fleet --machines=N --rounds=N --verifiers=N --seed=N
+//                                        override the flagship shape
+//   micro_fleet --chaos                  arm the chaos campaign: lossy wires,
+//                                        a rack partition and two power cuts
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/sim/fleet.h"
+
+namespace flicker {
+namespace {
+
+sim::FleetConfig FlagshipConfig() {
+  sim::FleetConfig config;
+  config.seed = 1;
+  config.num_machines = 1000;
+  config.num_verifiers = 8;
+  config.rounds = 2000;
+  config.mean_interarrival_ms = 1.0;
+  config.batched_machines_bp = 5000;
+  config.full_session_bp = 250;
+  config.round_timeout_ms = 30000.0;
+  return config;
+}
+
+void ArmChaos(sim::FleetConfig* config) {
+  config->fault_mix.drop_bp = 300;
+  config->fault_mix.duplicate_bp = 200;
+  config->fault_mix.reorder_bp = 200;
+  config->fault_mix.corrupt_bp = 300;
+  config->fault_mix.delay_bp = 200;
+  config->fault_seed = config->seed ^ 0xC4405ULL;
+
+  sim::FleetPartition partition;
+  partition.start_ms = 1000.0;
+  partition.end_ms = 4000.0;
+  partition.first_machine = 0;
+  partition.last_machine = config->num_machines / 4 - 1;
+  config->partitions.push_back(partition);
+
+  for (int i = 0; i < 2; ++i) {
+    sim::FleetPowerCut cut;
+    cut.at_ms = 1500.0 + 1000.0 * i;
+    cut.machine = (config->num_machines / 2 + i) % config->num_machines;
+    config->power_cuts.push_back(cut);
+  }
+}
+
+int RunFleet(const sim::FleetConfig& config, const std::string& json_path) {
+  sim::Fleet fleet(config);
+  Status run = fleet.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "fleet run failed: %s\n", run.ToString().c_str());
+    return 1;
+  }
+  const sim::FleetStats& stats = fleet.stats();
+
+  std::printf("fleet: %d machines, %d verifiers, %d rounds, seed %llu\n", config.num_machines,
+              config.num_verifiers, config.rounds,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  outcome: %llu completed, %llu timed out, %llu failed, %llu rejected "
+              "(accepted_wrong=%llu)\n",
+              static_cast<unsigned long long>(stats.rounds_completed),
+              static_cast<unsigned long long>(stats.rounds_timed_out),
+              static_cast<unsigned long long>(stats.rounds_failed),
+              static_cast<unsigned long long>(stats.rounds_rejected + stats.tampered_rejected),
+              static_cast<unsigned long long>(stats.accepted_wrong));
+  std::printf("  throughput: %.3f sessions/sec over %.1f simulated s\n", stats.SessionsPerSec(),
+              stats.sim_duration_ms / 1000.0);
+  std::printf("  latency: p50 %.1f ms, p99 %.1f ms\n", stats.LatencyPercentileMs(0.50),
+              stats.LatencyPercentileMs(0.99));
+  std::printf("  verifiers: %.4f utilization; batch quotes: %llu\n", stats.VerifierUtilization(),
+              static_cast<unsigned long long>(stats.batch_quotes));
+  std::printf("  engine: %llu events, max heap %zu, order digest 0x%016llx\n",
+              static_cast<unsigned long long>(stats.events_processed), stats.max_heap,
+              static_cast<unsigned long long>(stats.order_digest));
+
+  if (stats.accepted_wrong != 0) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %llu tampered frames accepted\n",
+                 static_cast<unsigned long long>(stats.accepted_wrong));
+    return 2;
+  }
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = stats.ToJson(config);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flicker
+
+int main(int argc, char** argv) {
+  flicker::sim::FleetConfig config = flicker::FlagshipConfig();
+  std::string json_path;
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--bench_json=", 13) == 0) {
+      json_path = arg + 13;
+    } else if (std::strncmp(arg, "--machines=", 11) == 0) {
+      config.num_machines = std::atoi(arg + 11);
+    } else if (std::strncmp(arg, "--verifiers=", 12) == 0) {
+      config.num_verifiers = std::atoi(arg + 12);
+    } else if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      config.rounds = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      chaos = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 1;
+    }
+  }
+  if (chaos) {
+    flicker::ArmChaos(&config);
+  }
+  return flicker::RunFleet(config, json_path);
+}

@@ -10,7 +10,7 @@ FlickerPlatform::FlickerPlatform(const FlickerPlatformConfig& config)
       kernel_(&machine_, config.kernel),
       scheduler_(&machine_),
       module_(&machine_, &kernel_, &scheduler_),
-      tqd_(&machine_) {
+      tqd_(&machine_, config.tqd) {
   machine_.set_measurement_engine(&measurement_cache_);
 }
 
@@ -20,7 +20,7 @@ Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& bi
   FlickerSessionResult result;
   // Ids are assigned whether or not a tracer is installed, so a session's
   // identity is stable across traced and untraced runs of the same seed.
-  result.session_id = ++next_session_id_;
+  result.session_id = ++sessions_started_;
   obs::Count(obs::Ctr::kFlickerSessions);
   obs::ScopedSession session_scope(result.session_id);
   obs::ScopedSpan session_span("core", "flicker.session");

@@ -34,6 +34,7 @@ namespace flicker {
 struct FlickerPlatformConfig {
   MachineConfig machine;
   KernelConfig kernel;
+  TqdConfig tqd;
 };
 
 // Everything a completed session yields, including the timing breakdown the
@@ -68,11 +69,14 @@ class FlickerPlatform {
   Result<FlickerSessionResult> ExecuteSession(const PalBinary& binary, const Bytes& inputs,
                                               const SlbCoreOptions& options = SlbCoreOptions());
 
-  // Sessions executed so far; the next session gets sessions_started() + 1.
-  uint64_t sessions_started() const { return next_session_id_; }
+  // Count of sessions this platform has started (successful or not), which
+  // is also the id of the most recently started session: ids are 1-based
+  // and assigned in start order, so session k is the k-th ever started and
+  // the next one will get sessions_started() + 1.
+  uint64_t sessions_started() const { return sessions_started_; }
 
  private:
-  uint64_t next_session_id_ = 0;
+  uint64_t sessions_started_ = 0;
   Machine machine_;
   SlbMeasurementCache measurement_cache_;
   OsKernel kernel_;

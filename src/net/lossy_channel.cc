@@ -17,6 +17,13 @@ uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// The exact rounding SimClock::AdvanceMillis applies (µs grain widened to
+// ns), so a fault-free LossyChannel charges byte-identical latencies to the
+// Channel it replaces.
+uint64_t NsOfMs(double ms) {
+  return ms > 0 ? static_cast<uint64_t>(ms * 1000.0 + 0.5) * 1000 : 0;
+}
+
 }  // namespace
 
 const char* NetEndpointName(NetEndpoint endpoint) {
@@ -99,12 +106,15 @@ double LossyChannel::SampleOneWayMs() {
   return rtt / 2.0;
 }
 
-void LossyChannel::Enqueue(NetEndpoint dest, uint64_t seq, double arrival_ms, Bytes payload) {
+void LossyChannel::Enqueue(NetEndpoint dest, uint64_t seq, uint64_t arrival_ns, Bytes payload) {
   InFlight entry;
-  entry.arrival_us = static_cast<uint64_t>(arrival_ms * 1000.0 + 0.5);
+  entry.arrival_ns = arrival_ns;
   entry.seq = seq;
   entry.dest = dest;
   entry.payload = std::move(payload);
+  if (delivery_hook_) {
+    delivery_hook_(dest, seq, entry.arrival_ns);
+  }
   in_flight_.push_back(std::move(entry));
 }
 
@@ -123,11 +133,10 @@ void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
   const uint64_t seq = ++messages_sent_;
   const NetEndpoint dest =
       from == NetEndpoint::kClient ? NetEndpoint::kServer : NetEndpoint::kClient;
-  const double now_ms = clock_->NowMillis();
   const double one_way_ms = SampleOneWayMs();
   const NetFault fault = schedule_.Classify(seq);
   // Scheduled arrival on the wire; fault verdicts below may push it out.
-  double arrival_ms = now_ms + one_way_ms;
+  uint64_t arrival_ns = clock_->NowNanos() + NsOfMs(one_way_ms);
 
   NetTraceEntry trace;
   trace.seq = seq;
@@ -150,17 +159,16 @@ void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
       // bytes left the sender), keeping replays aligned across verdicts.
       break;
     case NetFault::kDuplicate: {
-      Enqueue(dest, seq, arrival_ms, datagram);
+      Enqueue(dest, seq, arrival_ns, datagram);
       // The duplicate trails by its own fresh latency (a retransmitting
       // middlebox), so both copies arrive and the receiver must dedup.
-      double dup_extra = SampleOneWayMs();
-      Enqueue(dest, seq, arrival_ms + dup_extra, datagram);
+      Enqueue(dest, seq, arrival_ns + NsOfMs(SampleOneWayMs()), datagram);
       break;
     }
     case NetFault::kReorder:
       // Held back long enough for a later message to overtake it.
-      arrival_ms += schedule_.mix().reorder_ms;
-      Enqueue(dest, seq, arrival_ms, datagram);
+      arrival_ns += NsOfMs(schedule_.mix().reorder_ms);
+      Enqueue(dest, seq, arrival_ns, datagram);
       break;
     case NetFault::kCorrupt: {
       Bytes garbled = datagram;
@@ -168,20 +176,20 @@ void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
         size_t pos = static_cast<size_t>(seq * 0x9E3779B97F4A7C15ULL % garbled.size());
         garbled[pos] ^= 0x5A;
       }
-      Enqueue(dest, seq, arrival_ms, std::move(garbled));
+      Enqueue(dest, seq, arrival_ns, std::move(garbled));
       break;
     }
     case NetFault::kDelay:
-      arrival_ms += schedule_.mix().delay_ms;
-      Enqueue(dest, seq, arrival_ms, datagram);
+      arrival_ns += NsOfMs(schedule_.mix().delay_ms);
+      Enqueue(dest, seq, arrival_ns, datagram);
       break;
     case NetFault::kNone:
-      Enqueue(dest, seq, arrival_ms, datagram);
+      Enqueue(dest, seq, arrival_ns, datagram);
       break;
   }
-  // Derive the traced arrival from the same rounded microsecond value the
-  // in-flight queue uses, so the ring and a later Receive() agree exactly.
-  trace.arrival_ns = static_cast<uint64_t>(arrival_ms * 1000.0 + 0.5) * 1000;
+  // The traced arrival is the same nanosecond the in-flight queue carries,
+  // so the ring and a later Receive() agree exactly.
+  trace.arrival_ns = arrival_ns;
   Record(dest, trace);
 }
 
@@ -191,8 +199,8 @@ int LossyChannel::EarliestFor(NetEndpoint at) const {
     if (in_flight_[i].dest != at) {
       continue;
     }
-    if (best < 0 || in_flight_[i].arrival_us < in_flight_[best].arrival_us ||
-        (in_flight_[i].arrival_us == in_flight_[best].arrival_us &&
+    if (best < 0 || in_flight_[i].arrival_ns < in_flight_[best].arrival_ns ||
+        (in_flight_[i].arrival_ns == in_flight_[best].arrival_ns &&
          in_flight_[i].seq < in_flight_[best].seq)) {
       best = static_cast<int>(i);
     }
@@ -205,7 +213,7 @@ bool LossyChannel::NextArrivalMs(NetEndpoint at, double* arrival_ms) const {
   if (index < 0) {
     return false;
   }
-  *arrival_ms = static_cast<double>(in_flight_[index].arrival_us) / 1000.0;
+  *arrival_ms = static_cast<double>(in_flight_[index].arrival_ns) / 1e6;
   return true;
 }
 
@@ -214,10 +222,7 @@ bool LossyChannel::Receive(NetEndpoint at, Bytes* out) {
   if (index < 0) {
     return false;
   }
-  const uint64_t arrival_us = in_flight_[index].arrival_us;
-  if (arrival_us > clock_->NowMicros()) {
-    clock_->AdvanceMicros(arrival_us - clock_->NowMicros());
-  }
+  clock_->AdvanceToNanos(in_flight_[index].arrival_ns);
   *out = std::move(in_flight_[index].payload);
   in_flight_.erase(in_flight_.begin() + index);
   ++messages_delivered_;
@@ -226,17 +231,30 @@ bool LossyChannel::Receive(NetEndpoint at, Bytes* out) {
 }
 
 bool LossyChannel::ReceiveUntil(NetEndpoint at, double deadline_ms, Bytes* out) {
-  const uint64_t deadline_us = static_cast<uint64_t>(deadline_ms * 1000.0 + 0.5);
+  const uint64_t deadline_ns = NsOfMs(deadline_ms);
   int index = EarliestFor(at);
-  if (index < 0 || in_flight_[index].arrival_us > deadline_us) {
+  if (index < 0 || in_flight_[index].arrival_ns > deadline_ns) {
     // Nothing arrives in time: burn the wait so timeout verdicts charge
     // honestly, and leave any late datagram in flight.
-    if (deadline_us > clock_->NowMicros()) {
-      clock_->AdvanceMicros(deadline_us - clock_->NowMicros());
-    }
+    clock_->AdvanceToNanos(deadline_ns);
     return false;
   }
   return Receive(at, out);
+}
+
+bool LossyChannel::ReceiveScheduled(NetEndpoint at, uint64_t seq, uint64_t arrival_ns, Bytes* out) {
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    const InFlight& entry = in_flight_[i];
+    if (entry.dest != at || entry.seq != seq || entry.arrival_ns != arrival_ns) {
+      continue;
+    }
+    *out = std::move(in_flight_[i].payload);
+    in_flight_.erase(in_flight_.begin() + static_cast<long>(i));
+    ++messages_delivered_;
+    obs::Count(obs::Ctr::kNetMessagesDelivered);
+    return true;
+  }
+  return false;
 }
 
 std::vector<NetTraceEntry> LossyChannel::TraceSnapshot(NetEndpoint at) const {

@@ -25,6 +25,7 @@
 #define FLICKER_SRC_NET_LOSSY_CHANNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -130,6 +131,23 @@ class LossyChannel {
   // Earliest pending arrival time for `at`; false when none in flight.
   bool NextArrivalMs(NetEndpoint at, double* arrival_ms) const;
 
+  // ---- Discrete-event mode ----
+  //
+  // Under the fleet executor deliveries are heap events, not synchronous
+  // waits. The hook fires once per datagram the wire actually carries (at
+  // enqueue time, i.e. inside Send); drops and partition verdicts enqueue
+  // nothing, so no hook fires and the sender's timeout is the only signal.
+  // The scheduler is expected to post an event at `arrival_ns` whose handler
+  // calls ReceiveScheduled with the same (dest, seq, arrival_ns) triple.
+  using DeliveryHook = std::function<void(NetEndpoint dest, uint64_t seq, uint64_t arrival_ns)>;
+  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+
+  // Delivers exactly the datagram a DeliveryHook invocation named. Unlike
+  // Receive it never advances the clock: the executor already owns time, and
+  // wire latency is not CPU time on either endpoint. False when the datagram
+  // is no longer in flight (already taken by a synchronous Receive).
+  bool ReceiveScheduled(NetEndpoint at, uint64_t seq, uint64_t arrival_ns, Bytes* out);
+
   SimClock* clock() const { return clock_; }
   const LatencyProfile& profile() const { return profile_; }
   uint64_t messages_sent() const { return messages_sent_; }
@@ -143,14 +161,14 @@ class LossyChannel {
 
  private:
   struct InFlight {
-    uint64_t arrival_us = 0;
+    uint64_t arrival_ns = 0;
     uint64_t seq = 0;      // Tie-break: FIFO among equal arrivals.
     NetEndpoint dest = NetEndpoint::kClient;
     Bytes payload;
   };
 
   double SampleOneWayMs();
-  void Enqueue(NetEndpoint dest, uint64_t seq, double arrival_ms, Bytes payload);
+  void Enqueue(NetEndpoint dest, uint64_t seq, uint64_t arrival_ns, Bytes payload);
   void Record(NetEndpoint dest, const NetTraceEntry& entry);
   // Index into in_flight_ of the earliest pending datagram for `at`, or -1.
   int EarliestFor(NetEndpoint at) const;
@@ -159,6 +177,7 @@ class LossyChannel {
   LatencyProfile profile_;
   Drbg jitter_;
   NetFaultSchedule schedule_;
+  DeliveryHook delivery_hook_;
 
   std::vector<InFlight> in_flight_;
   uint64_t messages_sent_ = 0;

@@ -69,6 +69,10 @@ constexpr MetricDef kCounterDefs[static_cast<size_t>(Ctr::kCount)] = {
     {"dma_blocked_total", "count", "DMA accesses refused by the Device Exclusion Vector"},
     {"power_cuts_total", "count", "Simulated power losses (RAM erased, TPM reset line fired)"},
     {"warm_resets_total", "count", "Simulated warm resets (RAM preserved, TPM reset line fired)"},
+    {"fleet_sessions_total", "count",
+     "Attestation rounds completed and verified by the fleet simulation's verifier farm"},
+    {"fleet_rounds_failed_total", "count",
+     "Fleet attestation rounds that failed verification, timed out, or died to a fault"},
 };
 
 constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
@@ -83,6 +87,12 @@ constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
      "Challenges coalesced into each flushed batch-quote window"},
     {"tqd_coalesce_wait_ms", "ms",
      "Simulated age of a batch window (oldest challenge) when its quote was issued"},
+    {"sim_event_heap_size", "events",
+     "Pending events on the SimExecutor heap, sampled at each dispatch"},
+    {"fleet_round_latency_ms", "ms",
+     "Simulated end-to-end fleet round latency (client arrival to verifier verdict)"},
+    {"fleet_verifier_busy_ms", "ms",
+     "Simulated time a verifier-farm worker spent verifying one fleet round"},
 };
 
 const char* TypeName(MetricType type) {

@@ -74,6 +74,8 @@ enum class Ctr : int {
   kDmaBlocked,
   kPowerCuts,
   kWarmResets,
+  kFleetSessions,
+  kFleetRoundsFailed,
   kCount
 };
 
@@ -85,6 +87,9 @@ enum class Hist : int {
   kSessionCallLatencyMs,
   kTqdBatchSize,
   kTqdCoalesceWaitMs,
+  kSimEventHeapSize,
+  kFleetRoundLatencyMs,
+  kFleetVerifierBusyMs,
   kCount
 };
 

@@ -78,6 +78,7 @@ uint64_t Tracer::BeginSpan(const char* category, std::string name) {
   SpanRecord span;
   span.id = spans_.size() + instants_.size() + 1;
   span.parent_id = stack_.empty() ? 0 : stack_.back();
+  span.pid = current_pid_;
   span.session_id = current_session_;
   span.start_ns = NowNs(clock_);
   span.end_ns = span.start_ns;
@@ -123,6 +124,7 @@ uint64_t Tracer::EmitComplete(const char* category, std::string name, uint64_t s
   SpanRecord span;
   span.id = spans_.size() + instants_.size() + 1;
   span.parent_id = stack_.empty() ? 0 : stack_.back();
+  span.pid = current_pid_;
   span.session_id = current_session_;
   span.start_ns = start_ns;
   span.end_ns = end_ns < start_ns ? start_ns : end_ns;
@@ -136,6 +138,7 @@ uint64_t Tracer::EmitComplete(const char* category, std::string name, uint64_t s
 void Tracer::Instant(const char* category, std::string name, std::vector<SpanArg> args) {
   InstantRecord instant;
   instant.ts_ns = NowNs(clock_);
+  instant.pid = current_pid_;
   instant.session_id = current_session_;
   instant.category = category;
   instant.name = std::move(name);
@@ -146,6 +149,12 @@ void Tracer::Instant(const char* category, std::string name, std::vector<SpanArg
 uint64_t Tracer::SetSession(uint64_t session_id) {
   uint64_t previous = current_session_;
   current_session_ = session_id;
+  return previous;
+}
+
+uint64_t Tracer::SetProcess(uint64_t pid) {
+  uint64_t previous = current_pid_;
+  current_pid_ = pid;
   return previous;
 }
 
@@ -185,7 +194,9 @@ std::string Tracer::ExportChromeTrace() const {
     first = false;
     if (row.span != nullptr) {
       const SpanRecord& span = *row.span;
-      out.append("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+      out.append("{\"ph\":\"X\",\"pid\":");
+      out.append(std::to_string(span.pid));
+      out.append(",\"tid\":");
       out.append(std::to_string(span.session_id));
       out.append(",\"ts\":");
       AppendMicros(&out, span.start_ns);
@@ -200,7 +211,9 @@ std::string Tracer::ExportChromeTrace() const {
       out.push_back('}');
     } else {
       const InstantRecord& instant = *row.instant;
-      out.append("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+      out.append("{\"ph\":\"i\",\"s\":\"t\",\"pid\":");
+      out.append(std::to_string(instant.pid));
+      out.append(",\"tid\":");
       out.append(std::to_string(instant.session_id));
       out.append(",\"ts\":");
       AppendMicros(&out, instant.ts_ns);

@@ -51,7 +51,9 @@ namespace obs {
 // The shared trace epoch: sim-clock nanoseconds since platform construction.
 // Every trace timestamp in the tree - tracer spans, the TpmTransport command
 // ring, the LossyChannel delivery rings - reports in this unit and epoch.
-inline uint64_t NowNs(const SimClock* clock) { return clock->NowMicros() * 1000; }
+// SimClock itself keeps nanoseconds, so this is the clock's native reading;
+// there is no longer a µs→ns upscale hiding sub-microsecond charges.
+inline uint64_t NowNs(const SimClock* clock) { return clock->NowNanos(); }
 
 struct SpanArg {
   std::string key;
@@ -61,6 +63,7 @@ struct SpanArg {
 struct SpanRecord {
   uint64_t id = 0;         // 1-based creation order.
   uint64_t parent_id = 0;  // 0 = root.
+  uint64_t pid = 1;        // Chrome "process": 1 standalone, machine id in a fleet.
   uint64_t session_id = 0; // Flicker session id; 0 = outside any session.
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;     // == start for zero-cost spans; set at EndSpan.
@@ -72,6 +75,7 @@ struct SpanRecord {
 
 struct InstantRecord {
   uint64_t ts_ns = 0;
+  uint64_t pid = 1;        // Chrome "process": 1 standalone, machine id in a fleet.
   uint64_t session_id = 0;
   const char* category = "";
   std::string name;
@@ -102,6 +106,15 @@ class Tracer {
   uint64_t SetSession(uint64_t session_id);
   uint64_t current_session() const { return current_session_; }
 
+  // ---- Fleet process annotation ----
+  //
+  // In a fleet simulation every machine maps to its own Chrome "pid" so one
+  // Perfetto load lays the whole fleet out as parallel process tracks.
+  // Standalone runs keep the historical pid 1. Like SetSession, returns the
+  // previous pid so scoped helpers restore correctly.
+  uint64_t SetProcess(uint64_t pid);
+  uint64_t current_process() const { return current_pid_; }
+
   const SimClock* clock() const { return clock_; }
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<InstantRecord>& instants() const { return instants_; }
@@ -119,6 +132,7 @@ class Tracer {
   std::vector<InstantRecord> instants_;
   std::vector<uint64_t> stack_;  // Open span ids, innermost last.
   uint64_t current_session_ = 0;
+  uint64_t current_pid_ = 1;
 };
 
 // ---- Global installation ----
@@ -142,6 +156,10 @@ class ScopedSpan {
 class ScopedSession {
  public:
   explicit ScopedSession(uint64_t) {}
+};
+class ScopedProcess {
+ public:
+  explicit ScopedProcess(uint64_t) {}
 };
 inline void Instant(const char*, const char*, std::vector<SpanArg> = {}) {}
 inline void EmitComplete(const char*, std::string, uint64_t, uint64_t) {}
@@ -204,6 +222,29 @@ class ScopedSession {
  private:
   Tracer* tracer_ = nullptr;
   uint64_t previous_ = 0;
+};
+
+// RAII fleet-machine (Chrome pid) annotation scope.
+class ScopedProcess {
+ public:
+  explicit ScopedProcess(uint64_t pid) {
+    Tracer* tracer = GlobalTracer();
+    if (tracer != nullptr) {
+      tracer_ = tracer;
+      previous_ = tracer->SetProcess(pid);
+    }
+  }
+  ScopedProcess(const ScopedProcess&) = delete;
+  ScopedProcess& operator=(const ScopedProcess&) = delete;
+  ~ScopedProcess() {
+    if (tracer_ != nullptr) {
+      tracer_->SetProcess(previous_);
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t previous_ = 1;
 };
 
 inline void Instant(const char* category, const char* name, std::vector<SpanArg> args = {}) {

@@ -27,6 +27,7 @@ void TpmQuoteDaemon::NoteTpmFailure() {
     breaker_opened_at_us_ = machine_->clock()->NowMicros();
     obs::Count(obs::Ctr::kTqdBreakerTrips);
     obs::Instant("tqd", "tqd.breaker_open");
+    ArmBreakerProbe();
   }
 }
 
@@ -119,17 +120,30 @@ Status TpmQuoteDaemon::SubmitBatched(const Bytes& nonce, const PcrSelection& sel
   if (machine_->in_secure_session()) {
     return FailedPreconditionError("OS suspended: quote daemon not running");
   }
-  for (PendingBatch& batch : batches_) {
-    if (batch.selection.mask() == selection.mask()) {
-      batch.nonces.push_back(nonce);
-      return Status::Ok();
+  size_t index = batches_.size();
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (batches_[i].selection.mask() == selection.mask()) {
+      index = i;
+      break;
     }
   }
-  PendingBatch batch;
-  batch.selection = selection;
-  batch.nonces.push_back(nonce);
-  batch.opened_at_us = machine_->clock()->NowMicros();
-  batches_.push_back(std::move(batch));
+  if (index == batches_.size()) {
+    PendingBatch batch;
+    batch.selection = selection;
+    batch.opened_at_us = machine_->clock()->NowMicros();
+    batches_.push_back(std::move(batch));
+  }
+  batches_[index].nonces.push_back(nonce);
+  if (timers_bound()) {
+    if (BatchIsReady(batches_[index])) {
+      // Full (or degenerate single-challenge) window: nothing to wait for.
+      CancelBatchTimer(&batches_[index]);
+      FlushToSink();
+    } else if (!batches_[index].timer_live) {
+      ArmBatchTimer(&batches_[index],
+                    static_cast<uint64_t>(config_.max_batch_wait_ms * 1e6 + 0.5));
+    }
+  }
   return Status::Ok();
 }
 
@@ -171,6 +185,9 @@ Status TpmQuoteDaemon::FlushOneBatch(PendingBatch&& batch,
   Result<AttestationResponse> quoted = QuoteWithRetry(tree.value().root(), batch.selection);
   if (!quoted.ok()) {
     batches_.push_back(std::move(batch));  // Keep the window; nothing is lost.
+    // Discrete-event mode: the kept window's timer was cancelled when it
+    // was selected for flushing; put it back on the retry cadence.
+    ArmBatchTimer(&batches_.back(), static_cast<uint64_t>(config_.max_batch_wait_ms * 1e6 + 0.5));
     return quoted.status();
   }
   for (size_t i = 0; i < batch.nonces.size(); ++i) {
@@ -200,6 +217,7 @@ Status TpmQuoteDaemon::FlushReadyBatches(std::vector<BatchQuoteResponse>* respon
   std::vector<PendingBatch> ready;
   for (size_t i = 0; i < batches_.size();) {
     if ((force && !batches_[i].nonces.empty()) || BatchIsReady(batches_[i])) {
+      CancelBatchTimer(&batches_[i]);
       ready.push_back(std::move(batches_[i]));
       batches_.erase(batches_.begin() + static_cast<long>(i));
     } else {
@@ -235,6 +253,112 @@ Status TpmQuoteDaemon::DrainQueued(std::vector<AttestationResponse>* responses) 
     responses->push_back(response.take());
   }
   return Status::Ok();
+}
+
+// ---- Discrete-event mode ----
+
+void TpmQuoteDaemon::BindTimers(TimerHost host,
+                                std::function<void(std::vector<BatchQuoteResponse>)> batch_sink,
+                                std::function<void(std::vector<AttestationResponse>)> drain_sink) {
+  timer_host_ = std::move(host);
+  batch_sink_ = std::move(batch_sink);
+  drain_sink_ = std::move(drain_sink);
+}
+
+void TpmQuoteDaemon::ArmBatchTimer(PendingBatch* batch, uint64_t delay_ns) {
+  if (!timers_bound()) {
+    return;
+  }
+  const uint64_t token = ++next_timer_token_;
+  batch->timer_token = token;
+  batch->timer_id = timer_host_.schedule(delay_ns, [this, token] { OnBatchTimer(token); });
+  batch->timer_live = true;
+}
+
+void TpmQuoteDaemon::CancelBatchTimer(PendingBatch* batch) {
+  if (batch->timer_live && timer_host_.cancel) {
+    timer_host_.cancel(batch->timer_id);
+  }
+  batch->timer_live = false;
+}
+
+void TpmQuoteDaemon::FlushToSink() {
+  std::vector<BatchQuoteResponse> responses;
+  // Failure verdicts are not lost: a window whose quote failed was re-queued
+  // with a fresh retry timer, and breaker/suspended verdicts leave windows
+  // (and their timers, minus the one that fired) intact.
+  Status st = FlushReadyBatches(&responses);
+  (void)st;
+  if (!responses.empty() && batch_sink_) {
+    batch_sink_(std::move(responses));
+  }
+}
+
+void TpmQuoteDaemon::OnBatchTimer(uint64_t token) {
+  for (PendingBatch& batch : batches_) {
+    if (batch.timer_token == token) {
+      batch.timer_live = false;  // This timer just fired; its id is spent.
+      break;
+    }
+  }
+  FlushToSink();
+  // A window that could not flush (OS suspended, breaker open) is still here
+  // with no live timer; keep it on the flush cadence rather than stranding
+  // its challenges until the next submit.
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (batches_[i].timer_token == token && !batches_[i].timer_live) {
+      ArmBatchTimer(&batches_[i], static_cast<uint64_t>(config_.max_batch_wait_ms * 1e6 + 0.5));
+      break;
+    }
+  }
+}
+
+void TpmQuoteDaemon::ArmBreakerProbe() {
+  if (!timers_bound() || breaker_probe_armed_) {
+    return;
+  }
+  breaker_probe_armed_ = true;
+  breaker_probe_id_ = timer_host_.schedule(
+      static_cast<uint64_t>(config_.breaker_cooldown_ms * 1e6 + 0.5), [this] { OnBreakerProbe(); });
+}
+
+void TpmQuoteDaemon::OnBreakerProbe() {
+  breaker_probe_armed_ = false;
+  if (!BreakerAllows()) {
+    // Still sick: BreakerAllows restarted the cooldown; probe again then.
+    ArmBreakerProbe();
+    return;
+  }
+  std::vector<AttestationResponse> drained;
+  Status st = DrainQueued(&drained);
+  (void)st;
+  if (!drained.empty() && drain_sink_) {
+    drain_sink_(std::move(drained));
+  }
+  if (!queued_.empty()) {
+    // The drain died partway (the breaker may have re-opened and armed its
+    // own probe via NoteTpmFailure); make sure someone retries.
+    ArmBreakerProbe();
+  }
+  if (BatchReady()) {
+    FlushToSink();
+  }
+}
+
+void TpmQuoteDaemon::OnPowerLoss() {
+  // The daemon is a userspace process: windows, queue and timers all lived
+  // in RAM. Challengers whose nonces die here simply time out and re-issue.
+  for (PendingBatch& batch : batches_) {
+    CancelBatchTimer(&batch);
+  }
+  batches_.clear();
+  queued_.clear();
+  if (breaker_probe_armed_ && timer_host_.cancel) {
+    timer_host_.cancel(breaker_probe_id_);
+  }
+  breaker_probe_armed_ = false;
+  breaker_open_ = false;
+  consecutive_tpm_failures_ = 0;
 }
 
 }  // namespace flicker

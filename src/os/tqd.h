@@ -19,6 +19,7 @@
 #ifndef FLICKER_SRC_OS_TQD_H_
 #define FLICKER_SRC_OS_TQD_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/common/backoff.h"
@@ -105,6 +106,34 @@ class TpmQuoteDaemon {
   // remaining ready windows have been attempted.
   Status FlushReadyBatches(std::vector<BatchQuoteResponse>* responses, bool force = false);
 
+  // ---- Discrete-event mode ----
+  //
+  // In the polled mode above, callers must keep asking BatchReady() /
+  // DrainQueued(); nothing happens between calls. Under the fleet executor
+  // the daemon instead owns its deadlines as real heap timers: opening a
+  // coalescing window arms a flush timer for max_batch_wait_ms (a window
+  // that fills first flushes inline and the timer is cancelled), and a
+  // breaker trip arms a cooldown probe that drains the queue once the TPM
+  // self-tests clean. Responses produced by timer-driven work go to the
+  // sinks, since there is no caller on the stack to return them to.
+  //
+  // The host's schedule() must measure delay from the daemon machine's
+  // local clock (ScheduleAfterLocal in fleet terms) and return an id its
+  // cancel() accepts; cancelling an already-fired id must be a no-op.
+  struct TimerHost {
+    std::function<uint64_t(uint64_t delay_ns, std::function<void()> fn)> schedule;
+    std::function<void(uint64_t id)> cancel;
+  };
+  void BindTimers(TimerHost host,
+                  std::function<void(std::vector<BatchQuoteResponse>)> batch_sink,
+                  std::function<void(std::vector<AttestationResponse>)> drain_sink);
+
+  // Power-domain hook: the daemon is an untrusted userspace process, so a
+  // power cut loses every open window and queued challenge (they lived in
+  // RAM) and silences its armed timers. Challengers time out and re-issue -
+  // exactly the paper's recovery story for lost challenges.
+  void OnPowerLoss();
+
   // Transient failures absorbed by retries since construction.
   uint64_t retries() const { return retries_; }
   bool breaker_open() const { return breaker_open_; }
@@ -124,6 +153,12 @@ class TpmQuoteDaemon {
     PcrSelection selection;
     std::vector<Bytes> nonces;
     uint64_t opened_at_us = 0;
+    // Discrete-event mode: the armed flush timer, if any. `timer_token` is
+    // the daemon's own label (host timer ids may be reused across hosts),
+    // `timer_id` what the host's cancel() wants.
+    uint64_t timer_token = 0;
+    uint64_t timer_id = 0;
+    bool timer_live = false;
   };
 
   Result<AttestationResponse> QuoteOnce(const Bytes& nonce, const PcrSelection& selection);
@@ -137,6 +172,16 @@ class TpmQuoteDaemon {
   // True when the breaker may pass traffic again (closed, or cooldown over
   // and the half-open GetTestResult probe came back clean).
   bool BreakerAllows();
+  // Discrete-event mode internals: arm one window's flush timer, handle it
+  // firing, and the breaker's cooldown probe.
+  bool timers_bound() const { return static_cast<bool>(timer_host_.schedule); }
+  void ArmBatchTimer(PendingBatch* batch, uint64_t delay_ns);
+  void CancelBatchTimer(PendingBatch* batch);
+  void OnBatchTimer(uint64_t token);
+  void ArmBreakerProbe();
+  void OnBreakerProbe();
+  // Flushes ready windows straight into the batch sink (timer/inline paths).
+  void FlushToSink();
 
   Machine* machine_;
   TqdConfig config_;
@@ -148,6 +193,14 @@ class TpmQuoteDaemon {
   uint64_t breaker_opened_at_us_ = 0;
   std::vector<QueuedChallenge> queued_;
   std::vector<PendingBatch> batches_;
+
+  // Discrete-event mode state (unbound = polled mode, zero overhead).
+  TimerHost timer_host_;
+  std::function<void(std::vector<BatchQuoteResponse>)> batch_sink_;
+  std::function<void(std::vector<AttestationResponse>)> drain_sink_;
+  uint64_t next_timer_token_ = 0;
+  bool breaker_probe_armed_ = false;
+  uint64_t breaker_probe_id_ = 0;
 };
 
 }  // namespace flicker

@@ -1,0 +1,538 @@
+#include "src/sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/apps/hello.h"
+#include "src/core/remote_attestation.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha1.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/tpm/pcr_bank.h"
+
+namespace flicker {
+namespace sim {
+
+namespace {
+
+// A fleet machine's memory image. The default 64 MB MachineConfig is
+// infeasible a thousand times over, so the kernel is relocated to a compact
+// layout just above the 64 KB SLB region at kSlbFixedBase (1 MB): text at
+// 1.125 MB, a one-module set, everything inside 1.5 MB.
+FlickerPlatformConfig FleetPlatformConfig(size_t tpm_key_bits) {
+  FlickerPlatformConfig config;
+  config.machine.memory_bytes = 0x180000;  // 1.5 MB.
+  config.machine.tpm.key_bits = tpm_key_bits;
+  // One shared manufacture seed: RSA key material is memoized per
+  // (seed, bits), so machine #2..#N skip keygen entirely. Identity still
+  // differs per machine via its own Privacy CA certificate label.
+  config.kernel.text_base = 0x120000;
+  config.kernel.text_size = 64 * 1024;
+  config.kernel.syscall_table_base = 0x134000;
+  config.kernel.syscall_table_size = 4096;
+  config.kernel.modules_base = 0x136000;
+  config.kernel.modules = {{"tpm_tis", 16 * 1024}};
+  return config;
+}
+
+std::string F3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+// ---- FleetStats ----
+
+double FleetStats::SessionsPerSec() const {
+  if (sim_duration_ms <= 0) {
+    return 0;
+  }
+  return static_cast<double>(rounds_completed) * 1000.0 / sim_duration_ms;
+}
+
+double FleetStats::LatencyPercentileMs(double p) const {
+  if (round_latencies_ms.empty()) {
+    return 0;
+  }
+  std::vector<double> sorted = round_latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t index = static_cast<size_t>(rank + 0.5);
+  if (index >= sorted.size()) {
+    index = sorted.size() - 1;
+  }
+  return sorted[index];
+}
+
+double FleetStats::VerifierUtilization() const {
+  if (sim_duration_ms <= 0 || num_verifiers <= 0) {
+    return 0;
+  }
+  return verifier_busy_ms / (sim_duration_ms * num_verifiers);
+}
+
+std::string FleetStats::ToJson(const FleetConfig& config) const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"fleet\": {\"machines\": " << config.num_machines
+     << ", \"verifiers\": " << config.num_verifiers << ", \"rounds\": " << config.rounds
+     << ", \"seed\": " << config.seed << ", \"batched_machines_bp\": " << config.batched_machines_bp
+     << ", \"mean_interarrival_ms\": " << F3(config.mean_interarrival_ms) << "},\n";
+  os << "  \"outcome\": {\"completed\": " << rounds_completed
+     << ", \"timed_out\": " << rounds_timed_out << ", \"failed\": " << rounds_failed
+     << ", \"rejected\": " << rounds_rejected << ", \"tampered_rejected\": " << tampered_rejected
+     << ", \"accepted_wrong\": " << accepted_wrong << ", \"verified\": " << responses_verified
+     << "},\n";
+  os << "  \"chaos\": {\"partition_drops\": " << partition_drops
+     << ", \"power_cuts\": " << power_cuts << ", \"machines_dead\": " << machines_dead << "},\n";
+  os << "  \"throughput\": {\"sim_duration_ms\": " << F3(sim_duration_ms)
+     << ", \"sessions_per_sec\": " << F3(SessionsPerSec()) << "},\n";
+  os << "  \"latency_ms\": {\"p50\": " << F3(LatencyPercentileMs(0.50))
+     << ", \"p90\": " << F3(LatencyPercentileMs(0.90))
+     << ", \"p99\": " << F3(LatencyPercentileMs(0.99))
+     << ", \"max\": " << F3(LatencyPercentileMs(1.0)) << "},\n";
+  char util[64];
+  std::snprintf(util, sizeof(util), "%.4f", VerifierUtilization());
+  os << "  \"verifier\": {\"busy_ms\": " << F3(verifier_busy_ms) << ", \"utilization\": " << util
+     << "},\n";
+  os << "  \"batch\": {\"quotes\": " << batch_quotes << ", \"sizes\": {";
+  bool first = true;
+  for (const auto& [size, count] : batch_sizes) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << "\"" << size << "\": " << count;
+  }
+  os << "}},\n";
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "0x%016llx", static_cast<unsigned long long>(order_digest));
+  os << "  \"engine\": {\"events\": " << events_processed << ", \"cancelled\": " << events_cancelled
+     << ", \"max_heap\": " << max_heap << ", \"order_digest\": \"" << digest << "\"}\n";
+  os << "}\n";
+  return os.str();
+}
+
+// ---- Fleet ----
+
+Fleet::Fleet(const FleetConfig& config) : config_(config), executor_(config.seed) {}
+
+Fleet::~Fleet() = default;
+
+Bytes Fleet::DeriveNonce(const std::string& label, uint64_t a, uint64_t b) const {
+  return Sha1::Digest(BytesOf(label + "-" + std::to_string(config_.seed) + "-" +
+                              std::to_string(a) + "-" + std::to_string(b)));
+}
+
+const Bytes& Fleet::machine_session_nonce(int machine) const {
+  return machines_[static_cast<size_t>(machine)]->session_nonce;
+}
+
+Status Fleet::BootstrapMachine(FleetMachine* machine) {
+  SlbCoreOptions options;
+  options.nonce = DeriveNonce("fleet-bootstrap", static_cast<uint64_t>(machine->id),
+                              machine->reboots);
+  Result<FlickerSessionResult> session =
+      machine->platform->ExecuteSession(*binary_, Bytes(), options);
+  if (!session.ok()) {
+    return session.status();
+  }
+  if (!session.value().ok()) {
+    return session.value().record.pal_status;
+  }
+  machine->session_nonce = options.nonce;
+  machine->session_outputs = session.value().outputs();
+  return Status::Ok();
+}
+
+bool Fleet::Partitioned(int machine, uint64_t at_ns) const {
+  // Partition windows are epoch-relative (nobody writes chaos plans in
+  // absolute bootstrap-skewed nanoseconds).
+  const double at_ms = (static_cast<double>(at_ns) - static_cast<double>(epoch_ns_)) / 1e6;
+  for (const FleetPartition& window : config_.partitions) {
+    if (machine >= window.first_machine && machine <= window.last_machine &&
+        at_ms >= window.start_ms && at_ms < window.end_ms) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SessionExpectation Fleet::SnapshotExpectation(const RoundState& round) const {
+  SessionExpectation expectation;
+  expectation.binary = binary_.get();
+  expectation.inputs = Bytes();
+  expectation.outputs = round.snapshot_outputs;
+  expectation.nonce = round.snapshot_nonce;
+  return expectation;
+}
+
+Status Fleet::Build() {
+  if (built_) {
+    return Status::Ok();
+  }
+  Result<PalBinary> built = BuildPal(std::make_shared<HelloWorldPal>());
+  if (!built.ok()) {
+    return built.status();
+  }
+  binary_ = std::make_unique<PalBinary>(built.take());
+
+  FlickerPlatformConfig platform_config = FleetPlatformConfig(config_.tpm_key_bits);
+  platform_config.tqd.max_batch_size = config_.max_batch_size;
+  platform_config.tqd.max_batch_wait_ms = config_.max_batch_wait_ms;
+
+  Drbg shape(config_.seed ^ 0xF1EE7ULL);
+  machines_.reserve(static_cast<size_t>(config_.num_machines));
+  for (int i = 0; i < config_.num_machines; ++i) {
+    auto machine = std::make_unique<FleetMachine>();
+    machine->id = i;
+    machine->platform = std::make_unique<FlickerPlatform>(platform_config);
+    machine->channel = std::make_unique<LossyChannel>(
+        &machine->wire_clock, config_.latency,
+        /*jitter_seed=*/config_.seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(i) + 1)));
+    if (config_.fault_mix.drop_bp != 0 || config_.fault_mix.duplicate_bp != 0 ||
+        config_.fault_mix.reorder_bp != 0 || config_.fault_mix.corrupt_bp != 0 ||
+        config_.fault_mix.delay_bp != 0) {
+      machine->channel->set_fault_schedule(
+          NetFaultSchedule(config_.fault_seed ^ static_cast<uint64_t>(i), config_.fault_mix));
+    }
+    machine->cert =
+        ca_.Certify(machine->platform->tpm()->aik_public(), "fleet-" + std::to_string(i));
+    machine->actor =
+        executor_.RegisterActor("machine-" + std::to_string(i), machine->platform->clock());
+    machine->batched = shape.UniformUint64(10000) < config_.batched_machines_bp;
+
+    const int id = i;
+    machine->channel->set_delivery_hook(
+        [this, id](NetEndpoint dest, uint64_t seq, uint64_t arrival_ns) {
+          OnWireEnqueued(id, dest, seq, arrival_ns);
+        });
+
+    // The quote daemon runs its flush windows and breaker probes as real
+    // executor timers instead of waiting to be polled.
+    const ActorId actor = machine->actor;
+    TpmQuoteDaemon::TimerHost host;
+    host.schedule = [this, actor](uint64_t delay_ns, std::function<void()> fn) {
+      return executor_.ScheduleAfterLocal(actor, delay_ns, std::move(fn)).seq;
+    };
+    host.cancel = [this](uint64_t event_seq) { executor_.Cancel(EventId{event_seq}); };
+    machine->platform->tqd()->BindTimers(
+        std::move(host),
+        [this, id](std::vector<BatchQuoteResponse> slices) {
+          SendBatchSlices(id, std::move(slices));
+        },
+        /*drain_sink=*/nullptr);
+
+    FLICKER_RETURN_IF_ERROR(BootstrapMachine(machine.get()));
+    machines_.push_back(std::move(machine));
+  }
+
+  verifiers_.resize(static_cast<size_t>(config_.num_verifiers));
+  for (int v = 0; v < config_.num_verifiers; ++v) {
+    verifiers_[static_cast<size_t>(v)].actor = executor_.RegisterActor(
+        "verifier-" + std::to_string(v), &verifiers_[static_cast<size_t>(v)].clock);
+  }
+
+  // The client starts injecting once the whole fleet is up: machine clocks
+  // already sit at their bootstrap completion, so rounds injected from the
+  // executor's zero would time out before any machine could even start.
+  epoch_ns_ = 0;
+  for (const auto& machine : machines_) {
+    epoch_ns_ = std::max(epoch_ns_, machine->platform->clock()->NowNanos());
+  }
+
+  // The open-loop client: seeded Poisson arrivals, uniform target machine.
+  Drbg arrivals(config_.seed ^ 0xA2217A1ULL);
+  double t_ms = 0;
+  rounds_.resize(static_cast<size_t>(config_.rounds));
+  for (int r = 0; r < config_.rounds; ++r) {
+    const double u = (static_cast<double>(arrivals.UniformUint64(1ULL << 30)) + 1.0) /
+                     (static_cast<double>(1ULL << 30) + 1.0);
+    t_ms += -config_.mean_interarrival_ms * std::log(u);
+    RoundState& round = rounds_[static_cast<size_t>(r)];
+    round.machine = static_cast<int>(
+        arrivals.UniformUint64(static_cast<uint64_t>(config_.num_machines)));
+    round.full_session = arrivals.UniformUint64(10000) < config_.full_session_bp;
+    round.nonce = DeriveNonce("fleet-round", static_cast<uint64_t>(r), 0);
+    round.arrival_ns = epoch_ns_ + static_cast<uint64_t>(t_ms * 1e6 + 0.5);
+    nonce_to_round_[round.nonce] = static_cast<size_t>(r);
+    const size_t round_index = static_cast<size_t>(r);
+    executor_.ScheduleAt(machines_[static_cast<size_t>(round.machine)]->actor, round.arrival_ns,
+                         [this, round_index] { OnArrival(round_index); });
+  }
+  stats_.rounds_injected = static_cast<uint64_t>(config_.rounds);
+
+  for (const FleetPowerCut& cut : config_.power_cuts) {
+    if (cut.machine < 0 || cut.machine >= config_.num_machines) {
+      return InvalidArgumentError("power cut targets machine outside the fleet");
+    }
+    const int id = cut.machine;
+    executor_.ScheduleAt(machines_[static_cast<size_t>(id)]->actor,
+                         epoch_ns_ + static_cast<uint64_t>(cut.at_ms * 1e6 + 0.5),
+                         [this, id] { OnPowerCut(id); });
+  }
+
+  built_ = true;
+  return Status::Ok();
+}
+
+Status Fleet::Run() {
+  FLICKER_RETURN_IF_ERROR(Build());
+  executor_.Run();
+  // Duration measured from the injection epoch: bootstrap time is a fixed
+  // setup cost, not part of the steady-state throughput being reported.
+  stats_.sim_duration_ms =
+      static_cast<double>(executor_.NowNs() - std::min(executor_.NowNs(), epoch_ns_)) / 1e6;
+  stats_.num_verifiers = config_.num_verifiers;
+  stats_.verifier_busy_ms = 0;
+  for (const FarmVerifier& verifier : verifiers_) {
+    stats_.verifier_busy_ms += verifier.busy_ms;
+  }
+  stats_.events_processed = executor_.events_processed();
+  stats_.events_cancelled = executor_.events_cancelled();
+  stats_.max_heap = executor_.max_heap_size();
+  stats_.order_digest = executor_.OrderDigest();
+  return Status::Ok();
+}
+
+void Fleet::FailRound(size_t round_index) {
+  RoundState& round = rounds_[round_index];
+  if (round.resolved) {
+    return;
+  }
+  round.resolved = true;
+  if (round.timeout.valid()) {
+    executor_.Cancel(round.timeout);
+  }
+  ++stats_.rounds_failed;
+  obs::Count(obs::Ctr::kFleetRoundsFailed);
+}
+
+void Fleet::OnArrival(size_t round_index) {
+  RoundState& round = rounds_[round_index];
+  FleetMachine& machine = *machines_[static_cast<size_t>(round.machine)];
+  obs::ScopedProcess process_scope(executor_.actor_pid(machine.actor));
+  if (machine.dead) {
+    FailRound(round_index);
+    return;
+  }
+  round.timeout = executor_.ScheduleAt(
+      machine.actor, round.arrival_ns + static_cast<uint64_t>(config_.round_timeout_ms * 1e6 + 0.5),
+      [this, round_index] { OnTimeout(round_index); });
+
+  if (round.full_session) {
+    SlbCoreOptions options;
+    options.nonce = DeriveNonce("fleet-session", static_cast<uint64_t>(round_index),
+                                machine.reboots);
+    Result<FlickerSessionResult> session =
+        machine.platform->ExecuteSession(*binary_, Bytes(), options);
+    if (!session.ok() || !session.value().ok()) {
+      FailRound(round_index);
+      return;
+    }
+    machine.session_nonce = options.nonce;
+    machine.session_outputs = session.value().outputs();
+  }
+
+  if (machine.batched) {
+    Status submitted =
+        machine.platform->tqd()->SubmitBatched(round.nonce, PcrSelection({kSkinitPcr}));
+    if (!submitted.ok()) {
+      FailRound(round_index);
+    }
+    // The window's flush timer (or an inline full-window flush inside
+    // SubmitBatched) carries the round from here.
+    return;
+  }
+
+  Result<AttestationResponse> response =
+      machine.platform->tqd()->HandleChallenge(round.nonce, PcrSelection({kSkinitPcr}));
+  if (!response.ok()) {
+    FailRound(round_index);
+    return;
+  }
+  round.is_batch = false;
+  round.snapshot_nonce = machine.session_nonce;
+  round.snapshot_outputs = machine.session_outputs;
+  SendWire(&machine, round_index, /*to_farm=*/true,
+           SerializeAttestationResponse(response.value()),
+           machine.platform->clock()->NowNanos());
+}
+
+void Fleet::SendBatchSlices(int machine_id, std::vector<BatchQuoteResponse> slices) {
+  FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
+  ++stats_.batch_quotes;
+  ++stats_.batch_sizes[slices.size()];
+  for (BatchQuoteResponse& slice : slices) {
+    auto it = nonce_to_round_.find(slice.nonce);
+    if (it == nonce_to_round_.end()) {
+      continue;
+    }
+    RoundState& round = rounds_[it->second];
+    if (round.resolved) {
+      continue;  // Timed out while the window coalesced.
+    }
+    round.is_batch = true;
+    round.snapshot_nonce = machine.session_nonce;
+    round.snapshot_outputs = machine.session_outputs;
+    SendWire(&machine, it->second, /*to_farm=*/true, SerializeBatchQuoteResponse(slice),
+             machine.platform->clock()->NowNanos());
+  }
+}
+
+void Fleet::SendWire(FleetMachine* machine, size_t round_index, bool to_farm, Bytes wire,
+                     uint64_t sender_now_ns) {
+  // The wire's own clock is stamped to the sender's instant so arrival times
+  // are sender-relative whichever side transmits.
+  machine->wire_clock.AdvanceToNanos(sender_now_ns);
+  const uint64_t seq = machine->channel->messages_sent() + 1;
+  PendingWire pending;
+  pending.round = round_index;
+  pending.to_farm = to_farm;
+  pending.sent = wire;
+  machine->pending[seq] = std::move(pending);
+  machine->channel->Send(to_farm ? NetEndpoint::kClient : NetEndpoint::kServer, wire);
+}
+
+void Fleet::OnWireEnqueued(int machine_id, NetEndpoint dest, uint64_t seq, uint64_t arrival_ns) {
+  FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
+  if (machine.pending.find(seq) == machine.pending.end()) {
+    return;
+  }
+  if (Partitioned(machine_id, machine.wire_clock.NowNanos())) {
+    ++stats_.partition_drops;
+    return;  // The rack is cut: the frame rots in flight, the round times out.
+  }
+  if (dest == NetEndpoint::kServer) {
+    const int verifier_index =
+        static_cast<int>(next_verifier_++ % static_cast<uint64_t>(config_.num_verifiers));
+    executor_.ScheduleAt(verifiers_[static_cast<size_t>(verifier_index)].actor, arrival_ns,
+                         [this, machine_id, seq, arrival_ns, verifier_index] {
+                           OnFarmDelivery(machine_id, seq, arrival_ns, verifier_index);
+                         });
+  } else {
+    executor_.ScheduleAt(machine.actor, arrival_ns, [this, machine_id, seq, arrival_ns] {
+      OnResponseDelivery(machine_id, seq, arrival_ns);
+    });
+  }
+}
+
+void Fleet::OnFarmDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns, int verifier_index) {
+  FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
+  FarmVerifier& verifier = verifiers_[static_cast<size_t>(verifier_index)];
+  obs::ScopedProcess process_scope(executor_.actor_pid(verifier.actor));
+  Bytes wire;
+  if (!machine.channel->ReceiveScheduled(NetEndpoint::kServer, seq, arrival_ns, &wire)) {
+    return;
+  }
+  auto pending_it = machine.pending.find(seq);
+  if (pending_it == machine.pending.end()) {
+    return;
+  }
+  const PendingWire& pending = pending_it->second;
+  const RoundState& round = rounds_[pending.round];
+
+  verifier.clock.AdvanceMillis(config_.verify_cost_ms);
+  verifier.busy_ms += config_.verify_cost_ms;
+  ++verifier.verified;
+  ++stats_.responses_verified;
+  obs::ObserveMs(obs::Hist::kFleetVerifierBusyMs, config_.verify_cost_ms);
+
+  const bool tampered = wire != pending.sent;
+  const SessionExpectation expectation = SnapshotExpectation(round);
+  Status verdict = Status::Ok();
+  if (round.is_batch) {
+    Result<BatchQuoteResponse> parsed = DeserializeBatchQuoteResponse(wire);
+    verdict = parsed.ok() ? VerifyBatchQuote(expectation, parsed.value(), machine.cert,
+                                             ca_.public_key(), round.nonce)
+                          : parsed.status();
+  } else {
+    Result<AttestationResponse> parsed = DeserializeAttestationResponse(wire);
+    verdict = parsed.ok() ? VerifyAttestation(expectation, parsed.value(), machine.cert,
+                                              ca_.public_key(), round.nonce)
+                          : parsed.status();
+  }
+
+  if (verdict.ok()) {
+    if (tampered) {
+      // A tampered frame passed the full verification chain: the invariant
+      // the whole stack exists to uphold just broke. Record it loudly.
+      ++stats_.accepted_wrong;
+      return;
+    }
+    // Ack back across the same wire, timed from the verifier's instant.
+    SendWire(&machine, pending.round, /*to_farm=*/false, round.nonce, verifier.clock.NowNanos());
+  } else if (tampered) {
+    ++stats_.tampered_rejected;
+  } else {
+    ++stats_.rounds_rejected;
+  }
+}
+
+void Fleet::OnResponseDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns) {
+  FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
+  obs::ScopedProcess process_scope(executor_.actor_pid(machine.actor));
+  Bytes wire;
+  if (!machine.channel->ReceiveScheduled(NetEndpoint::kClient, seq, arrival_ns, &wire)) {
+    return;
+  }
+  auto pending_it = machine.pending.find(seq);
+  if (pending_it == machine.pending.end()) {
+    return;
+  }
+  RoundState& round = rounds_[pending_it->second.round];
+  if (round.resolved) {
+    return;  // A duplicated ack, or the round already timed out.
+  }
+  round.resolved = true;
+  if (round.timeout.valid()) {
+    executor_.Cancel(round.timeout);
+  }
+  const double latency_ms = static_cast<double>(arrival_ns - round.arrival_ns) / 1e6;
+  ++stats_.rounds_completed;
+  stats_.round_latencies_ms.push_back(latency_ms);
+  obs::Count(obs::Ctr::kFleetSessions);
+  obs::ObserveMs(obs::Hist::kFleetRoundLatencyMs, latency_ms);
+}
+
+void Fleet::OnTimeout(size_t round_index) {
+  RoundState& round = rounds_[round_index];
+  if (round.resolved) {
+    return;
+  }
+  round.resolved = true;
+  ++stats_.rounds_timed_out;
+  obs::Count(obs::Ctr::kFleetRoundsFailed);
+}
+
+void Fleet::OnPowerCut(int machine_id) {
+  FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
+  obs::ScopedProcess process_scope(executor_.actor_pid(machine.actor));
+  ++stats_.power_cuts;
+  machine.platform->machine()->PowerCut();
+  // The daemon's RAM - open batch windows, queued challenges, timers - is
+  // gone; the rounds parked there will time out and that is the contract.
+  machine.platform->tqd()->OnPowerLoss();
+  ++machine.reboots;
+  Result<TpmStartupReport> startup = machine.platform->tpm()->Startup(TpmStartupType::kClear);
+  if (!startup.ok()) {
+    machine.dead = true;
+    ++stats_.machines_dead;
+    return;
+  }
+  // Reboot: a fresh bootstrap session re-establishes the PCR 17 expectation
+  // under which this machine's future quotes verify.
+  Status rebooted = BootstrapMachine(&machine);
+  if (!rebooted.ok()) {
+    machine.dead = true;
+    ++stats_.machines_dead;
+  }
+}
+
+}  // namespace sim
+}  // namespace flicker

@@ -1,0 +1,234 @@
+// The fleet harness: N Flicker machines and an M-verifier farm under one
+// discrete-event executor.
+//
+// Every machine is a full FlickerPlatform (its own TPM, kernel, quote
+// daemon) shrunk to a ~1.5 MB memory image so a thousand of them fit in a
+// process. A seeded open-loop client injects attestation rounds (Poisson
+// arrivals, uniform target machine); the targeted machine answers through
+// either the direct HandleChallenge path or the tqd's Merkle batch window
+// (timer-driven under the executor), ships the response across its own
+// LossyChannel wire, and a farm verifier runs the full cryptographic
+// VerifyAttestation / VerifyBatchQuote chain before acking back across the
+// same wire. Round latency is arrival-to-ack at the machine; a round whose
+// frames are dropped, partitioned or lost to a power cut times out.
+//
+// Chaos is first-class: partition windows cut a contiguous rack of machines
+// off the farm for a simulated interval, and power-cut plans yank the cord
+// on a machine mid-run (RAM and open batch windows lost, TPM reset; the
+// machine reboots, re-runs its bootstrap session and rejoins). Invariant
+// tracked throughout: a verifier must never accept a frame the wire
+// tampered with (`accepted_wrong` stays zero, chaos or not).
+//
+// Determinism: same seed => byte-identical BENCH JSON and executor order
+// digest; different seeds explore different interleavings via the event
+// heap's seeded tiebreak.
+
+#ifndef FLICKER_SRC_SIM_FLEET_H_
+#define FLICKER_SRC_SIM_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attest/privacy_ca.h"
+#include "src/attest/verifier.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/core/flicker_platform.h"
+#include "src/net/lossy_channel.h"
+#include "src/sim/executor.h"
+#include "src/slb/slb_layout.h"
+
+namespace flicker {
+namespace sim {
+
+// A contiguous rack of machines cut off from the farm: frames either way
+// during [start_ms, end_ms) - measured from the injection epoch, i.e. the
+// instant the bootstrapped fleet starts taking rounds - are dropped.
+struct FleetPartition {
+  double start_ms = 0;
+  double end_ms = 0;
+  int first_machine = 0;
+  int last_machine = -1;  // Inclusive.
+};
+
+// The cord pulled on one machine at an instant (from the injection epoch).
+struct FleetPowerCut {
+  double at_ms = 0;
+  int machine = 0;
+};
+
+struct FleetConfig {
+  uint64_t seed = 1;
+  int num_machines = 16;
+  int num_verifiers = 2;
+  int rounds = 128;
+  // Open-loop Poisson client: mean gap between round injections.
+  double mean_interarrival_ms = 2.0;
+  // Share of machines (basis points) answering via the tqd batch window
+  // instead of one quote per challenge.
+  uint32_t batched_machines_bp = 5000;
+  // Share of rounds (basis points) that run a fresh full Flicker session
+  // before quoting, refreshing the machine's PCR 17 expectation.
+  uint32_t full_session_bp = 0;
+  // One TPM quote alone costs ~973 ms (Table 2), and concurrent rounds to
+  // the same machine queue behind it, so timeouts live on the multi-second
+  // scale.
+  double round_timeout_ms = 5000.0;
+  // Modeled verifier CPU cost per response checked.
+  double verify_cost_ms = 0.5;
+  // 512-bit keys keep a thousand TPMs affordable; the key material is
+  // memoized across machines (one manufacture seed), certs are per-machine.
+  size_t tpm_key_bits = 512;
+  size_t max_batch_size = 8;
+  double max_batch_wait_ms = 10.0;
+  LatencyProfile latency;
+  // Per-wire fault plan (seeded per machine off fault_seed); all-zero mix =
+  // clean wires.
+  NetFaultMix fault_mix;
+  uint64_t fault_seed = 0;
+  std::vector<FleetPartition> partitions;
+  std::vector<FleetPowerCut> power_cuts;
+};
+
+struct FleetStats {
+  // Round outcomes. completed + timed_out + failed == rounds injected.
+  uint64_t rounds_injected = 0;
+  uint64_t rounds_completed = 0;
+  uint64_t rounds_timed_out = 0;
+  uint64_t rounds_failed = 0;  // Died at the machine (dead machine, quote error).
+  // Verifier-side verdicts (a rejected round still times out at the client).
+  uint64_t rounds_rejected = 0;         // Clean frame failed verification.
+  uint64_t tampered_rejected = 0;       // Corrupted frame correctly refused.
+  uint64_t accepted_wrong = 0;          // INVARIANT: must stay zero.
+  uint64_t responses_verified = 0;
+  // Chaos accounting.
+  uint64_t partition_drops = 0;
+  uint64_t power_cuts = 0;
+  uint64_t machines_dead = 0;
+  // Batch shape: flushed window size -> count.
+  std::map<size_t, uint64_t> batch_sizes;
+  uint64_t batch_quotes = 0;
+  // Time and engine.
+  std::vector<double> round_latencies_ms;  // Completed rounds, completion order.
+  double sim_duration_ms = 0;
+  double verifier_busy_ms = 0;
+  int num_verifiers = 0;
+  uint64_t events_processed = 0;
+  uint64_t events_cancelled = 0;
+  size_t max_heap = 0;
+  uint64_t order_digest = 0;
+
+  double SessionsPerSec() const;
+  // p in [0,1]; nearest-rank over completed-round latencies, 0 when none.
+  double LatencyPercentileMs(double p) const;
+  double VerifierUtilization() const;
+  // The BENCH_fleet.json payload: stable key order, fixed precision, so two
+  // same-seed runs compare byte-identical with cmp(1).
+  std::string ToJson(const FleetConfig& config) const;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+  ~Fleet();
+
+  // Builds machines, certs and wires, runs every machine's bootstrap
+  // session, and schedules the arrival/chaos plan onto the heap.
+  Status Build();
+  // Drains the heap; every injected round resolves (complete or timeout).
+  Status Run();
+
+  const FleetStats& stats() const { return stats_; }
+  SimExecutor* executor() { return &executor_; }
+  // The injection epoch: the latest machine-local bootstrap completion, the
+  // zero point for arrivals, partitions and power cuts.
+  uint64_t epoch_ns() const { return epoch_ns_; }
+  // The machine's current PCR 17 expectation inputs (bootstrap or latest
+  // refresh); exposed for tests.
+  const Bytes& machine_session_nonce(int machine) const;
+
+ private:
+  struct PendingWire {
+    size_t round = 0;
+    bool to_farm = false;
+    Bytes sent;  // Ground truth for tamper detection at the verifier.
+  };
+
+  struct FleetMachine {
+    int id = 0;
+    std::unique_ptr<FlickerPlatform> platform;
+    SimClock wire_clock;  // The wire's own timeline; stamped per send.
+    std::unique_ptr<LossyChannel> channel;
+    AikCertificate cert;
+    ActorId actor = kNoActor;
+    bool batched = false;
+    bool dead = false;
+    uint64_t reboots = 0;
+    // Expectation snapshot inputs for the machine's current PCR 17 chain.
+    Bytes session_nonce;
+    Bytes session_outputs;
+    std::map<uint64_t, PendingWire> pending;  // Channel seq -> wire record.
+  };
+
+  struct FarmVerifier {
+    SimClock clock;
+    ActorId actor = kNoActor;
+    double busy_ms = 0;
+    uint64_t verified = 0;
+  };
+
+  struct RoundState {
+    int machine = 0;
+    Bytes nonce;
+    uint64_t arrival_ns = 0;
+    EventId timeout;
+    bool resolved = false;
+    bool full_session = false;
+    bool is_batch = false;
+    // Expectation snapshot captured when the quote was produced, so a
+    // machine refreshing its session mid-flight cannot invalidate earlier
+    // genuine quotes.
+    Bytes snapshot_nonce;
+    Bytes snapshot_outputs;
+  };
+
+  Bytes DeriveNonce(const std::string& label, uint64_t a, uint64_t b) const;
+  Status BootstrapMachine(FleetMachine* machine);
+  bool Partitioned(int machine, uint64_t at_ns) const;
+  SessionExpectation SnapshotExpectation(const RoundState& round) const;
+
+  // Event handlers.
+  void OnArrival(size_t round_index);
+  void OnWireEnqueued(int machine_id, NetEndpoint dest, uint64_t seq, uint64_t arrival_ns);
+  void OnFarmDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns, int verifier_index);
+  void OnResponseDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns);
+  void OnTimeout(size_t round_index);
+  void OnPowerCut(int machine_id);
+
+  // Stamps the wire at the sender's instant and ships one frame.
+  void SendWire(FleetMachine* machine, size_t round_index, bool to_farm, Bytes wire,
+                uint64_t sender_now_ns);
+  void SendBatchSlices(int machine_id, std::vector<BatchQuoteResponse> slices);
+  void FailRound(size_t round_index);
+
+  FleetConfig config_;
+  SimExecutor executor_;
+  PrivacyCa ca_;
+  std::unique_ptr<PalBinary> binary_;
+  std::vector<std::unique_ptr<FleetMachine>> machines_;
+  std::vector<FarmVerifier> verifiers_;
+  std::vector<RoundState> rounds_;
+  std::map<Bytes, size_t> nonce_to_round_;
+  uint64_t next_verifier_ = 0;  // Round-robin farm dispatch.
+  uint64_t epoch_ns_ = 0;
+  FleetStats stats_;
+  bool built_ = false;
+};
+
+}  // namespace sim
+}  // namespace flicker
+
+#endif  // FLICKER_SRC_SIM_FLEET_H_

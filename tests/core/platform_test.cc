@@ -92,6 +92,35 @@ TEST(PlatformTest, HelloWorldEndToEnd) {
   EXPECT_EQ(platform.machine()->cpu(1)->state, CpuState::kRunning);
 }
 
+TEST(PlatformTest, SessionsStartedCountsEveryStartAndNamesTheLatestId) {
+  // Pins the accessor's contract: sessions_started() is the count of
+  // sessions ever started - successful or not - and, because ids are
+  // 1-based and assigned in start order, also the id of the latest one.
+  FlickerPlatform platform;
+  EXPECT_EQ(platform.sessions_started(), 0u);
+
+  Result<PalBinary> binary = BuildPal(std::make_shared<HelloWorldPal>());
+  ASSERT_TRUE(binary.ok());
+  Result<FlickerSessionResult> first = platform.ExecuteSession(binary.value(), Bytes());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().session_id, 1u);
+  EXPECT_EQ(platform.sessions_started(), 1u);
+
+  // A session that starts but fails inside the PAL still counts.
+  Result<PalBinary> failing = BuildPal(std::make_shared<FailingPal>());
+  ASSERT_TRUE(failing.ok());
+  Result<FlickerSessionResult> failed = platform.ExecuteSession(failing.value(), Bytes());
+  ASSERT_TRUE(failed.ok());
+  EXPECT_FALSE(failed.value().ok());
+  EXPECT_EQ(failed.value().session_id, 2u);
+  EXPECT_EQ(platform.sessions_started(), 2u);
+
+  Result<FlickerSessionResult> third = platform.ExecuteSession(binary.value(), Bytes());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().session_id, platform.sessions_started());
+  EXPECT_EQ(platform.sessions_started(), 3u);
+}
+
 TEST(PlatformTest, EchoRoundTrip) {
   FlickerPlatform platform;
   Result<PalBinary> binary = BuildPal(std::make_shared<EchoPal>());

@@ -25,8 +25,15 @@
 #                        tables/figures (Table 1/2/4, Fig. 9) must be
 #                        byte-identical to the vectorized build's - speed is
 #                        the only thing SIMD may change
+#   verify.sh --fleet    additionally run the fleet simulation campaign:
+#                        fleet-labeled suites under ASan+UBSan, a
+#                        1000-machine sanitizer smoke run, a same-seed
+#                        double run of the flagship bench whose JSON must be
+#                        byte-identical (refreshing BENCH_fleet.json), and a
+#                        multi-seed 64-machine chaos sweep in which
+#                        accepted_wrong must stay zero
 #
-# Usage: verify.sh [--asan|--faults|--net|--obs|--perf] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -35,6 +42,7 @@ faults=0
 net=0
 obs=0
 perf=0
+fleet=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
@@ -49,6 +57,9 @@ elif [ "${1:-}" = "--obs" ]; then
   shift
 elif [ "${1:-}" = "--perf" ]; then
   perf=1
+  shift
+elif [ "${1:-}" = "--fleet" ]; then
+  fleet=1
   shift
 fi
 build_dir=${1:-"$repo_root/build"}
@@ -73,12 +84,34 @@ fi
 # DESIGN.md must keep its numbered sections; a refactor that silently drops
 # the observability/robustness design record fails here.
 for heading in \
-  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.'; do
+  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.'; do
   if ! grep -q "^$heading" "$repo_root/DESIGN.md"; then
     echo "verify.sh: DESIGN.md is missing section heading '$heading'" >&2
     exit 1
   fi
 done
+
+# ---- Time-discipline gate (always on) ----
+#
+# Only the discrete-event engine (src/sim/) and the hardware-model charge
+# sites listed in tools/time_discipline.allow may advance a SimClock
+# directly. Anything else that wants time to pass must post an event.
+allow_regex="$build_dir/time_discipline.regex"
+sed -e 's/#.*//' -e 's/[[:space:]]*$//' -e '/^$/d' -e 's/\./\\./g' \
+    -e 's#^#^#' -e 's#$#:#' \
+    "$repo_root/tools/time_discipline.allow" > "$allow_regex"
+time_violations=$(grep -rnE 'Advance(Nanos|Micros|Millis|ToNanos)[[:space:]]*\(' \
+    "$repo_root/src" --include='*.cc' --include='*.h' \
+  | sed "s#^$repo_root/##" \
+  | grep -v '^src/sim/' \
+  | grep -vEf "$allow_regex" || true)
+if [ -n "$time_violations" ]; then
+  echo "verify.sh: direct SimClock advancement outside src/sim/ and the allowlist:" >&2
+  echo "$time_violations" >&2
+  echo "  schedule an event on the executor instead, or (for a genuine" >&2
+  echo "  hardware cost model) add the file to tools/time_discipline.allow" >&2
+  exit 1
+fi
 
 if [ "$asan" = 1 ]; then
   asan_dir="$repo_root/build-asan"
@@ -180,6 +213,39 @@ if [ "$perf" = 1 ]; then
     fi
   done
   echo "verify.sh: SIMD and scalar builds byte-identical on Table 1/2/4 + Fig. 9"
+fi
+
+if [ "$fleet" = 1 ]; then
+  # Fleet simulation campaign. The engine and fleet suites run under
+  # ASan+UBSan (the event heap and actor lifetimes must be memory-clean),
+  # including a 1000-machine smoke run; then the release build's flagship
+  # bench runs twice with the same seed and the JSON reports must be
+  # byte-identical; finally a multi-seed 64-machine chaos sweep must keep
+  # accepted_wrong at zero (micro_fleet exits 2 on a violation).
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    sim_event_queue_test sim_executor_test sim_tqd_timer_test \
+    sim_fleet_test sim_fleet_determinism_test sim_fleet_chaos_test micro_fleet
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L fleet
+  "$asan_dir/bench/micro_fleet" --machines=1000 --rounds=200 --verifiers=8
+
+  cmake --build "$build_dir" -j "$jobs" --target micro_fleet
+  "$build_dir/bench/micro_fleet" --bench_json="$build_dir/fleet_a.json" > /dev/null
+  "$build_dir/bench/micro_fleet" --bench_json="$build_dir/fleet_b.json" > /dev/null
+  if ! cmp -s "$build_dir/fleet_a.json" "$build_dir/fleet_b.json"; then
+    echo "verify.sh: same-seed fleet runs differ (the simulation is nondeterministic)" >&2
+    diff -u "$build_dir/fleet_a.json" "$build_dir/fleet_b.json" >&2 || true
+    exit 1
+  fi
+  echo "verify.sh: same-seed 1000-machine fleet runs byte-identical"
+  cp "$build_dir/fleet_a.json" "$repo_root/BENCH_fleet.json"
+
+  for seed in 1 2 3; do
+    "$build_dir/bench/micro_fleet" --chaos --machines=64 --rounds=256 \
+      --verifiers=4 --seed="$seed" > /dev/null
+  done
+  echo "verify.sh: 64-machine chaos sweep clean (accepted_wrong == 0 across seeds)"
 fi
 
 echo "verify.sh: all checks passed"
