@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,14 @@ class FaultScheduler {
 
   uint64_t hit_count() const { return hit_count_; }
 
+  // The process-wide crash-point census (every CRASH_POINT site that has
+  // executed, fault injection armed or not), one name per line with a '*'
+  // marker and hit count for the sites this scheduler observed. Failing-test
+  // fixtures print it alongside TpmTransport::DumpTrace; the verify.sh
+  // crash-point coverage gate consumes the same census via
+  // WriteCrashPointCensus().
+  void DumpCrashPoints(std::ostream& os) const;
+
  private:
   CrashPlan plan_;
   bool armed_ = false;
@@ -93,6 +102,20 @@ class FaultScheduler {
 // The process-global scheduler CRASH_POINT consults; null when no harness
 // has installed one.
 FaultScheduler* ActiveFaultScheduler();
+
+// Registers one CRASH_POINT site in the process-wide census the first time
+// it executes. Called through a function-local static in the macro, so the
+// steady-state cost stays a guard check. Always returns true.
+bool RegisterCrashPointSite(const char* name);
+
+// Sorted names of every crash-point site executed so far in this process.
+std::vector<std::string> ExecutedCrashPointNames();
+
+// Writes the census (one name per line, sorted) to
+// "$FLICKER_CRASH_POINTS_OUT.<tag>.txt" for the verify.sh coverage gate.
+// A no-op returning true when the environment variable is unset (plain
+// developer runs produce no files); false only on an I/O error.
+bool WriteCrashPointCensus(const char* tag);
 
 // Installs `scheduler` as the active one for the current scope. Nestable;
 // the previous scheduler is restored on destruction.
@@ -115,6 +138,9 @@ class FaultInjectionScope {
 // FaultInjectionScope is active.
 #define CRASH_POINT(name)                                                  \
   do {                                                                     \
+    static const bool _flicker_cp_registered =                             \
+        ::flicker::RegisterCrashPointSite(name);                           \
+    (void)_flicker_cp_registered;                                          \
     ::flicker::FaultScheduler* _flicker_fs = ::flicker::ActiveFaultScheduler(); \
     if (_flicker_fs != nullptr) {                                          \
       _flicker_fs->OnCrashPoint(name);                                     \

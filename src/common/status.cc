@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kTpmFailed:
       return "tpm failed";
+    case StatusCode::kRollbackDetected:
+      return "rollback detected";
   }
   return "unknown";
 }
@@ -71,6 +73,9 @@ Status InternalError(std::string message) {
 }
 Status TpmFailedError(std::string message) {
   return Status(StatusCode::kTpmFailed, std::move(message));
+}
+Status RollbackDetectedError(std::string message) {
+  return Status(StatusCode::kRollbackDetected, std::move(message));
 }
 
 }  // namespace flicker

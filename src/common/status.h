@@ -29,6 +29,7 @@ enum class StatusCode {
   kUnavailable,        // transient transport failure; retry may succeed
   kInternal,           // simulator invariant broke (bug)
   kTpmFailed,          // TPM in failure mode; only Startup/GetTestResult work
+  kRollbackDetected,   // persistent state older than the hardware counter says it must be
 };
 
 // Human-readable name for a code ("kIntegrityFailure" -> "integrity failure").
@@ -107,6 +108,7 @@ Status ResourceExhaustedError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 Status TpmFailedError(std::string message);
+Status RollbackDetectedError(std::string message);
 
 #define FLICKER_RETURN_IF_ERROR(expr)       \
   do {                                      \

@@ -213,21 +213,28 @@ Result<RecoveryClass> CrashConsistentSealedStore::Recover() {
   }
   const uint64_t staged_version = staged_->version;
   if (staged_version == live.value() + 1) {
-    // Crash before the increment: the seal never committed.
+    // Crash before the increment: the seal never committed. A second crash
+    // here leaves the staged orphan in place; the next Recover() reclassifies
+    // it identically, so discarding is idempotent.
+    CRASH_POINT("seal.recover.discard");
     staged_.reset();
     obs::Count(obs::Ctr::kSealRecoverDiscardedStaged);
     return RecoveryClass::kDiscardedStaged;
   }
   if (staged_version == live.value()) {
     // Increment landed, publish didn't: the staged snapshot is the only
-    // blob the counter will accept - roll it forward.
+    // blob the counter will accept - roll it forward. The promote is written
+    // committed-first so a crash between the two writes leaves both slots
+    // holding the same version and the next Recover() re-promotes.
     committed_ = staged_;
+    CRASH_POINT("seal.recover.promote");
     staged_.reset();
     obs::Count(obs::Ctr::kSealRecoverRolledForward);
     return RecoveryClass::kRolledForward;
   }
   if (staged_version < live.value()) {
     // Orphan from an older crash; the committed blob is newer.
+    CRASH_POINT("seal.recover.discard");
     staged_.reset();
     obs::Count(obs::Ctr::kSealRecoverDiscardedStaged);
     return RecoveryClass::kDiscardedStaged;

@@ -156,12 +156,24 @@ class CrashConsistentSealedStore {
   bool has_staged() const { return staged_.has_value(); }
   uint64_t committed_version() const { return committed_ ? committed_->version : 0; }
 
- private:
   struct Snapshot {
     SealedBlob blob;
     uint64_t version = 0;
   };
+  // Both "disk" slots as the untrusted OS sees them. Rollback-attack tests
+  // copy the image before a later Seal and hand the stale copy back with
+  // RestoreDiskForTest; Recover()/UnsealLatest() must then detect it.
+  struct DiskImageForTest {
+    std::optional<Snapshot> staged;
+    std::optional<Snapshot> committed;
+  };
+  DiskImageForTest CaptureDiskForTest() const { return {staged_, committed_}; }
+  void RestoreDiskForTest(DiskImageForTest image) {
+    staged_ = std::move(image.staged);
+    committed_ = std::move(image.committed);
+  }
 
+ private:
   TpmClient* tpm_;
   uint32_t counter_id_;
   Bytes counter_auth_;

@@ -73,6 +73,19 @@ constexpr MetricDef kCounterDefs[static_cast<size_t>(Ctr::kCount)] = {
      "Attestation rounds completed and verified by the fleet simulation's verifier farm"},
     {"fleet_rounds_failed_total", "count",
      "Fleet attestation rounds that failed verification, timed out, or died to a fault"},
+    {"vtpm_quotes_total", "count",
+     "Hardware quotes issued on behalf of virtual TPM tenants by the multiplexer"},
+    {"vtpm_extends_total", "count", "Virtual PCR extend operations applied across all tenants"},
+    {"vtpm_snapshots_total", "count",
+     "Per-tenant vTPM state snapshots sealed through the crash-consistent store"},
+    {"vtpm_rollbacks_detected_total", "count",
+     "Stale vTPM snapshots rejected by the NV monotonic counter binding (fail closed)"},
+    {"vtpm_quarantines_total", "count",
+     "Tenants quarantined by the multiplexer's per-tenant circuit breaker"},
+    {"vtpm_shed_total", "count",
+     "Tenant requests shed with kUnavailable (quarantine, full queue, or deadline)"},
+    {"vtpm_recoveries_total", "count",
+     "Per-tenant vTPM stores recovered after a power cut (any recovery class)"},
 };
 
 constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
@@ -93,6 +106,10 @@ constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
      "Simulated end-to-end fleet round latency (client arrival to verifier verdict)"},
     {"fleet_verifier_busy_ms", "ms",
      "Simulated time a verifier-farm worker spent verifying one fleet round"},
+    {"vtpm_queue_age_ms", "ms",
+     "Simulated age of a tenant request when the multiplexer dispatched (or shed) it"},
+    {"vtpm_round_latency_ms", "ms",
+     "Simulated end-to-end vTPM quote latency (tenant enqueue to completion callback)"},
 };
 
 const char* TypeName(MetricType type) {

@@ -76,6 +76,13 @@ enum class Ctr : int {
   kWarmResets,
   kFleetSessions,
   kFleetRoundsFailed,
+  kVtpmQuotes,
+  kVtpmExtends,
+  kVtpmSnapshots,
+  kVtpmRollbacksDetected,
+  kVtpmQuarantines,
+  kVtpmShed,
+  kVtpmRecoveries,
   kCount
 };
 
@@ -90,6 +97,8 @@ enum class Hist : int {
   kSimEventHeapSize,
   kFleetRoundLatencyMs,
   kFleetVerifierBusyMs,
+  kVtpmQueueAgeMs,
+  kVtpmRoundLatencyMs,
   kCount
 };
 

@@ -59,16 +59,19 @@ bool TpmQuoteDaemon::BreakerAllows() {
 // verdicts feed the circuit breaker (the caller reacts to breaker_open_);
 // other errors surface immediately.
 Result<AttestationResponse> TpmQuoteDaemon::QuoteWithRetry(const Bytes& nonce,
-                                                           const PcrSelection& selection) {
+                                                           const PcrSelection& selection,
+                                                           double deadline_ms_override) {
+  const double deadline_ms =
+      deadline_ms_override < 0 ? config_.retry_deadline_ms : deadline_ms_override;
   const uint64_t challenge_start_us = machine_->clock()->NowMicros();
   BackoffSchedule backoff(config_.backoff);
   Status last_failure = UnavailableError("quote never attempted");
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      if (config_.retry_deadline_ms > 0) {
+      if (deadline_ms > 0) {
         double elapsed_ms =
             static_cast<double>(machine_->clock()->NowMicros() - challenge_start_us) / 1000.0;
-        if (elapsed_ms + backoff.PeekDelayMs() > config_.retry_deadline_ms) {
+        if (elapsed_ms + backoff.PeekDelayMs() > deadline_ms) {
           return Status(StatusCode::kUnavailable,
                         "quote retry deadline exceeded: " + last_failure.message());
         }
@@ -96,7 +99,8 @@ Result<AttestationResponse> TpmQuoteDaemon::QuoteWithRetry(const Bytes& nonce,
 }
 
 Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
-                                                            const PcrSelection& selection) {
+                                                            const PcrSelection& selection,
+                                                            double deadline_ms_override) {
   obs::ScopedSpan quote_span("tqd", "tqd.quote");
   if (machine_->in_secure_session()) {
     return FailedPreconditionError("OS suspended: quote daemon not running");
@@ -107,7 +111,7 @@ Result<AttestationResponse> TpmQuoteDaemon::HandleChallenge(const Bytes& nonce,
     return TpmFailedError("TPM circuit breaker open; challenge queued");
   }
 
-  Result<AttestationResponse> response = QuoteWithRetry(nonce, selection);
+  Result<AttestationResponse> response = QuoteWithRetry(nonce, selection, deadline_ms_override);
   if (!response.ok() && response.status().code() == StatusCode::kTpmFailed && breaker_open_) {
     queued_.push_back(QueuedChallenge{nonce, selection});
     obs::Count(obs::Ctr::kTqdChallengesQueued);

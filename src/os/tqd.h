@@ -81,7 +81,11 @@ class TpmQuoteDaemon {
   // Fails while a Flicker session holds the platform (the OS, and hence the
   // daemon, is suspended). With the breaker open the challenge is queued and
   // kTpmFailed returned; DrainQueued() serves it once the TPM recovers.
-  Result<AttestationResponse> HandleChallenge(const Bytes& nonce, const PcrSelection& selection);
+  // `deadline_ms_override` < 0 uses config.retry_deadline_ms; otherwise it
+  // replaces the watchdog budget for this one challenge (0 = unlimited) -
+  // the vTPM multiplexer charges each tenant its own deadline this way.
+  Result<AttestationResponse> HandleChallenge(const Bytes& nonce, const PcrSelection& selection,
+                                              double deadline_ms_override = -1.0);
 
   // Re-attempts every queued challenge (oldest first). Responses for the
   // ones that now succeed are appended to `responses`; the rest stay queued.
@@ -165,7 +169,8 @@ class TpmQuoteDaemon {
   // The shared bounded-retry/backoff/deadline loop around QuoteOnce. On
   // kTpmFailed the breaker has already been fed; the caller decides whether
   // to queue or keep the work.
-  Result<AttestationResponse> QuoteWithRetry(const Bytes& nonce, const PcrSelection& selection);
+  Result<AttestationResponse> QuoteWithRetry(const Bytes& nonce, const PcrSelection& selection,
+                                             double deadline_ms_override = -1.0);
   bool BatchIsReady(const PendingBatch& batch) const;
   Status FlushOneBatch(PendingBatch&& batch, std::vector<BatchQuoteResponse>* responses);
   void NoteTpmFailure();

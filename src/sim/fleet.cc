@@ -76,6 +76,19 @@ double FleetStats::VerifierUtilization() const {
   return verifier_busy_ms / (sim_duration_ms * num_verifiers);
 }
 
+double JainFairnessIndex(const std::vector<double>& allocations) {
+  double sum = 0;
+  double sum_sq = 0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq == 0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
 std::string FleetStats::ToJson(const FleetConfig& config) const {
   std::ostringstream os;
   os << "{\n";

@@ -133,7 +133,7 @@ StatusCode StatusCodeFromReturnCode(uint32_t return_code) {
     return StatusCode::kOk;
   }
   uint32_t raw = return_code - kVendorErrorBase;
-  if (raw >= 1 && raw <= static_cast<uint32_t>(StatusCode::kTpmFailed)) {
+  if (raw >= 1 && raw <= static_cast<uint32_t>(StatusCode::kRollbackDetected)) {
     return static_cast<StatusCode>(raw);
   }
   return StatusCode::kInternal;

@@ -89,6 +89,10 @@ void Tpm::ReplayJournal(TpmStartupReport* report) {
   if (!journal_.has_value()) {
     return;
   }
+  // Replay itself is a durability boundary: a second power cut striking here
+  // leaves the journal record in place, and the next Startup replays it to
+  // the same state (discard and roll-forward are both idempotent).
+  CRASH_POINT("tpm.journal.replay");
   const JournalEntry& entry = *journal_;
   if (entry.crc != JournalCrc(entry) || !entry.committed) {
     // Torn record (checksum mismatch) or crash before the commit mark: the

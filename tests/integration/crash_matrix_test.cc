@@ -240,6 +240,7 @@ TEST_F(CrashMatrixTest, EveryCrashPointTimesEveryResetKindRecovers) {
       if (!ok || ::testing::Test::HasFailure()) {
         std::cerr << "crash matrix cell failed: crash at hit " << i << " ('" << point << "') + "
                   << ResetKindName(kind) << "\n";
+        scheduler->DumpCrashPoints(std::cerr);
         rig->platform->machine()->tpm_transport()->DumpTrace(std::cerr);
         FAIL() << "invariant violated at '" << point << "' x " << ResetKindName(kind);
       }
@@ -304,6 +305,15 @@ TEST_F(CrashMatrixTest, BrokenCommitOrderingIsCaughtByTheMatrix) {
   EXPECT_GT(violations, 0)
       << "the matrix failed to catch the commit-before-increment protocol bug";
 }
+
+// Writes this binary's crash-point census for the verify.sh coverage gate
+// (no-op unless FLICKER_CRASH_POINTS_OUT is set).
+class CensusEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override { ASSERT_TRUE(WriteCrashPointCensus("integration_crash_matrix_test")); }
+};
+::testing::Environment* const census_env =
+    ::testing::AddGlobalTestEnvironment(new CensusEnvironment);
 
 }  // namespace
 }  // namespace flicker

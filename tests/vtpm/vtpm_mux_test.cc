@@ -1,0 +1,257 @@
+// VtpmMultiplexer isolation properties, directly (the campaign test proves
+// them end-to-end under load): round-robin fairness, the per-tenant circuit
+// breaker on repeated faults, flood quarantine on sustained queue overflow,
+// queue-age shedding, and the bound-nonce construction a verifier recomputes.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/attest/verifier.h"
+#include "src/core/flicker_platform.h"
+#include "src/crypto/rsa.h"
+#include "src/crypto/sha1.h"
+#include "src/vtpm/vtpm_mux.h"
+
+namespace flicker {
+namespace vtpm {
+namespace {
+
+class VtpmMuxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    platform_ = std::make_unique<FlickerPlatform>();
+    Bytes owner_secret = Sha1::Digest(BytesOf("owner"));
+    ASSERT_TRUE(platform_->tpm()->TakeOwnership(owner_secret).ok());
+
+    VtpmManagerConfig config;
+    config.max_resident = 8;
+    config.owner_secret = owner_secret;
+    config.blob_auth = Sha1::Digest(BytesOf("blob"));
+    config.release_pcr17 = platform_->tpm()->PcrRead(kSkinitPcr).value();
+    manager_ = std::make_unique<VtpmManager>(platform_->machine(), config);
+  }
+
+  void MakeMux(VtpmMuxConfig config = VtpmMuxConfig()) {
+    mux_ = std::make_unique<VtpmMultiplexer>(manager_.get(), platform_->tqd(), config);
+    mux_->set_sink([this](const VtpmQuoteCompletion& completion) {
+      completions_.push_back(completion);
+    });
+  }
+
+  Bytes Auth(const std::string& tenant) { return Sha1::Digest(BytesOf("auth-" + tenant)); }
+
+  void AddTenant(const std::string& tenant) {
+    ASSERT_TRUE(manager_->CreateTenant(tenant, Auth(tenant)).ok());
+  }
+
+  Bytes Nonce(int i) { return Sha1::Digest(BytesOf("nonce-" + std::to_string(i))); }
+
+  std::unique_ptr<FlickerPlatform> platform_;
+  std::unique_ptr<VtpmManager> manager_;
+  std::unique_ptr<VtpmMultiplexer> mux_;
+  std::vector<VtpmQuoteCompletion> completions_;
+};
+
+TEST_F(VtpmMuxTest, RoundRobinInterleavesTenantsRegardlessOfArrivalOrder) {
+  MakeMux();
+  AddTenant("a");
+  AddTenant("b");
+  // Tenant a floods four requests in before b's single request arrives.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(mux_->Submit("a", Nonce(i), Auth("a")).ok());
+  }
+  ASSERT_TRUE(mux_->Submit("b", Nonce(100), Auth("b")).ok());
+
+  mux_->PumpAll();
+  ASSERT_EQ(completions_.size(), 5u);
+  // b is served on the second rotation, not after a's whole backlog.
+  EXPECT_EQ(completions_[1].tenant, "b");
+  for (const VtpmQuoteCompletion& completion : completions_) {
+    EXPECT_TRUE(completion.status.ok()) << completion.status.ToString();
+  }
+}
+
+TEST_F(VtpmMuxTest, QuoteBindsTenantCompositeAndVerifies) {
+  MakeMux();
+  AddTenant("a");
+  ASSERT_TRUE(manager_->Extend("a", 0, Auth("a"), Bytes(20, 0x77)).ok());
+  Bytes composite = manager_->ResidentTenant("a").value()->CompositeDigest();
+
+  ASSERT_TRUE(mux_->Submit("a", Nonce(0), Auth("a")).ok());
+  mux_->PumpAll();
+  ASSERT_EQ(completions_.size(), 1u);
+  const VtpmQuoteCompletion& completion = completions_[0];
+  ASSERT_TRUE(completion.status.ok()) << completion.status.ToString();
+
+  // The hardware quote signs the bound nonce a verifier can recompute from
+  // the challenge + the tenant's expected composite.
+  EXPECT_EQ(completion.composite, composite);
+  Bytes expected = VtpmMultiplexer::BoundNonce(TenantTag("a"), composite, Nonce(0));
+  EXPECT_EQ(completion.bound_nonce, expected);
+  EXPECT_EQ(completion.response.quote.nonce, expected);
+
+  Result<RsaPublicKey> aik = RsaPublicKey::Deserialize(completion.response.aik_public);
+  ASSERT_TRUE(aik.ok());
+  Bytes info = BytesOf("QUOT");
+  Bytes quote_composite = RecomputeQuoteComposite(completion.response.quote);
+  info.insert(info.end(), quote_composite.begin(), quote_composite.end());
+  info.insert(info.end(), completion.response.quote.nonce.begin(),
+              completion.response.quote.nonce.end());
+  EXPECT_TRUE(RsaVerifySha1(aik.value(), info, completion.response.quote.signature));
+
+  // A different tenant (or a stale composite) yields a different binding.
+  EXPECT_NE(VtpmMultiplexer::BoundNonce(TenantTag("b"), composite, Nonce(0)), expected);
+  EXPECT_NE(VtpmMultiplexer::BoundNonce(TenantTag("a"), Bytes(20, 0x00), Nonce(0)), expected);
+}
+
+TEST_F(VtpmMuxTest, RepeatedAuthFailuresTripTheBreakerAndShedOnSubmit) {
+  VtpmMuxConfig config;
+  config.breaker_threshold = 3;
+  MakeMux(config);
+  AddTenant("sick");
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(mux_->Submit("sick", Nonce(i), Auth("wrong")).ok());
+    mux_->PumpAll();
+  }
+  ASSERT_EQ(completions_.size(), 3u);
+  for (const VtpmQuoteCompletion& completion : completions_) {
+    EXPECT_EQ(completion.status.code(), StatusCode::kPermissionDenied);
+  }
+  EXPECT_TRUE(mux_->TenantBreakerOpen("sick"));
+  EXPECT_EQ(mux_->quarantines_total(), 1u);
+
+  // Breaker-open traffic is refused at the door: no queue churn, no
+  // hardware turn, kUnavailable back to the caller.
+  Status shed = mux_->Submit("sick", Nonce(9), Auth("wrong"));
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(mux_->pending_count(), 0u);
+  EXPECT_GE(mux_->shed_total(), 1u);
+}
+
+TEST_F(VtpmMuxTest, BreakerHalfOpensAfterCooldownAndHealedTenantRecovers) {
+  VtpmMuxConfig config;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown_ms = 1000.0;
+  MakeMux(config);
+  AddTenant("sick");
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(mux_->Submit("sick", Nonce(i), Auth("wrong")).ok());
+    mux_->PumpAll();
+  }
+  ASSERT_TRUE(mux_->TenantBreakerOpen("sick"));
+  EXPECT_EQ(mux_->Submit("sick", Nonce(2), Auth("sick")).code(), StatusCode::kUnavailable);
+
+  // After the cooldown the lane half-opens; a now-healthy tenant completes.
+  platform_->clock()->AdvanceMillis(1500);
+  completions_.clear();
+  ASSERT_TRUE(mux_->Submit("sick", Nonce(3), Auth("sick")).ok());
+  mux_->PumpAll();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_TRUE(completions_[0].status.ok()) << completions_[0].status.ToString();
+  EXPECT_FALSE(mux_->TenantBreakerOpen("sick"));
+}
+
+TEST_F(VtpmMuxTest, SustainedOverflowQuarantinesTheFloodingTenant) {
+  VtpmMuxConfig config;
+  config.max_queue_per_tenant = 4;
+  config.flood_threshold = 8;
+  MakeMux(config);
+  AddTenant("flood");
+  AddTenant("quiet");
+
+  // Fill the queue, then keep hammering: every extra submit overflows.
+  int accepted = 0;
+  int shed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Status st = mux_->Submit("flood", Nonce(i), Auth("flood"));
+    st.ok() ? ++accepted : ++shed;
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(shed, 16);
+  EXPECT_TRUE(mux_->TenantBreakerOpen("flood"));
+
+  // The flood's already-queued requests drain as sheds (the breaker opened
+  // while they waited); the quiet tenant still completes normally.
+  ASSERT_TRUE(mux_->Submit("quiet", Nonce(100), Auth("quiet")).ok());
+  mux_->PumpAll();
+  ASSERT_EQ(completions_.size(), 5u);
+  for (const VtpmQuoteCompletion& completion : completions_) {
+    if (completion.tenant == "flood") {
+      EXPECT_EQ(completion.status.code(), StatusCode::kUnavailable);
+    } else {
+      EXPECT_EQ(completion.tenant, "quiet");
+      EXPECT_TRUE(completion.status.ok()) << completion.status.ToString();
+    }
+  }
+}
+
+TEST_F(VtpmMuxTest, StaleQueuedRequestsAreShedNotServed) {
+  VtpmMuxConfig config;
+  config.max_queue_age_ms = 500.0;
+  MakeMux(config);
+  AddTenant("slow");
+
+  ASSERT_TRUE(mux_->Submit("slow", Nonce(0), Auth("slow")).ok());
+  platform_->clock()->AdvanceMillis(2000);  // Challenger has long timed out.
+  mux_->PumpAll();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(completions_[0].queue_age_ms, 2000.0);
+}
+
+TEST_F(VtpmMuxTest, PowerLossClearsQueuesAndBreakers) {
+  VtpmMuxConfig config;
+  config.breaker_threshold = 1;
+  MakeMux(config);
+  AddTenant("a");
+  AddTenant("b");
+  ASSERT_TRUE(mux_->Submit("a", Nonce(0), Auth("a")).ok());
+  ASSERT_TRUE(mux_->Submit("b", Nonce(1), Auth("wrong")).ok());
+  mux_->PumpOne();  // a completes.
+  mux_->PumpOne();  // b fails; threshold 1 opens its breaker.
+  ASSERT_TRUE(mux_->TenantBreakerOpen("b"));
+  ASSERT_TRUE(mux_->Submit("a", Nonce(2), Auth("a")).ok());
+
+  mux_->OnPowerLoss();
+  EXPECT_EQ(mux_->pending_count(), 0u);
+  EXPECT_FALSE(mux_->HasPending());
+  // A rebooted multiplexer starts every tenant closed and re-learns.
+  EXPECT_FALSE(mux_->TenantBreakerOpen("b"));
+}
+
+TEST_F(VtpmMuxTest, RollbackQuarantinedTenantFailsItsRequestsOnly) {
+  MakeMux();
+  AddTenant("victim");
+  AddTenant("healthy");
+  ASSERT_TRUE(manager_->SnapshotTenant("victim").ok());
+  CrashConsistentSealedStore* store = manager_->StoreForTest("victim");
+  CrashConsistentSealedStore::DiskImageForTest stale = store->CaptureDiskForTest();
+  ASSERT_TRUE(manager_->SnapshotTenant("victim").ok());
+
+  platform_->machine()->PowerCut();
+  ASSERT_TRUE(platform_->tpm()->Startup(TpmStartupType::kClear).ok());
+  manager_->OnPowerLoss();
+  mux_->OnPowerLoss();
+  store->RestoreDiskForTest(std::move(stale));
+  ASSERT_TRUE(manager_->RecoverAll().ok());
+
+  ASSERT_TRUE(mux_->Submit("victim", Nonce(0), Auth("victim")).ok());
+  ASSERT_TRUE(mux_->Submit("healthy", Nonce(1), Auth("healthy")).ok());
+  mux_->PumpAll();
+  ASSERT_EQ(completions_.size(), 2u);
+  for (const VtpmQuoteCompletion& completion : completions_) {
+    if (completion.tenant == "victim") {
+      EXPECT_EQ(completion.status.code(), StatusCode::kRollbackDetected);
+    } else {
+      EXPECT_TRUE(completion.status.ok()) << completion.status.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vtpm
+}  // namespace flicker

@@ -32,8 +32,15 @@
 #                        byte-identical (refreshing BENCH_fleet.json), and a
 #                        multi-seed 64-machine chaos sweep in which
 #                        accepted_wrong must stay zero
+#   verify.sh --vtpm     additionally run the vTPM multiplexer campaign:
+#                        vtpm-labeled suites (wire hardening, rollback
+#                        attack, crash matrix, double faults) under
+#                        ASan+UBSan, then multi-seed noisy-neighbor chaos
+#                        double runs whose JSON must be byte-identical
+#                        (refreshing BENCH_vtpm.json) with accepted_wrong
+#                        pinned at zero
 #
-# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet|--vtpm] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -43,6 +50,7 @@ net=0
 obs=0
 perf=0
 fleet=0
+vtpm=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
@@ -60,6 +68,9 @@ elif [ "${1:-}" = "--perf" ]; then
   shift
 elif [ "${1:-}" = "--fleet" ]; then
   fleet=1
+  shift
+elif [ "${1:-}" = "--vtpm" ]; then
+  vtpm=1
   shift
 fi
 build_dir=${1:-"$repo_root/build"}
@@ -84,7 +95,7 @@ fi
 # DESIGN.md must keep its numbered sections; a refactor that silently drops
 # the observability/robustness design record fails here.
 for heading in \
-  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.'; do
+  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.' '## 14\.'; do
   if ! grep -q "^$heading" "$repo_root/DESIGN.md"; then
     echo "verify.sh: DESIGN.md is missing section heading '$heading'" >&2
     exit 1
@@ -113,6 +124,34 @@ if [ -n "$time_violations" ]; then
   exit 1
 fi
 
+# ---- Crash-point coverage gate (always on) ----
+#
+# Every CRASH_POINT("...") durability marker in src/ must be executed by the
+# crash-matrix / double-fault suites. A new durability boundary the matrix
+# never reaches fails here before it can rot uncovered. The census binaries
+# append the points they executed to $FLICKER_CRASH_POINTS_OUT.<tag>.txt;
+# registration happens on execution, so scheduler arming does not matter.
+census_prefix="$build_dir/crash_points"
+rm -f "$census_prefix".*.txt
+for census_bin in integration_crash_matrix_test vtpm_crash_matrix_test \
+    vtpm_double_fault_test; do
+  FLICKER_CRASH_POINTS_OUT="$census_prefix" \
+    "$build_dir/tests/$census_bin" > /dev/null
+done
+grep -rhoE 'CRASH_POINT\("[^"]+"\)' "$repo_root/src" \
+    --include='*.cc' --include='*.h' --exclude=fault.h \
+  | sed -e 's/^CRASH_POINT("//' -e 's/")$//' | sort -u \
+  > "$build_dir/crash_points.expected"
+sort -u "$census_prefix".*.txt > "$build_dir/crash_points.covered"
+uncovered=$(comm -23 "$build_dir/crash_points.expected" "$build_dir/crash_points.covered")
+if [ -n "$uncovered" ]; then
+  echo "verify.sh: CRASH_POINT sites in src/ never exercised by the crash matrix:" >&2
+  echo "$uncovered" >&2
+  echo "  extend the crash-matrix / double-fault workloads to reach them" >&2
+  exit 1
+fi
+echo "verify.sh: crash-point coverage: all $(wc -l < "$build_dir/crash_points.expected" | tr -d ' ') sites exercised"
+
 if [ "$asan" = 1 ]; then
   asan_dir="$repo_root/build-asan"
   cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
@@ -132,7 +171,7 @@ if [ "$faults" = 1 ]; then
   cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
   cmake --build "$asan_dir" -j "$jobs" --target \
     tpm_lifecycle_test core_sealed_state_test os_tqd_breaker_test \
-    integration_crash_matrix_test
+    integration_crash_matrix_test vtpm_crash_matrix_test vtpm_double_fault_test
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L faults
   cmake --build "$build_dir" -j "$jobs" --target micro_recovery
   "$build_dir/bench/micro_recovery" --bench_json="$repo_root/BENCH_robustness.json"
@@ -246,6 +285,37 @@ if [ "$fleet" = 1 ]; then
       --verifiers=4 --seed="$seed" > /dev/null
   done
   echo "verify.sh: 64-machine chaos sweep clean (accepted_wrong == 0 across seeds)"
+fi
+
+if [ "$vtpm" = 1 ]; then
+  # vTPM multiplexer campaign. The vtpm-labeled suites run under ASan+UBSan
+  # (the wire-hardening battery, the rollback-attack negative test, the
+  # crash matrix and the double-fault sweep must all be memory-clean), then
+  # the release build's noisy-neighbor chaos bench runs twice per seed: the
+  # JSON reports must be byte-identical (micro_vtpm exits 2 if any quote
+  # answered the wrong challenge), and the seed-1 flagship refreshes
+  # BENCH_vtpm.json.
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    vtpm_state_test vtpm_wire_test vtpm_manager_test vtpm_mux_test \
+    vtpm_crash_matrix_test vtpm_double_fault_test vtpm_campaign_test
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L vtpm
+
+  cmake --build "$build_dir" -j "$jobs" --target micro_vtpm
+  for seed in 1 7 23; do
+    "$build_dir/bench/micro_vtpm" --seed="$seed" \
+      --bench_json="$build_dir/vtpm_${seed}_a.json" > /dev/null
+    "$build_dir/bench/micro_vtpm" --seed="$seed" \
+      --bench_json="$build_dir/vtpm_${seed}_b.json" > /dev/null
+    if ! cmp -s "$build_dir/vtpm_${seed}_a.json" "$build_dir/vtpm_${seed}_b.json"; then
+      echo "verify.sh: same-seed vtpm campaigns differ (seed $seed is nondeterministic)" >&2
+      diff -u "$build_dir/vtpm_${seed}_a.json" "$build_dir/vtpm_${seed}_b.json" >&2 || true
+      exit 1
+    fi
+  done
+  echo "verify.sh: multi-seed vtpm chaos double-runs byte-identical, accepted_wrong == 0"
+  cp "$build_dir/vtpm_1_a.json" "$repo_root/BENCH_vtpm.json"
 fi
 
 echo "verify.sh: all checks passed"
