@@ -14,12 +14,30 @@
 //                                        override the flagship shape
 //   micro_fleet --chaos                  arm the chaos campaign: lossy wires,
 //                                        a rack partition and two power cuts
+//   micro_fleet --chaos-fuzz             run the composite chaos fuzzer: N
+//                                        seeded fault plans against the
+//                                        invariant oracles; any violation is
+//                                        shrunk to a minimal plan (exit 2)
+//     --fuzz-plans=N --fuzz-seed=N       campaign shape
+//     --misordered-commit                arm the test-only misordered-commit
+//                                        checkpoint bug the fuzzer must find
+//     --replay-out=PATH                  write the minimal plan's replay file
+//     --artifact-out=PATH                write the failure artifact (crash
+//                                        point census + order digest)
+//   micro_fleet --replay=FILE            re-run a replay file; prints the
+//                                        observed replay serialization (byte
+//                                        identical run over run) and exits 0
+//                                        iff the observed failure signature
+//                                        matches the file's "# signature:"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "src/sim/chaos_fuzz.h"
 #include "src/sim/fleet.h"
 
 namespace flicker {
@@ -59,6 +77,93 @@ void ArmChaos(sim::FleetConfig* config) {
     cut.machine = (config->num_machines / 2 + i) % config->num_machines;
     config->power_cuts.push_back(cut);
   }
+}
+
+// The fuzzer's base fleet: small enough that hundreds of shrink probes stay
+// cheap, arrivals sparse enough that the tail of the round schedule lands
+// after the fault horizon (feeding the starvation oracle), checkpoint store
+// on so crash-point power cuts have a two-phase protocol to tear.
+sim::FleetConfig FuzzBaseConfig(uint64_t seed) {
+  sim::FleetConfig config;
+  config.seed = seed;
+  config.num_machines = 4;
+  config.num_verifiers = 2;
+  config.rounds = 32;
+  config.mean_interarrival_ms = 100.0;
+  config.batched_machines_bp = 5000;
+  config.round_timeout_ms = 30000.0;
+  config.checkpoints.enabled = true;
+  return config;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int RunChaosFuzz(uint64_t campaign_seed, int num_plans, bool misordered_commit,
+                 const std::string& replay_out, const std::string& artifact_out) {
+  sim::FleetConfig base = FuzzBaseConfig(campaign_seed);
+  base.checkpoints.misordered_commit = misordered_commit;
+  sim::ChaosFuzzReport report = sim::ChaosFuzz(base, campaign_seed, num_plans);
+  std::printf("chaos-fuzz: %d plans, seed %llu%s\n", report.plans_run,
+              static_cast<unsigned long long>(campaign_seed),
+              misordered_commit ? ", misordered-commit armed" : "");
+  std::printf("  violations: %d\n", report.violations);
+  if (!report.found) {
+    std::printf("  all invariant oracles held\n");
+    return 0;
+  }
+  std::printf("  first violation: %s (%zu events, shrunk to %zu in %d runs)\n",
+              report.signature.c_str(), report.original_events, report.minimal.events.size(),
+              report.shrink_runs);
+  if (!replay_out.empty() && !WriteFile(replay_out, report.replay_file)) {
+    std::fprintf(stderr, "cannot write %s\n", replay_out.c_str());
+    return 1;
+  }
+  if (!artifact_out.empty() && !WriteFile(artifact_out, report.artifact)) {
+    std::fprintf(stderr, "cannot write %s\n", artifact_out.c_str());
+    return 1;
+  }
+  std::fputs(report.artifact.c_str(), stdout);
+  return 2;
+}
+
+int RunReplay(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<sim::ChaosReplay> parsed = sim::ParseChaosReplay(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "replay parse failed: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const sim::ChaosReplay& replay = parsed.value();
+  sim::ChaosOutcome outcome = sim::RunChaosPlan(replay.base, replay.plan);
+  if (!outcome.ran) {
+    std::fprintf(stderr, "replay run failed: %s\n", outcome.error.c_str());
+    return 1;
+  }
+  // The observed run, re-serialized: two invocations of the same file must
+  // produce byte-identical stdout (verify.sh cmp(1)s them), and the
+  // signature line is the regression gate.
+  std::fputs(sim::SerializeChaosReplay(replay.base, replay.plan, outcome.signature).c_str(),
+             stdout);
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "0x%016llx",
+                static_cast<unsigned long long>(outcome.stats.order_digest));
+  std::printf("# order_digest: %s\n", digest);
+  if (outcome.signature != replay.signature) {
+    std::fprintf(stderr, "signature mismatch: file says '%s', run produced '%s'\n",
+                 replay.signature.c_str(), outcome.signature.c_str());
+    return 3;
+  }
+  return 0;
 }
 
 int RunFleet(const sim::FleetConfig& config, const std::string& json_path) {
@@ -116,7 +221,14 @@ int RunFleet(const sim::FleetConfig& config, const std::string& json_path) {
 int main(int argc, char** argv) {
   flicker::sim::FleetConfig config = flicker::FlagshipConfig();
   std::string json_path;
+  std::string replay_path;
+  std::string replay_out;
+  std::string artifact_out;
   bool chaos = false;
+  bool chaos_fuzz = false;
+  bool misordered_commit = false;
+  int fuzz_plans = 24;
+  uint64_t fuzz_seed = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--bench_json=", 13) == 0) {
@@ -131,10 +243,31 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strcmp(arg, "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(arg, "--chaos-fuzz") == 0) {
+      chaos_fuzz = true;
+    } else if (std::strncmp(arg, "--fuzz-plans=", 13) == 0) {
+      fuzz_plans = std::atoi(arg + 13);
+    } else if (std::strncmp(arg, "--fuzz-seed=", 12) == 0) {
+      fuzz_seed = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strcmp(arg, "--misordered-commit") == 0) {
+      misordered_commit = true;
+    } else if (std::strncmp(arg, "--replay-out=", 13) == 0) {
+      replay_out = arg + 13;
+    } else if (std::strncmp(arg, "--artifact-out=", 15) == 0) {
+      artifact_out = arg + 15;
+    } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+      replay_path = arg + 9;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 1;
     }
+  }
+  if (!replay_path.empty()) {
+    return flicker::RunReplay(replay_path);
+  }
+  if (chaos_fuzz) {
+    return flicker::RunChaosFuzz(fuzz_seed, fuzz_plans, misordered_commit, replay_out,
+                                 artifact_out);
   }
   if (chaos) {
     flicker::ArmChaos(&config);

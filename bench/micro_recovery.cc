@@ -8,6 +8,15 @@
 // CrashConsistentSealedStore::Recover() classification each stay under a
 // millisecond of real time, and a disabled CRASH_POINT costs nanoseconds -
 // the production price of the whole fault-injection campaign.
+//
+// The v2 schema adds a "fleet" section: the gray-failure verifier-farm
+// campaign. Six cells - 0/1/2 gray-slow verifiers, each unhedged (blind
+// round-robin) and hedged (p95 hedges + breakers + admission control) - run
+// in simulated time, so their numbers are seed-deterministic; the hedged
+// two-gray cell is run twice and must serialize byte-identically.
+// Acceptance: hedged completion stays >= 99% with p99 <= 3x the fault-free
+// p99 while the unhedged control demonstrably degrades, and accepted_wrong
+// stays zero everywhere (exit 2 otherwise).
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +33,7 @@
 #include "src/tpm/tpm_util.h"
 #include "src/tpm/transport.h"
 #include "src/core/sealed_state.h"
+#include "src/sim/fleet.h"
 
 namespace flicker {
 namespace {
@@ -108,6 +118,138 @@ void BM_DisabledCrashPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_DisabledCrashPoint);
 
+// ---- Verifier-farm gray-failure campaign (simulated time) ----
+
+constexpr double kGraySlowFactor = 40.0;
+
+sim::FleetConfig FarmCampaignConfig(bool hedged, int gray) {
+  sim::FleetConfig config;
+  config.seed = 11;
+  config.num_machines = 64;
+  config.num_verifiers = 8;
+  config.rounds = 256;
+  config.mean_interarrival_ms = 20.0;
+  config.batched_machines_bp = 5000;
+  config.round_timeout_ms = 30000.0;
+  // Verification is made expensive enough (50 ms) that a 40x gray verifier
+  // (2 s per frame) builds a real queue behind itself: the unhedged control
+  // must visibly hurt, not shrug the fault off.
+  config.verify_cost_ms = 50.0;
+  if (hedged) {
+    config.farm.hedge = true;
+    config.farm.max_outstanding = 16;
+  }
+  for (int v = 0; v < gray; ++v) {
+    sim::FleetVerifierFault fault;
+    fault.kind = sim::FleetVerifierFault::Kind::kGraySlow;
+    fault.verifier = v;
+    fault.start_ms = 0.0;
+    fault.end_ms = 6000.0;  // Past the last arrival: gray for the whole run.
+    fault.slow_factor = kGraySlowFactor;
+    config.verifier_faults.push_back(fault);
+  }
+  return config;
+}
+
+struct FarmCell {
+  const char* key;
+  bool hedged;
+  int gray;
+  sim::FleetStats stats;
+  double completion = 0;
+};
+
+int RunFarmCampaign(std::FILE* out, bool* accepted) {
+  FarmCell cells[] = {
+      {"unhedged_gray0", false, 0}, {"unhedged_gray1", false, 1}, {"unhedged_gray2", false, 2},
+      {"hedged_gray0", true, 0},    {"hedged_gray1", true, 1},    {"hedged_gray2", true, 2},
+  };
+  std::string hedged_gray2_json;
+  for (FarmCell& cell : cells) {
+    sim::FleetConfig config = FarmCampaignConfig(cell.hedged, cell.gray);
+    sim::Fleet fleet(config);
+    Status run = fleet.Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "micro_recovery: farm cell %s failed: %s\n", cell.key,
+                   run.ToString().c_str());
+      return 1;
+    }
+    cell.stats = fleet.stats();
+    cell.completion = static_cast<double>(cell.stats.rounds_completed) /
+                      static_cast<double>(cell.stats.rounds_injected);
+    if (cell.hedged && cell.gray == 2) {
+      hedged_gray2_json = cell.stats.ToJson(config);
+    }
+  }
+
+  // Seed-determinism gate: the flagship hedged cell re-run must serialize
+  // byte-identically (same seed, same event interleaving, same JSON).
+  bool deterministic = false;
+  {
+    sim::FleetConfig config = FarmCampaignConfig(/*hedged=*/true, /*gray=*/2);
+    sim::Fleet fleet(config);
+    if (fleet.Run().ok()) {
+      deterministic = fleet.stats().ToJson(config) == hedged_gray2_json;
+    }
+  }
+
+  const FarmCell& hedged0 = cells[3];
+  const FarmCell& hedged2 = cells[5];
+  const FarmCell& unhedged0 = cells[0];
+  const FarmCell& unhedged2 = cells[2];
+  const double hedged_p99_limit = 3.0 * hedged0.stats.LatencyPercentileMs(0.99);
+  const bool completion_ok = hedged2.completion >= 0.99;
+  const bool p99_ok = hedged2.stats.LatencyPercentileMs(0.99) <= hedged_p99_limit;
+  const bool unhedged_degrades =
+      unhedged2.completion < 0.99 ||
+      unhedged2.stats.LatencyPercentileMs(0.99) >
+          3.0 * unhedged0.stats.LatencyPercentileMs(0.99);
+  bool accepted_wrong_zero = true;
+  for (const FarmCell& cell : cells) {
+    accepted_wrong_zero = accepted_wrong_zero && cell.stats.accepted_wrong == 0;
+  }
+  *accepted =
+      completion_ok && p99_ok && unhedged_degrades && accepted_wrong_zero && deterministic;
+
+  std::fprintf(out,
+               "  \"fleet\": {\n"
+               "    \"config\": {\"machines\": 64, \"verifiers\": 8, \"rounds\": 256, "
+               "\"verify_cost_ms\": 50.0, \"gray_slow_factor\": %.1f, \"seed\": 11},\n"
+               "    \"cells\": {\n",
+               kGraySlowFactor);
+  for (size_t i = 0; i < sizeof(cells) / sizeof(cells[0]); ++i) {
+    const FarmCell& cell = cells[i];
+    std::fprintf(out,
+                 "      \"%s\": {\"completed\": %llu, \"timed_out\": %llu, "
+                 "\"completion\": %.4f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"hedges_fired\": %llu, \"hedge_wins\": %llu, \"breaker_trips\": %llu, "
+                 "\"overload_sheds\": %llu, \"accepted_wrong\": %llu}%s\n",
+                 cell.key, static_cast<unsigned long long>(cell.stats.rounds_completed),
+                 static_cast<unsigned long long>(cell.stats.rounds_timed_out), cell.completion,
+                 cell.stats.LatencyPercentileMs(0.50), cell.stats.LatencyPercentileMs(0.99),
+                 static_cast<unsigned long long>(cell.stats.hedges_fired),
+                 static_cast<unsigned long long>(cell.stats.hedge_wins),
+                 static_cast<unsigned long long>(cell.stats.breaker_trips),
+                 static_cast<unsigned long long>(cell.stats.overload_sheds),
+                 static_cast<unsigned long long>(cell.stats.accepted_wrong),
+                 i + 1 < sizeof(cells) / sizeof(cells[0]) ? "," : "");
+    std::printf("farm %-14s: %5.1f%% complete, p99 %8.1f ms, %llu hedges, %llu trips\n",
+                cell.key, cell.completion * 100.0, cell.stats.LatencyPercentileMs(0.99),
+                static_cast<unsigned long long>(cell.stats.hedges_fired),
+                static_cast<unsigned long long>(cell.stats.breaker_trips));
+  }
+  std::fprintf(out,
+               "    },\n"
+               "    \"acceptance\": {\"hedged_gray2_completion_ok\": %s, "
+               "\"hedged_gray2_p99_ok\": %s, \"unhedged_degrades\": %s, "
+               "\"accepted_wrong_zero\": %s, \"deterministic\": %s}\n"
+               "  },\n",
+               completion_ok ? "true" : "false", p99_ok ? "true" : "false",
+               unhedged_degrades ? "true" : "false", accepted_wrong_zero ? "true" : "false",
+               deterministic ? "true" : "false");
+  return 0;
+}
+
 // ---- JSON mode: fixed-schema report + absolute wall-time budgets ----
 
 template <typename Fn>
@@ -173,7 +315,7 @@ int RunJsonBench(const std::string& path) {
   bool within_budget = true;
   std::fprintf(out,
                "{\n"
-               "  \"schema\": \"flicker-bench-robustness-v1\",\n"
+               "  \"schema\": \"flicker-bench-robustness-v2\",\n"
                "  \"operations\": {\n");
   for (size_t i = 0; i < sizeof(rows) / sizeof(rows[0]); ++i) {
     bool ok = rows[i].wall_us < rows[i].budget_us;
@@ -185,14 +327,21 @@ int RunJsonBench(const std::string& path) {
     std::printf("%-22s: %10.4f us real (budget %8.2f us)%s\n", rows[i].key, rows[i].wall_us,
                 rows[i].budget_us, ok ? "" : "  OVER BUDGET");
   }
+  std::fprintf(out, "  },\n");
+  bool farm_accepted = false;
+  int farm_rc = RunFarmCampaign(out, &farm_accepted);
+  if (farm_rc != 0) {
+    std::fclose(out);
+    return farm_rc;
+  }
   std::fprintf(out,
-               "  },\n"
                "  \"within_budget\": %s\n"
                "}\n",
                within_budget ? "true" : "false");
   std::fclose(out);
-  std::printf("wrote %s (within_budget=%s)\n", path.c_str(), within_budget ? "true" : "false");
-  return within_budget ? 0 : 2;
+  std::printf("wrote %s (within_budget=%s, farm_accepted=%s)\n", path.c_str(),
+              within_budget ? "true" : "false", farm_accepted ? "true" : "false");
+  return within_budget && farm_accepted ? 0 : 2;
 }
 
 }  // namespace

@@ -25,6 +25,13 @@ struct BackoffPolicy {
   // Fraction of each delay randomized away: delay *= 1 - jitter * u with
   // u in [0, 1). 0 keeps the schedule exact (the tqd's pinned 2/4/8 ms).
   double jitter_fraction = 0;
+  // Full jitter (AWS style): each delay is drawn uniformly from
+  // [0, capped exponential delay) instead of shaving a fraction off the
+  // exponential value. Decorrelates retry storms - a fleet of clients that
+  // all saw the same overload signal spread their resends across the whole
+  // window instead of returning in lockstep. Overrides jitter_fraction.
+  // Still deterministic: the draw is splitmix64 over seed x retry index.
+  bool full_jitter = false;
 };
 
 // Iterates a policy's delays. Not thread-safe; one schedule per operation.

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "tpm failed";
     case StatusCode::kRollbackDetected:
       return "rollback detected";
+    case StatusCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }
@@ -76,6 +78,9 @@ Status TpmFailedError(std::string message) {
 }
 Status RollbackDetectedError(std::string message) {
   return Status(StatusCode::kRollbackDetected, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(StatusCode::kOverloaded, std::move(message));
 }
 
 }  // namespace flicker

@@ -30,6 +30,7 @@ enum class StatusCode {
   kInternal,           // simulator invariant broke (bug)
   kTpmFailed,          // TPM in failure mode; only Startup/GetTestResult work
   kRollbackDetected,   // persistent state older than the hardware counter says it must be
+  kOverloaded,         // server shed the request under load; retry after backoff
 };
 
 // Human-readable name for a code ("kIntegrityFailure" -> "integrity failure").
@@ -109,6 +110,7 @@ Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 Status TpmFailedError(std::string message);
 Status RollbackDetectedError(std::string message);
+Status OverloadedError(std::string message);
 
 #define FLICKER_RETURN_IF_ERROR(expr)       \
   do {                                      \

@@ -130,20 +130,24 @@ void LossyChannel::Record(NetEndpoint dest, const NetTraceEntry& entry) {
 }
 
 void LossyChannel::Send(NetEndpoint from, const Bytes& datagram) {
+  SendAt(from, clock_->NowNanos(), datagram);
+}
+
+void LossyChannel::SendAt(NetEndpoint from, uint64_t send_ns, const Bytes& datagram) {
   const uint64_t seq = ++messages_sent_;
   const NetEndpoint dest =
       from == NetEndpoint::kClient ? NetEndpoint::kServer : NetEndpoint::kClient;
   const double one_way_ms = SampleOneWayMs();
   const NetFault fault = schedule_.Classify(seq);
   // Scheduled arrival on the wire; fault verdicts below may push it out.
-  uint64_t arrival_ns = clock_->NowNanos() + NsOfMs(one_way_ms);
+  uint64_t arrival_ns = send_ns + NsOfMs(one_way_ms);
 
   NetTraceEntry trace;
   trace.seq = seq;
   trace.from = from;
   trace.bytes = datagram.size();
   trace.fault = fault;
-  trace.sent_at_ns = obs::NowNs(clock_);
+  trace.sent_at_ns = send_ns;
 
   obs::Count(obs::Ctr::kNetMessagesSent);
   if (fault != NetFault::kNone) {

@@ -117,6 +117,13 @@ class LossyChannel {
   // corrupt or further delay it. Never blocks, never fails (datagrams).
   void Send(NetEndpoint from, const Bytes& datagram);
 
+  // Like Send, but the transmission starts at the explicit `send_ns` instant
+  // instead of the channel clock's now. Arrival is a pure function of
+  // (send_ns, drawn latency, fault verdict) - senders living on different
+  // timelines (a verifier deep in its service queue answering a machine)
+  // cannot drag each other's clocks forward through the shared wire.
+  void SendAt(NetEndpoint from, uint64_t send_ns, const Bytes& datagram);
+
   // Delivers the earliest pending datagram addressed to `at`, advancing the
   // clock to its arrival time (never backwards). False when nothing is in
   // flight for this endpoint.

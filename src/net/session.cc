@@ -69,7 +69,7 @@ Result<SessionFrame> SessionFrame::Deserialize(const Bytes& data) {
   if (frame.type != kRequest && frame.type != kResponse) {
     return InvalidArgumentError("unknown session frame type");
   }
-  if (frame.status_code > static_cast<uint8_t>(StatusCode::kTpmFailed)) {
+  if (frame.status_code > static_cast<uint8_t>(StatusCode::kOverloaded)) {
     return InvalidArgumentError("session frame carries unknown status code");
   }
   return frame;
@@ -118,6 +118,7 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
 
     // Drain inbound frames until the matching response or the window ends.
     Bytes inbound;
+    bool shed_by_server = false;
     while (channel_->ReceiveUntil(side_, attempt_deadline_ms, &inbound)) {
       Result<SessionFrame> parsed = SessionFrame::Deserialize(inbound);
       if (!parsed.ok()) {
@@ -131,6 +132,16 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
         obs::Count(obs::Ctr::kSessionStaleFrames);
         continue;
       }
+      if (response.status_code == static_cast<uint8_t>(StatusCode::kOverloaded)) {
+        // The server shed this request before executing it; re-enter the
+        // retransmit loop so the shared backoff schedule paces the retry
+        // instead of hammering an overloaded farm.
+        ++overload_retries_;
+        obs::Count(obs::Ctr::kSessionOverloadRetries);
+        last_failure = Status(StatusCode::kOverloaded, response.status_message);
+        shed_by_server = true;
+        break;
+      }
       obs::ObserveMs(obs::Hist::kSessionCallLatencyMs,
                      static_cast<double>(obs::NowNs(channel_->clock()) - call_start_ns) / 1e6);
       if (response.status_code != 0) {
@@ -138,7 +149,9 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
       }
       return response.payload;
     }
-    last_failure = UnavailableError("response window expired");
+    if (!shed_by_server) {
+      last_failure = UnavailableError("response window expired");
+    }
     double after_ms = static_cast<double>(channel_->clock()->NowMicros()) / 1000.0;
     if (after_ms >= hard_deadline_ms) {
       break;
@@ -147,6 +160,11 @@ Result<Bytes> SessionClient::Call(const Bytes& request, const PeerPump& pump) {
   obs::Instant("net", "net.call_deadline", {{"seq", std::to_string(seq)}});
   obs::ObserveMs(obs::Hist::kSessionCallLatencyMs,
                  static_cast<double>(obs::NowNs(channel_->clock()) - call_start_ns) / 1e6);
+  if (last_failure.code() == StatusCode::kOverloaded) {
+    // Surface the distinct retry-after verdict so the caller can widen its
+    // own backoff instead of treating the farm as dead.
+    return last_failure;
+  }
   return Status(StatusCode::kUnavailable,
                 "session call failed closed by deadline: " + last_failure.message());
 }
@@ -194,6 +212,15 @@ size_t SessionServer::ServePending(double deadline_ms, const Handler& handler) {
       response.status_message = verdict.status().message();
     }
     Bytes response_wire = response.Serialize();
+    if (!verdict.ok() && verdict.status().code() == StatusCode::kOverloaded) {
+      // Admission control rejected the request before executing it, so
+      // at-most-once is not at stake: leave the seq uncached and let a
+      // later retransmit run the handler for real once load drains.
+      ++overloads_shed_;
+      obs::Count(obs::Ctr::kSessionOverloadSheds);
+      channel_->Send(side_, response_wire);
+      continue;
+    }
     if (reply_cache_.size() >= cache_capacity_ && !cache_order_.empty()) {
       reply_cache_.erase(cache_order_.front());
       cache_order_.pop_front();

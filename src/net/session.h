@@ -16,6 +16,10 @@
 //     cache without re-invoking the handler, so a retransmitted request is
 //     executed at most once (a CA must not mint two certificates because
 //     the wire hiccuped),
+//   * a server shedding load answers with a distinct kOverloaded verdict;
+//     the client folds it back into the same backoff schedule (retry-after)
+//     instead of failing, and the server leaves shed sequence numbers
+//     uncached - the request never executed, so a later retransmit may,
 //   * every inbound frame is treated as hostile: length-checked, magic- and
 //     type-checked, bounded, and covered by a trailing FNV-1a checksum, so
 //     a wire bit-flip is a rejected frame (recovered by retransmit), never
@@ -91,6 +95,7 @@ class SessionClient {
   uint64_t retransmits() const { return retransmits_; }
   uint64_t stale_frames() const { return stale_frames_; }
   uint64_t rejected_frames() const { return rejected_frames_; }
+  uint64_t overload_retries() const { return overload_retries_; }
 
  private:
   LossyChannel* channel_;
@@ -101,6 +106,7 @@ class SessionClient {
   uint64_t retransmits_ = 0;
   uint64_t stale_frames_ = 0;
   uint64_t rejected_frames_ = 0;
+  uint64_t overload_retries_ = 0;
 };
 
 // ---- Attested-session amortization (wire layer) ----
@@ -170,6 +176,7 @@ class SessionServer {
   uint64_t requests_handled() const { return requests_handled_; }
   uint64_t duplicates_served() const { return duplicates_served_; }
   uint64_t rejected_frames() const { return rejected_frames_; }
+  uint64_t overloads_shed() const { return overloads_shed_; }
 
  private:
   LossyChannel* channel_;
@@ -180,6 +187,7 @@ class SessionServer {
   uint64_t requests_handled_ = 0;
   uint64_t duplicates_served_ = 0;
   uint64_t rejected_frames_ = 0;
+  uint64_t overloads_shed_ = 0;
 };
 
 }  // namespace flicker

@@ -86,6 +86,26 @@ constexpr MetricDef kCounterDefs[static_cast<size_t>(Ctr::kCount)] = {
      "Tenant requests shed with kUnavailable (quarantine, full queue, or deadline)"},
     {"vtpm_recoveries_total", "count",
      "Per-tenant vTPM stores recovered after a power cut (any recovery class)"},
+    {"session_overload_retries_total", "count",
+     "Session calls that received kOverloaded and re-entered the backoff schedule"},
+    {"session_overload_sheds_total", "count",
+     "Session requests shed by a server's admission control (answered, never cached)"},
+    {"fleet_hedges_fired_total", "count",
+     "Hedged duplicate requests fired after the p95-derived hedge delay expired"},
+    {"fleet_hedge_wins_total", "count",
+     "Fleet rounds resolved by the hedge copy rather than the primary verifier"},
+    {"fleet_overload_sheds_total", "count",
+     "Fleet responses shed by farm admission control (queue depth over the cap)"},
+    {"fleet_overload_resends_total", "count",
+     "Fleet responses re-sent after a full-jitter backoff following an overload shed"},
+    {"fleet_verifier_breaker_trips_total", "count",
+     "Per-verifier circuit breakers opened by consecutive hedge-detected misses"},
+    {"fleet_verifier_faults_total", "count",
+     "Verifier-farm fault activations injected by the chaos plan (gray/crash/hang)"},
+    {"chaos_plans_run_total", "count",
+     "Composite chaos fault plans executed by the fuzzer (including shrink re-runs)"},
+    {"chaos_violations_found_total", "count",
+     "Chaos plans whose run violated an invariant oracle (before shrinking)"},
 };
 
 constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
@@ -110,6 +130,10 @@ constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
      "Simulated age of a tenant request when the multiplexer dispatched (or shed) it"},
     {"vtpm_round_latency_ms", "ms",
      "Simulated end-to-end vTPM quote latency (tenant enqueue to completion callback)"},
+    {"fleet_hedge_delay_ms", "ms",
+     "Hedge delay in force when each hedge fired (p95 of observed ack round-trips)"},
+    {"fleet_verifier_mttr_ms", "ms",
+     "Simulated time a verifier's breaker stayed open before a probe re-closed it"},
 };
 
 const char* TypeName(MetricType type) {

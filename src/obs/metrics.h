@@ -83,6 +83,16 @@ enum class Ctr : int {
   kVtpmQuarantines,
   kVtpmShed,
   kVtpmRecoveries,
+  kSessionOverloadRetries,
+  kSessionOverloadSheds,
+  kFleetHedgesFired,
+  kFleetHedgeWins,
+  kFleetOverloadSheds,
+  kFleetOverloadResends,
+  kFleetVerifierBreakerTrips,
+  kFleetVerifierFaults,
+  kChaosPlansRun,
+  kChaosViolationsFound,
   kCount
 };
 
@@ -99,6 +109,8 @@ enum class Hist : int {
   kFleetVerifierBusyMs,
   kVtpmQueueAgeMs,
   kVtpmRoundLatencyMs,
+  kFleetHedgeDelayMs,
+  kFleetVerifierMttrMs,
   kCount
 };
 

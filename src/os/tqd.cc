@@ -64,7 +64,7 @@ Result<AttestationResponse> TpmQuoteDaemon::QuoteWithRetry(const Bytes& nonce,
   const double deadline_ms =
       deadline_ms_override < 0 ? config_.retry_deadline_ms : deadline_ms_override;
   const uint64_t challenge_start_us = machine_->clock()->NowMicros();
-  BackoffSchedule backoff(config_.backoff);
+  BackoffSchedule backoff(config_.backoff, config_.backoff_jitter_seed);
   Status last_failure = UnavailableError("quote never attempted");
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {

@@ -55,6 +55,12 @@ struct TqdConfig {
   // Shared backoff policy (common/backoff.h). Defaults reproduce the
   // daemon's historical 2/4/8 ms doubling schedule exactly.
   BackoffPolicy backoff;
+  // Seed for the policy's jitter draws (jitter_fraction or full_jitter).
+  // Give each machine in a fleet its own seed: after a partition heals, a
+  // thousand daemons all waking on the same pinned 2/4/8 ms schedule hit
+  // the farm in lockstep; full jitter plus per-machine seeds spreads the
+  // storm across the whole backoff window, still deterministically.
+  uint64_t backoff_jitter_seed = 0;
   // Watchdog: total simulated-clock budget (ms) one challenge may consume
   // across all retries and backoff waits; 0 means unlimited. Checked before
   // each retry so the daemon never sleeps past its deadline.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/apps/hello.h"
+#include "src/common/fault.h"
 #include "src/core/remote_attestation.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/sha1.h"
@@ -123,6 +124,35 @@ std::string FleetStats::ToJson(const FleetConfig& config) const {
     os << "\"" << size << "\": " << count;
   }
   os << "}},\n";
+  // v2 sections: only present when the run exercised the verifier-farm
+  // policy, verifier faults, or the checkpoint store, so legacy fleet JSON
+  // stays byte-identical.
+  const bool v2 = config.farm.hedge || !config.verifier_faults.empty() ||
+                  config.checkpoints.enabled || !config.net_windows.empty() ||
+                  !config.tpm_windows.empty();
+  if (v2) {
+    double mttr_mean = 0;
+    double mttr_max = 0;
+    for (double sample : mttr_ms) {
+      mttr_mean += sample;
+      mttr_max = std::max(mttr_max, sample);
+    }
+    if (!mttr_ms.empty()) {
+      mttr_mean /= static_cast<double>(mttr_ms.size());
+    }
+    os << "  \"farm\": {\"hedged\": " << (config.farm.hedge ? "true" : "false")
+       << ", \"hedges_fired\": " << hedges_fired << ", \"hedge_wins\": " << hedge_wins
+       << ", \"overload_sheds\": " << overload_sheds
+       << ", \"overload_resends\": " << overload_resends
+       << ", \"breaker_trips\": " << breaker_trips
+       << ", \"verifier_fault_frames\": " << verifier_fault_frames
+       << ", \"mttr_samples\": " << mttr_ms.size() << ", \"mttr_mean_ms\": " << F3(mttr_mean)
+       << ", \"mttr_max_ms\": " << F3(mttr_max) << "},\n";
+    os << "  \"oracle\": {\"torn_states\": " << torn_states
+       << ", \"checkpoints_sealed\": " << checkpoints_sealed
+       << ", \"checkpoint_recoveries\": " << checkpoint_recoveries
+       << ", \"starved_machines\": " << starved_machines << "},\n";
+  }
   char digest[32];
   std::snprintf(digest, sizeof(digest), "0x%016llx", static_cast<unsigned long long>(order_digest));
   os << "  \"engine\": {\"events\": " << events_processed << ", \"cancelled\": " << events_cancelled
@@ -140,6 +170,75 @@ Fleet::~Fleet() = default;
 Bytes Fleet::DeriveNonce(const std::string& label, uint64_t a, uint64_t b) const {
   return Sha1::Digest(BytesOf(label + "-" + std::to_string(config_.seed) + "-" +
                               std::to_string(a) + "-" + std::to_string(b)));
+}
+
+Status Fleet::ValidateConfig() const {
+  const int n = config_.num_machines;
+  for (const FleetPartition& window : config_.partitions) {
+    if (window.first_machine < 0 || window.last_machine >= n ||
+        window.first_machine > window.last_machine) {
+      return InvalidArgumentError("partition window targets machines outside the fleet");
+    }
+    if (window.end_ms < window.start_ms) {
+      return InvalidArgumentError("partition window ends before it starts");
+    }
+  }
+  for (const FleetPowerCut& cut : config_.power_cuts) {
+    if (cut.machine < 0 || cut.machine >= n) {
+      return InvalidArgumentError("power cut targets machine outside the fleet");
+    }
+    if (cut.crash_at_hit > 0 && !config_.checkpoints.enabled) {
+      return InvalidArgumentError("crash-point power cut requires the checkpoint store");
+    }
+  }
+  for (const FleetVerifierFault& fault : config_.verifier_faults) {
+    if (fault.verifier < 0 || fault.verifier >= config_.num_verifiers) {
+      return InvalidArgumentError("verifier fault targets verifier outside the farm");
+    }
+    if (fault.end_ms <= fault.start_ms) {
+      return InvalidArgumentError("verifier fault window ends before it starts");
+    }
+    if (fault.kind == FleetVerifierFault::Kind::kGraySlow && fault.slow_factor < 1.0) {
+      return InvalidArgumentError("gray-slow factor below 1 would speed the verifier up");
+    }
+  }
+  for (const FleetNetMixWindow& window : config_.net_windows) {
+    if (window.first_machine < 0 || window.last_machine >= n ||
+        window.first_machine > window.last_machine) {
+      return InvalidArgumentError("net-mix window targets machines outside the fleet");
+    }
+    if (window.end_ms <= window.start_ms) {
+      return InvalidArgumentError("net-mix window ends before it starts");
+    }
+  }
+  for (const FleetTpmFaultWindow& window : config_.tpm_windows) {
+    if (window.machine < 0 || window.machine >= n) {
+      return InvalidArgumentError("tpm fault window targets machine outside the fleet");
+    }
+    if (window.end_ms <= window.start_ms) {
+      return InvalidArgumentError("tpm fault window ends before it starts");
+    }
+  }
+  if (config_.farm.hedge &&
+      (config_.farm.breaker_threshold <= 0 || config_.farm.hedge_min_samples <= 0 ||
+       config_.farm.max_hedges_per_round <= 0)) {
+    return InvalidArgumentError("farm policy thresholds must be positive");
+  }
+  return Status::Ok();
+}
+
+double Fleet::MsSinceEpoch(uint64_t at_ns) const {
+  return (static_cast<double>(at_ns) - static_cast<double>(epoch_ns_)) / 1e6;
+}
+
+const FleetVerifierFault* Fleet::ActiveVerifierFault(int verifier, uint64_t at_ns) const {
+  const double at_ms = MsSinceEpoch(at_ns);
+  for (const FleetVerifierFault& fault : config_.verifier_faults) {
+    if (fault.verifier == verifier && at_ms >= fault.start_ms && at_ms < fault.end_ms) {
+      return &fault;
+    }
+  }
+  return nullptr;
 }
 
 const Bytes& Fleet::machine_session_nonce(int machine) const {
@@ -160,6 +259,35 @@ Status Fleet::BootstrapMachine(FleetMachine* machine) {
   }
   machine->session_nonce = options.nonce;
   machine->session_outputs = session.value().outputs();
+  return Status::Ok();
+}
+
+Status Fleet::SetupCheckpointStore(FleetMachine* machine) {
+  // Runs before the machine's first session: the release PCR read here is
+  // the post-reset PCR 17 value, which is exactly what the register holds
+  // again after a power cut's Startup(kClear) - so recovery can unseal.
+  machine->owner_auth =
+      Sha1::Digest(BytesOf("fleet-owner-" + std::to_string(machine->id)));
+  machine->blob_auth = Sha1::Digest(BytesOf("fleet-blob-" + std::to_string(machine->id)));
+  FLICKER_RETURN_IF_ERROR(machine->platform->tpm()->TakeOwnership(machine->owner_auth));
+  Result<Bytes> release = machine->platform->tpm()->PcrRead(kSkinitPcr);
+  if (!release.ok()) {
+    return release.status();
+  }
+  machine->release_pcr = release.value();
+  CrashStoreOptions options;
+  options.broken_commit_before_increment = config_.checkpoints.misordered_commit;
+  Result<CrashConsistentSealedStore> store = CrashConsistentSealedStore::Create(
+      machine->platform->tpm(), Sha1::Digest(BytesOf("fleet-ctr-" + std::to_string(machine->id))),
+      machine->owner_auth, options);
+  if (!store.ok()) {
+    return store.status();
+  }
+  machine->store = std::make_unique<CrashConsistentSealedStore>(store.take());
+  machine->checkpoint_gen = 0;
+  FLICKER_RETURN_IF_ERROR(machine->store->Seal(BytesOf("ckpt-0"), machine->release_pcr,
+                                               machine->blob_auth));
+  ++stats_.checkpoints_sealed;
   return Status::Ok();
 }
 
@@ -189,6 +317,7 @@ Status Fleet::Build() {
   if (built_) {
     return Status::Ok();
   }
+  FLICKER_RETURN_IF_ERROR(ValidateConfig());
   Result<PalBinary> built = BuildPal(std::make_shared<HelloWorldPal>());
   if (!built.ok()) {
     return built.status();
@@ -241,8 +370,24 @@ Status Fleet::Build() {
         },
         /*drain_sink=*/nullptr);
 
+    if (config_.checkpoints.enabled) {
+      FLICKER_RETURN_IF_ERROR(SetupCheckpointStore(machine.get()));
+    }
     FLICKER_RETURN_IF_ERROR(BootstrapMachine(machine.get()));
     machines_.push_back(std::move(machine));
+  }
+
+  if (config_.farm.hedge) {
+    VerifierHealthConfig health;
+    health.num_verifiers = config_.num_verifiers;
+    health.hedge_default_ms = config_.farm.hedge_default_ms;
+    health.hedge_min_ms = config_.farm.hedge_min_ms;
+    health.hedge_max_ms = config_.farm.hedge_max_ms;
+    health.min_samples = config_.farm.hedge_min_samples;
+    health.breaker_threshold = config_.farm.breaker_threshold;
+    health.breaker_cooldown_ms = config_.farm.breaker_cooldown_ms;
+    health.max_outstanding = config_.farm.max_outstanding;
+    health_ = std::make_unique<VerifierHealthTracker>(health);
   }
 
   verifiers_.resize(static_cast<size_t>(config_.num_verifiers));
@@ -259,6 +404,21 @@ Status Fleet::Build() {
     epoch_ns_ = std::max(epoch_ns_, machine->platform->clock()->NowNanos());
   }
 
+  // The starvation oracle's horizon: the instant every configured fault
+  // window has ended. Arrivals after it should complete on a healthy fleet.
+  double quiesce_ms = 0;
+  for (const FleetPartition& w : config_.partitions) quiesce_ms = std::max(quiesce_ms, w.end_ms);
+  for (const FleetPowerCut& c : config_.power_cuts) quiesce_ms = std::max(quiesce_ms, c.at_ms);
+  for (const FleetVerifierFault& f : config_.verifier_faults)
+    quiesce_ms = std::max(quiesce_ms, f.end_ms);
+  for (const FleetNetMixWindow& w : config_.net_windows) quiesce_ms = std::max(quiesce_ms, w.end_ms);
+  for (const FleetTpmFaultWindow& w : config_.tpm_windows)
+    quiesce_ms = std::max(quiesce_ms, w.end_ms);
+  quiesce_ns_ = epoch_ns_ + static_cast<uint64_t>(quiesce_ms * 1e6 + 0.5);
+  machine_arrivals_after_quiesce_.assign(static_cast<size_t>(config_.num_machines), 0);
+  machine_completed_after_quiesce_.assign(static_cast<size_t>(config_.num_machines), 0);
+  stats_.machine_completed.assign(static_cast<size_t>(config_.num_machines), 0);
+
   // The open-loop client: seeded Poisson arrivals, uniform target machine.
   Drbg arrivals(config_.seed ^ 0xA2217A1ULL);
   double t_ms = 0;
@@ -274,6 +434,9 @@ Status Fleet::Build() {
     round.nonce = DeriveNonce("fleet-round", static_cast<uint64_t>(r), 0);
     round.arrival_ns = epoch_ns_ + static_cast<uint64_t>(t_ms * 1e6 + 0.5);
     nonce_to_round_[round.nonce] = static_cast<size_t>(r);
+    if (round.arrival_ns > quiesce_ns_) {
+      ++machine_arrivals_after_quiesce_[static_cast<size_t>(round.machine)];
+    }
     const size_t round_index = static_cast<size_t>(r);
     executor_.ScheduleAt(machines_[static_cast<size_t>(round.machine)]->actor, round.arrival_ns,
                          [this, round_index] { OnArrival(round_index); });
@@ -281,13 +444,53 @@ Status Fleet::Build() {
   stats_.rounds_injected = static_cast<uint64_t>(config_.rounds);
 
   for (const FleetPowerCut& cut : config_.power_cuts) {
-    if (cut.machine < 0 || cut.machine >= config_.num_machines) {
-      return InvalidArgumentError("power cut targets machine outside the fleet");
-    }
-    const int id = cut.machine;
-    executor_.ScheduleAt(machines_[static_cast<size_t>(id)]->actor,
+    executor_.ScheduleAt(machines_[static_cast<size_t>(cut.machine)]->actor,
                          epoch_ns_ + static_cast<uint64_t>(cut.at_ms * 1e6 + 0.5),
-                         [this, id] { OnPowerCut(id); });
+                         [this, cut] { OnPowerCut(cut); });
+  }
+
+  // Timed wire-mix windows: swap the fault schedule in at the window start
+  // and restore the base mix at the end. The schedule is re-armed at
+  // runtime, so a window can hit wires mid-conversation.
+  for (size_t w = 0; w < config_.net_windows.size(); ++w) {
+    const FleetNetMixWindow& window = config_.net_windows[w];
+    for (int m = window.first_machine; m <= window.last_machine; ++m) {
+      FleetMachine* machine = machines_[static_cast<size_t>(m)].get();
+      const uint64_t window_seed = config_.fault_seed ^ (0x57D0ULL + w) ^
+                                   (static_cast<uint64_t>(m) << 32);
+      NetFaultMix mix = window.mix;
+      NetFaultMix base = config_.fault_mix;
+      executor_.ScheduleAt(machine->actor,
+                           epoch_ns_ + static_cast<uint64_t>(window.start_ms * 1e6 + 0.5),
+                           [machine, window_seed, mix] {
+                             machine->channel->set_fault_schedule(
+                                 NetFaultSchedule(window_seed, mix));
+                           });
+      const uint64_t base_seed = config_.fault_seed ^ static_cast<uint64_t>(m);
+      executor_.ScheduleAt(machine->actor,
+                           epoch_ns_ + static_cast<uint64_t>(window.end_ms * 1e6 + 0.5),
+                           [machine, base_seed, base] {
+                             machine->channel->set_fault_schedule(
+                                 NetFaultSchedule(base_seed, base));
+                           });
+    }
+  }
+
+  // Timed TPM-transport fault windows (the LPC bus, not the network).
+  for (const FleetTpmFaultWindow& window : config_.tpm_windows) {
+    FleetMachine* machine = machines_[static_cast<size_t>(window.machine)].get();
+    const FaultPlan plan = window.plan;
+    executor_.ScheduleAt(machine->actor,
+                         epoch_ns_ + static_cast<uint64_t>(window.start_ms * 1e6 + 0.5),
+                         [machine, plan] {
+                           machine->platform->machine()->tpm_transport()->set_fault_plan(plan);
+                         });
+    executor_.ScheduleAt(machine->actor,
+                         epoch_ns_ + static_cast<uint64_t>(window.end_ms * 1e6 + 0.5),
+                         [machine] {
+                           machine->platform->machine()->tpm_transport()->set_fault_plan(
+                               FaultPlan());
+                         });
   }
 
   built_ = true;
@@ -310,6 +513,19 @@ Status Fleet::Run() {
   stats_.events_cancelled = executor_.events_cancelled();
   stats_.max_heap = executor_.max_heap_size();
   stats_.order_digest = executor_.OrderDigest();
+  if (health_) {
+    stats_.breaker_trips = health_->breaker_trips();
+    stats_.mttr_ms = health_->mttr_samples_ms();
+  }
+  // Starvation oracle: a live machine with post-quiesce arrivals but no
+  // post-quiesce completion never recovered from the faults it absorbed.
+  stats_.starved_machines = 0;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    if (!machines_[m]->dead && machine_arrivals_after_quiesce_[m] >= 2 &&
+        machine_completed_after_quiesce_[m] == 0) {
+      ++stats_.starved_machines;
+    }
+  }
   return Status::Ok();
 }
 
@@ -398,32 +614,83 @@ void Fleet::SendBatchSlices(int machine_id, std::vector<BatchQuoteResponse> slic
   }
 }
 
-void Fleet::SendWire(FleetMachine* machine, size_t round_index, bool to_farm, Bytes wire,
-                     uint64_t sender_now_ns) {
-  // The wire's own clock is stamped to the sender's instant so arrival times
-  // are sender-relative whichever side transmits.
-  machine->wire_clock.AdvanceToNanos(sender_now_ns);
+uint64_t Fleet::SendWire(FleetMachine* machine, size_t round_index, bool to_farm, Bytes wire,
+                         uint64_t sender_now_ns, int exclude, bool hedge, bool overload_nack) {
   const uint64_t seq = machine->channel->messages_sent() + 1;
   PendingWire pending;
   pending.round = round_index;
   pending.to_farm = to_farm;
   pending.sent = wire;
+  pending.sent_ns = sender_now_ns;
+  pending.exclude = exclude;
+  pending.hedge = hedge;
+  pending.overload_nack = overload_nack;
   machine->pending[seq] = std::move(pending);
-  machine->channel->Send(to_farm ? NetEndpoint::kClient : NetEndpoint::kServer, wire);
+  if (to_farm) {
+    rounds_[round_index].response_wire = wire;
+    if (health_) {
+      // Arm the hedge: if no ack (or nack) has concluded this frame once the
+      // p95-derived delay elapses, a duplicate goes to a different verifier.
+      const double hedge_delay_ms = health_->HedgeDelayMs();
+      const int machine_id = machine->id;
+      executor_.ScheduleAt(machine->actor,
+                           sender_now_ns + static_cast<uint64_t>(hedge_delay_ms * 1e6 + 0.5),
+                           [this, machine_id, seq, round_index, hedge_delay_ms] {
+                             OnHedgeTimer(machine_id, seq, round_index, hedge_delay_ms);
+                           });
+    }
+  }
+  // Transmission starts at the sender's own instant: a verifier answering
+  // from deep inside its service queue stamps the ack with its (future)
+  // finish time without dragging the machine's wire timeline along - the
+  // machine's next frame (a hedge copy, a fresh round) still leaves at the
+  // machine's now, not the slow verifier's.
+  machine->channel->SendAt(to_farm ? NetEndpoint::kClient : NetEndpoint::kServer, sender_now_ns,
+                           std::move(wire));
+  return seq;
 }
 
 void Fleet::OnWireEnqueued(int machine_id, NetEndpoint dest, uint64_t seq, uint64_t arrival_ns) {
   FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
-  if (machine.pending.find(seq) == machine.pending.end()) {
+  auto pending_it = machine.pending.find(seq);
+  if (pending_it == machine.pending.end()) {
     return;
   }
-  if (Partitioned(machine_id, machine.wire_clock.NowNanos())) {
+  if (Partitioned(machine_id, pending_it->second.sent_ns)) {
     ++stats_.partition_drops;
     return;  // The rack is cut: the frame rots in flight, the round times out.
   }
   if (dest == NetEndpoint::kServer) {
-    const int verifier_index =
-        static_cast<int>(next_verifier_++ % static_cast<uint64_t>(config_.num_verifiers));
+    PendingWire& pending = pending_it->second;
+    int verifier_index;
+    if (health_) {
+      // Farm frontend: health-aware pick. Scan breaker-admissible verifiers
+      // for one under the outstanding cap; if every candidate is saturated,
+      // shed with an overload nack the machine answers with a paced resend.
+      const double now_ms = MsSinceEpoch(arrival_ns);
+      verifier_index = -1;
+      for (int scanned = 0; scanned < config_.num_verifiers; ++scanned) {
+        int candidate = health_->PickVerifier(now_ms, pending.exclude);
+        if (!health_->ShouldShed(candidate)) {
+          verifier_index = candidate;
+          break;
+        }
+      }
+      if (verifier_index < 0) {
+        pending.concluded = true;  // Never dispatched; no verifier to miss.
+        ++stats_.overload_sheds;
+        obs::Count(obs::Ctr::kFleetOverloadSheds);
+        SendWire(&machine, pending.round, /*to_farm=*/false, rounds_[pending.round].nonce,
+                 arrival_ns, /*exclude=*/-1, /*hedge=*/false, /*overload_nack=*/true);
+        return;
+      }
+      pending.verifier = verifier_index;
+      health_->OnDispatch(verifier_index);
+    } else {
+      verifier_index =
+          static_cast<int>(next_verifier_++ % static_cast<uint64_t>(config_.num_verifiers));
+      pending.verifier = verifier_index;
+    }
     executor_.ScheduleAt(verifiers_[static_cast<size_t>(verifier_index)].actor, arrival_ns,
                          [this, machine_id, seq, arrival_ns, verifier_index] {
                            OnFarmDelivery(machine_id, seq, arrival_ns, verifier_index);
@@ -450,11 +717,35 @@ void Fleet::OnFarmDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns, in
   const PendingWire& pending = pending_it->second;
   const RoundState& round = rounds_[pending.round];
 
-  verifier.clock.AdvanceMillis(config_.verify_cost_ms);
-  verifier.busy_ms += config_.verify_cost_ms;
+  // Verifier-tier faults hit before any verification work happens.
+  const FleetVerifierFault* fault = ActiveVerifierFault(verifier_index, arrival_ns);
+  double verify_cost_ms = config_.verify_cost_ms;
+  if (fault != nullptr) {
+    ++stats_.verifier_fault_frames;
+    obs::Count(obs::Ctr::kFleetVerifierFaults);
+    switch (fault->kind) {
+      case FleetVerifierFault::Kind::kCrash:
+        // The worker died holding the frame; its restart comes up empty.
+        // Nobody answers - the hedge or the round timeout picks it up.
+        return;
+      case FleetVerifierFault::Kind::kHang:
+        // The worker seizes until the window ends; frames queued behind it
+        // on this actor inherit the stall, and this frame is never answered.
+        verifier.clock.AdvanceToNanos(
+            std::max(verifier.clock.NowNanos(),
+                     epoch_ns_ + static_cast<uint64_t>(fault->end_ms * 1e6 + 0.5)));
+        return;
+      case FleetVerifierFault::Kind::kGraySlow:
+        verify_cost_ms *= fault->slow_factor;
+        break;
+    }
+  }
+
+  verifier.clock.AdvanceMillis(verify_cost_ms);
+  verifier.busy_ms += verify_cost_ms;
   ++verifier.verified;
   ++stats_.responses_verified;
-  obs::ObserveMs(obs::Hist::kFleetVerifierBusyMs, config_.verify_cost_ms);
+  obs::ObserveMs(obs::Hist::kFleetVerifierBusyMs, verify_cost_ms);
 
   const bool tampered = wire != pending.sent;
   const SessionExpectation expectation = SnapshotExpectation(round);
@@ -478,8 +769,14 @@ void Fleet::OnFarmDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns, in
       ++stats_.accepted_wrong;
       return;
     }
-    // Ack back across the same wire, timed from the verifier's instant.
-    SendWire(&machine, pending.round, /*to_farm=*/false, round.nonce, verifier.clock.NowNanos());
+    // Ack back across the same wire, timed from the verifier's instant. The
+    // ack records which farm wire it answers so the machine can attribute
+    // the round trip to this verifier.
+    const uint64_t ack_seq = SendWire(&machine, pending.round, /*to_farm=*/false, round.nonce,
+                                      verifier.clock.NowNanos());
+    PendingWire& ack = machine.pending[ack_seq];
+    ack.verifier = verifier_index;
+    ack.request_seq = seq;
   } else if (tampered) {
     ++stats_.tampered_rejected;
   } else {
@@ -498,7 +795,42 @@ void Fleet::OnResponseDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns
   if (pending_it == machine.pending.end()) {
     return;
   }
-  RoundState& round = rounds_[pending_it->second.round];
+  PendingWire& delivered = pending_it->second;
+  RoundState& round = rounds_[delivered.round];
+
+  if (delivered.overload_nack) {
+    // The farm shed our response. Resend after a full-jitter backoff so a
+    // rack of shed machines does not return in lockstep.
+    if (round.resolved || machine.dead) {
+      return;
+    }
+    const int attempt = round.overload_resends++;
+    BackoffSchedule schedule(config_.farm.overload_backoff,
+                             config_.seed ^ (0x4F4CULL + static_cast<uint64_t>(delivered.round)));
+    double delay_ms = 0;
+    for (int i = 0; i <= attempt; ++i) {
+      delay_ms = schedule.NextDelayMs();
+    }
+    const size_t round_index = delivered.round;
+    executor_.ScheduleAt(machine.actor,
+                         arrival_ns + static_cast<uint64_t>(delay_ms * 1e6 + 0.5),
+                         [this, round_index] { OnOverloadResend(round_index); });
+    return;
+  }
+
+  // Attribute the ack to the verifier that produced it: close its breaker,
+  // pool the round-trip sample, release its outstanding slot. A late
+  // duplicate (hedge already fired against this dispatch) changes nothing.
+  if (health_ && delivered.verifier >= 0 && delivered.request_seq != 0) {
+    auto request_it = machine.pending.find(delivered.request_seq);
+    if (request_it != machine.pending.end() && !request_it->second.concluded) {
+      request_it->second.concluded = true;
+      const double rtt_ms =
+          static_cast<double>(arrival_ns - request_it->second.sent_ns) / 1e6;
+      health_->OnSuccess(delivered.verifier, rtt_ms, MsSinceEpoch(arrival_ns));
+    }
+  }
+
   if (round.resolved) {
     return;  // A duplicated ack, or the round already timed out.
   }
@@ -506,8 +838,19 @@ void Fleet::OnResponseDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns
   if (round.timeout.valid()) {
     executor_.Cancel(round.timeout);
   }
+  if (delivered.request_seq != 0) {
+    auto request_it = machine.pending.find(delivered.request_seq);
+    if (request_it != machine.pending.end() && request_it->second.hedge) {
+      ++stats_.hedge_wins;
+      obs::Count(obs::Ctr::kFleetHedgeWins);
+    }
+  }
   const double latency_ms = static_cast<double>(arrival_ns - round.arrival_ns) / 1e6;
   ++stats_.rounds_completed;
+  ++stats_.machine_completed[static_cast<size_t>(round.machine)];
+  if (round.arrival_ns > quiesce_ns_) {
+    ++machine_completed_after_quiesce_[static_cast<size_t>(round.machine)];
+  }
   stats_.round_latencies_ms.push_back(latency_ms);
   obs::Count(obs::Ctr::kFleetSessions);
   obs::ObserveMs(obs::Hist::kFleetRoundLatencyMs, latency_ms);
@@ -521,12 +864,100 @@ void Fleet::OnTimeout(size_t round_index) {
   round.resolved = true;
   ++stats_.rounds_timed_out;
   obs::Count(obs::Ctr::kFleetRoundsFailed);
+  if (health_) {
+    // Every farm dispatch of this round that nobody answered is a miss: the
+    // breaker hears about verifiers that swallow frames even when no hedge
+    // fired in time.
+    FleetMachine& machine = *machines_[static_cast<size_t>(round.machine)];
+    const double now_ms = MsSinceEpoch(executor_.NowNs());
+    for (auto& [seq, pending] : machine.pending) {
+      if (pending.round == round_index && pending.to_farm && !pending.concluded) {
+        pending.concluded = true;
+        if (pending.verifier >= 0) {
+          health_->OnMiss(pending.verifier, now_ms);
+        }
+      }
+    }
+  }
 }
 
-void Fleet::OnPowerCut(int machine_id) {
+void Fleet::OnHedgeTimer(int machine_id, uint64_t seq, size_t round_index,
+                         double hedge_delay_ms) {
+  RoundState& round = rounds_[round_index];
+  if (round.resolved || round.hedge_count >= config_.farm.max_hedges_per_round) {
+    return;
+  }
   FleetMachine& machine = *machines_[static_cast<size_t>(machine_id)];
+  if (machine.dead) {
+    return;
+  }
+  auto pending_it = machine.pending.find(seq);
+  if (pending_it == machine.pending.end() || pending_it->second.concluded) {
+    return;
+  }
+  PendingWire& pending = pending_it->second;
+  // The primary has outlived the p95 of recent round trips: call it missing
+  // and fire the duplicate at a different verifier. First well-formed ack
+  // wins; the loser's ack is discarded by the round.resolved check.
+  pending.concluded = true;
+  ++round.hedge_count;
+  if (pending.verifier >= 0) {
+    health_->OnMiss(pending.verifier, MsSinceEpoch(executor_.NowNs()));
+  }
+  ++stats_.hedges_fired;
+  obs::Count(obs::Ctr::kFleetHedgesFired);
+  obs::ObserveMs(obs::Hist::kFleetHedgeDelayMs, hedge_delay_ms);
+  SendWire(&machine, round_index, /*to_farm=*/true, round.response_wire,
+           machine.platform->clock()->NowNanos(), /*exclude=*/pending.verifier,
+           /*hedge=*/true);
+}
+
+void Fleet::OnOverloadResend(size_t round_index) {
+  RoundState& round = rounds_[round_index];
+  if (round.resolved) {
+    return;
+  }
+  FleetMachine& machine = *machines_[static_cast<size_t>(round.machine)];
+  if (machine.dead) {
+    return;
+  }
+  ++stats_.overload_resends;
+  obs::Count(obs::Ctr::kFleetOverloadResends);
+  SendWire(&machine, round_index, /*to_farm=*/true, round.response_wire,
+           machine.platform->clock()->NowNanos());
+}
+
+void Fleet::OnPowerCut(const FleetPowerCut& cut) {
+  FleetMachine& machine = *machines_[static_cast<size_t>(cut.machine)];
   obs::ScopedProcess process_scope(executor_.actor_pid(machine.actor));
   ++stats_.power_cuts;
+
+  // A crash-point cut lands mid-checkpoint: the machine was sealing its next
+  // generation when the cord was pulled, leaving the two-phase protocol torn
+  // at the Nth crash point - exactly the PR 3 matrix, driven by the chaos
+  // plan instead of a hand-enumerated sweep.
+  const uint64_t next_gen = machine.checkpoint_gen + 1;
+  bool seal_completed = false;
+  if (cut.crash_at_hit > 0 && machine.store != nullptr) {
+    FaultScheduler* scheduler = machine.platform->machine()->fault_scheduler();
+    scheduler->ClearHits();
+    CrashPlan plan;
+    plan.crash_at_hit = cut.crash_at_hit;
+    scheduler->Arm(plan);
+    try {
+      FaultInjectionScope scope(scheduler);
+      Status sealed = machine.store->Seal(BytesOf("ckpt-" + std::to_string(next_gen)),
+                                          machine.release_pcr, machine.blob_auth);
+      seal_completed = sealed.ok();
+    } catch (const PowerLossException&) {
+      // The cut landed inside the seal; the staged write is torn mid-flight.
+    }
+    scheduler->Disarm();
+    if (seal_completed) {
+      ++stats_.checkpoints_sealed;
+    }
+  }
+
   machine.platform->machine()->PowerCut();
   // The daemon's RAM - open batch windows, queued challenges, timers - is
   // gone; the rounds parked there will time out and that is the contract.
@@ -538,6 +969,32 @@ void Fleet::OnPowerCut(int machine_id) {
     ++stats_.machines_dead;
     return;
   }
+
+  // Torn-state oracle: after any reset the checkpoint store must classify
+  // what it finds and serve exactly the old or the new generation - a
+  // fail-closed store or wrong bytes is the invariant violation the chaos
+  // fuzzer exists to catch.
+  if (machine.store != nullptr) {
+    ++stats_.checkpoint_recoveries;
+    bool torn = false;
+    Result<RecoveryClass> recovered = machine.store->Recover();
+    if (!recovered.ok() || recovered.value() == RecoveryClass::kFailClosed) {
+      torn = true;
+    } else {
+      Result<Bytes> latest = machine.store->UnsealLatest(machine.blob_auth);
+      if (!latest.ok()) {
+        torn = true;
+      } else if (latest.value() == BytesOf("ckpt-" + std::to_string(next_gen))) {
+        machine.checkpoint_gen = next_gen;
+      } else if (latest.value() != BytesOf("ckpt-" + std::to_string(machine.checkpoint_gen))) {
+        torn = true;  // Neither generation: the store served bytes nobody wrote.
+      }
+    }
+    if (torn) {
+      ++stats_.torn_states;
+    }
+  }
+
   // Reboot: a fresh bootstrap session re-establishes the PCR 17 expectation
   // under which this machine's future quotes verify.
   Status rebooted = BootstrapMachine(&machine);

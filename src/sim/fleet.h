@@ -13,11 +13,17 @@
 // frames are dropped, partitioned or lost to a power cut times out.
 //
 // Chaos is first-class: partition windows cut a contiguous rack of machines
-// off the farm for a simulated interval, and power-cut plans yank the cord
-// on a machine mid-run (RAM and open batch windows lost, TPM reset; the
-// machine reboots, re-runs its bootstrap session and rejoins). Invariant
-// tracked throughout: a verifier must never accept a frame the wire
-// tampered with (`accepted_wrong` stays zero, chaos or not).
+// off the farm for a simulated interval, power-cut plans yank the cord on a
+// machine mid-run (RAM and open batch windows lost, TPM reset; the machine
+// reboots, re-runs its bootstrap session and rejoins), and verifier-fault
+// windows gray-slow, crash or hang farm workers. Against the verifier tier
+// the client side fights back (FleetFarmPolicy): hedged requests fire a
+// second verifier after a p95-derived delay, per-verifier breakers steer
+// traffic off workers that keep missing, and farm-side admission control
+// sheds with an overload nack the machine answers with a full-jitter
+// backoff resend. Invariant tracked throughout: a verifier must never
+// accept a frame the wire tampered with (`accepted_wrong` stays zero,
+// chaos or not), and a checkpoint store must never serve torn state.
 //
 // Determinism: same seed => byte-identical BENCH JSON and executor order
 // digest; different seeds explore different interleavings via the event
@@ -34,12 +40,16 @@
 
 #include "src/attest/privacy_ca.h"
 #include "src/attest/verifier.h"
+#include "src/attest/verifier_health.h"
+#include "src/common/backoff.h"
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/core/flicker_platform.h"
+#include "src/core/sealed_state.h"
 #include "src/net/lossy_channel.h"
 #include "src/sim/executor.h"
 #include "src/slb/slb_layout.h"
+#include "src/tpm/transport.h"
 
 namespace flicker {
 namespace sim {
@@ -58,6 +68,83 @@ struct FleetPartition {
 struct FleetPowerCut {
   double at_ms = 0;
   int machine = 0;
+  // 0: clean cord pull. >0: the cut lands on the Nth crash point inside the
+  // machine's checkpoint Seal (requires FleetCheckpointConfig::enabled),
+  // leaving the two-phase write torn mid-protocol exactly as the PR 3 crash
+  // matrix does; the post-reboot Recover() must still serve old-or-new.
+  uint64_t crash_at_hit = 0;
+};
+
+// A verifier-tier fault window, epoch-relative like partitions. Gray-slow
+// inflates the verify cost by slow_factor (the verifier still answers -
+// eventually); crash eats frames with no time charged (the worker restarts
+// empty); hang seizes the worker until the window ends, so every frame
+// queued behind it inherits the stall (head-of-line blocking).
+struct FleetVerifierFault {
+  enum class Kind { kGraySlow, kCrash, kHang };
+  Kind kind = Kind::kGraySlow;
+  int verifier = 0;
+  double start_ms = 0;
+  double end_ms = 0;
+  double slow_factor = 10.0;  // kGraySlow only.
+};
+
+// Client-side farm policy: hedging, breaker failover and admission control.
+// With hedge=false the harness dispatches exactly as before (blind
+// round-robin, no shedding) so legacy runs stay event-for-event identical.
+struct FleetFarmPolicy {
+  bool hedge = false;
+  // Hedge delay = clamp(p95 of pooled ack round-trips, min, max); the
+  // default applies until hedge_min_samples acks have been pooled.
+  double hedge_default_ms = 400.0;
+  double hedge_min_ms = 10.0;
+  double hedge_max_ms = 4000.0;
+  int hedge_min_samples = 8;
+  // Per-verifier breaker: consecutive hedge/timeout misses to open, cooldown
+  // before the half-open probe.
+  int breaker_threshold = 3;
+  double breaker_cooldown_ms = 2000.0;
+  // A hedge copy arms its own hedge timer, so a round whose duplicate also
+  // landed on a slow verifier escalates again - up to this many hedges. 1
+  // reproduces classic one-shot hedging; with two gray verifiers in the
+  // farm a one-shot hedge can land gray-on-gray and stall the round.
+  int max_hedges_per_round = 3;
+  // Admission control: when every breaker-admissible verifier already holds
+  // this many outstanding requests, the farm frontend sheds with an
+  // overload nack instead of queueing unboundedly. 0 = never shed.
+  int max_outstanding = 0;
+  // Paces overload resends. Full jitter, so a rack of shed machines spreads
+  // its return over the whole window instead of re-arriving in lockstep.
+  BackoffPolicy overload_backoff{10.0, 2.0, 500.0, 0, true};
+};
+
+// Per-machine crash-consistent checkpoint store (DESIGN.md §9) the chaos
+// plans exercise: power cuts can land mid-Seal and the recovery oracle
+// checks the store still serves exactly the old or the new generation.
+struct FleetCheckpointConfig {
+  bool enabled = false;
+  // Test-only misordered commit (commit before increment) - the seeded bug
+  // the chaos fuzzer must rediscover, as in the PR 3 matrix.
+  bool misordered_commit = false;
+};
+
+// A timed wire-fault window: `mix` replaces the affected machines' wire
+// schedule during [start_ms, end_ms), then the base fault_mix is restored.
+struct FleetNetMixWindow {
+  double start_ms = 0;
+  double end_ms = 0;
+  int first_machine = 0;
+  int last_machine = -1;  // Inclusive.
+  NetFaultMix mix;
+};
+
+// A timed TPM-transport fault window on one machine (drop/garble/delay on
+// the LPC bus, not the network).
+struct FleetTpmFaultWindow {
+  double start_ms = 0;
+  double end_ms = 0;
+  int machine = 0;
+  FaultPlan plan;
 };
 
 struct FleetConfig {
@@ -91,6 +178,11 @@ struct FleetConfig {
   uint64_t fault_seed = 0;
   std::vector<FleetPartition> partitions;
   std::vector<FleetPowerCut> power_cuts;
+  std::vector<FleetVerifierFault> verifier_faults;
+  std::vector<FleetNetMixWindow> net_windows;
+  std::vector<FleetTpmFaultWindow> tpm_windows;
+  FleetFarmPolicy farm;
+  FleetCheckpointConfig checkpoints;
 };
 
 struct FleetStats {
@@ -108,6 +200,22 @@ struct FleetStats {
   uint64_t partition_drops = 0;
   uint64_t power_cuts = 0;
   uint64_t machines_dead = 0;
+  // Farm-policy accounting (hedged mode; all zero on legacy runs).
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;  // Rounds resolved by the hedge copy's ack.
+  uint64_t overload_sheds = 0;
+  uint64_t overload_resends = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t verifier_fault_frames = 0;  // Frames that met an active verifier fault.
+  std::vector<double> mttr_ms;         // Breaker open -> re-closed, per recovery.
+  // Checkpoint / oracle accounting (chaos fuzzer invariants).
+  uint64_t checkpoints_sealed = 0;
+  uint64_t checkpoint_recoveries = 0;
+  uint64_t torn_states = 0;  // INVARIANT: must stay zero.
+  // Machines with arrivals after the last fault window that completed none
+  // of them (the "no permanently starved machine" oracle).
+  uint64_t starved_machines = 0;
+  std::vector<uint64_t> machine_completed;  // Per machine, all rounds.
   // Batch shape: flushed window size -> count.
   std::map<size_t, uint64_t> batch_sizes;
   uint64_t batch_quotes = 0;
@@ -161,12 +269,23 @@ class Fleet {
     size_t round = 0;
     bool to_farm = false;
     Bytes sent;  // Ground truth for tamper detection at the verifier.
+    uint64_t sent_ns = 0;
+    // Farm-policy bookkeeping (hedged mode).
+    int verifier = -1;       // Farm wires: dispatch target. Acks: the sender.
+    int exclude = -1;        // Hedges must not re-pick the verifier they hedge.
+    uint64_t request_seq = 0;  // Acks: the farm wire this answers.
+    bool hedge = false;
+    bool overload_nack = false;
+    bool concluded = false;  // Answered, hedged against, shed, or timed out.
   };
 
   struct FleetMachine {
     int id = 0;
     std::unique_ptr<FlickerPlatform> platform;
-    SimClock wire_clock;  // The wire's own timeline; stamped per send.
+    // Backs the channel's clock slot; sends go through SendAt with explicit
+    // sender instants, so this never advances and no sender's timeline can
+    // leak into another's arrival times through the shared wire.
+    SimClock wire_clock;
     std::unique_ptr<LossyChannel> channel;
     AikCertificate cert;
     ActorId actor = kNoActor;
@@ -177,6 +296,12 @@ class Fleet {
     Bytes session_nonce;
     Bytes session_outputs;
     std::map<uint64_t, PendingWire> pending;  // Channel seq -> wire record.
+    // Crash-consistent checkpoint store (FleetCheckpointConfig::enabled).
+    std::unique_ptr<CrashConsistentSealedStore> store;
+    Bytes owner_auth;
+    Bytes blob_auth;
+    Bytes release_pcr;
+    uint64_t checkpoint_gen = 0;  // Last generation known committed.
   };
 
   struct FarmVerifier {
@@ -194,6 +319,9 @@ class Fleet {
     bool resolved = false;
     bool full_session = false;
     bool is_batch = false;
+    int hedge_count = 0;         // Hedges fired so far (capped by the policy).
+    int overload_resends = 0;
+    Bytes response_wire;         // Last farm-bound frame, for hedge/resend.
     // Expectation snapshot captured when the quote was produced, so a
     // machine refreshing its session mid-flight cannot invalidate earlier
     // genuine quotes.
@@ -202,9 +330,13 @@ class Fleet {
   };
 
   Bytes DeriveNonce(const std::string& label, uint64_t a, uint64_t b) const;
+  Status ValidateConfig() const;
   Status BootstrapMachine(FleetMachine* machine);
+  Status SetupCheckpointStore(FleetMachine* machine);
   bool Partitioned(int machine, uint64_t at_ns) const;
   SessionExpectation SnapshotExpectation(const RoundState& round) const;
+  double MsSinceEpoch(uint64_t at_ns) const;
+  const FleetVerifierFault* ActiveVerifierFault(int verifier, uint64_t at_ns) const;
 
   // Event handlers.
   void OnArrival(size_t round_index);
@@ -212,11 +344,15 @@ class Fleet {
   void OnFarmDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns, int verifier_index);
   void OnResponseDelivery(int machine_id, uint64_t seq, uint64_t arrival_ns);
   void OnTimeout(size_t round_index);
-  void OnPowerCut(int machine_id);
+  void OnPowerCut(const FleetPowerCut& cut);
+  void OnHedgeTimer(int machine_id, uint64_t seq, size_t round_index, double hedge_delay_ms);
+  void OnOverloadResend(size_t round_index);
 
-  // Stamps the wire at the sender's instant and ships one frame.
-  void SendWire(FleetMachine* machine, size_t round_index, bool to_farm, Bytes wire,
-                uint64_t sender_now_ns);
+  // Stamps the wire at the sender's instant and ships one frame. Returns the
+  // channel sequence number of the frame for post-hoc annotation.
+  uint64_t SendWire(FleetMachine* machine, size_t round_index, bool to_farm, Bytes wire,
+                    uint64_t sender_now_ns, int exclude = -1, bool hedge = false,
+                    bool overload_nack = false);
   void SendBatchSlices(int machine_id, std::vector<BatchQuoteResponse> slices);
   void FailRound(size_t round_index);
 
@@ -228,8 +364,14 @@ class Fleet {
   std::vector<FarmVerifier> verifiers_;
   std::vector<RoundState> rounds_;
   std::map<Bytes, size_t> nonce_to_round_;
-  uint64_t next_verifier_ = 0;  // Round-robin farm dispatch.
+  uint64_t next_verifier_ = 0;  // Round-robin farm dispatch (legacy mode).
+  std::unique_ptr<VerifierHealthTracker> health_;  // Hedged mode only.
   uint64_t epoch_ns_ = 0;
+  // End of the last configured fault window; arrivals after this instant
+  // feed the starvation oracle.
+  uint64_t quiesce_ns_ = 0;
+  std::vector<uint64_t> machine_arrivals_after_quiesce_;
+  std::vector<uint64_t> machine_completed_after_quiesce_;
   FleetStats stats_;
   bool built_ = false;
 };

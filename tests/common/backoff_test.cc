@@ -70,5 +70,50 @@ TEST(BackoffTest, JitterShrinksWithinFractionAndReplaysBitExact) {
   EXPECT_TRUE(any_differs_across_seeds);
 }
 
+TEST(BackoffTest, FullJitterDrawsFromWholeWindowAndReplaysBitExact) {
+  BackoffPolicy policy{10.0, 2.0, 500.0, 0, true};
+  BackoffSchedule a(policy, 77);
+  BackoffSchedule b(policy, 77);
+  for (int i = 0; i < 10; ++i) {
+    double window = 10.0 * (1 << i);
+    if (window > 500.0) {
+      window = 500.0;  // The cap bounds the window, not just the delay.
+    }
+    double da = a.NextDelayMs();
+    EXPECT_GE(da, 0.0);
+    EXPECT_LT(da, window + 1e-9);
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs());  // Same seed: bit-exact replay.
+  }
+}
+
+TEST(BackoffTest, FullJitterDecorrelatesAcrossSeeds) {
+  // The point of full jitter: a rack of machines that all saw the same
+  // overload nack must NOT return in lockstep. Give each machine its own
+  // seed and the first resend already spreads across the window.
+  BackoffPolicy policy{10.0, 2.0, 500.0, 0, true};
+  bool any_differs = false;
+  double first = BackoffSchedule(policy, 0).NextDelayMs();
+  for (uint64_t machine = 1; machine < 8; ++machine) {
+    if (BackoffSchedule(policy, machine).NextDelayMs() != first) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BackoffTest, FullJitterOverridesJitterFraction) {
+  // With both knobs set, full jitter wins: delays may land well below what
+  // the fraction alone could produce (fraction 0.1 keeps >= 90% of the
+  // exponential value; full jitter can draw near zero).
+  BackoffPolicy policy{100.0, 2.0, 0, 0.1, true};
+  bool any_below_fraction_floor = false;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    if (BackoffSchedule(policy, seed).NextDelayMs() < 90.0) {
+      any_below_fraction_floor = true;
+    }
+  }
+  EXPECT_TRUE(any_below_fraction_floor);
+}
+
 }  // namespace
 }  // namespace flicker

@@ -157,6 +157,61 @@ TEST(SessionTest, FailsClosedWithinTotalDeadline) {
   EXPECT_EQ(rig.echo.invocations, 0);
 }
 
+TEST(SessionTest, ZeroTotalDeadlineFailsClosedWithoutWaiting) {
+  // The degenerate budget: a call that may take no time at all. It must
+  // fail closed immediately - no receive window, no retransmits, no clock
+  // movement - not underflow into a huge wait or spin.
+  SessionConfig config;
+  config.total_deadline_ms = 0.0;
+  Rig rig;
+  SessionClient client(&rig.channel, NetEndpoint::kClient, config);
+  Result<Bytes> reply = client.Call(BytesOf("now-or-never"), rig.Pump());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.retransmits(), 0u);
+  EXPECT_EQ(rig.echo.invocations, 0);
+  EXPECT_DOUBLE_EQ(rig.clock.NowMillis(), 0.0);
+}
+
+TEST(SessionTest, RetransmitLandingExactlyOnDeadlineIsNotSent) {
+  // The boundary case in the retransmit gate: when the coming backoff wait
+  // would land exactly ON the total deadline, the call fails closed instead
+  // of buying a retransmit it could never collect an answer for.
+  SessionConfig config;
+  config.attempt_timeout_ms = 30.0;
+  config.backoff.jitter_fraction = 0;  // Pinned 5 ms first delay.
+  config.total_deadline_ms = 35.0;     // = first window + first delay, exactly.
+  Rig rig;
+  NetFaultMix all_drop;
+  all_drop.drop_bp = 10000;
+  rig.channel.set_fault_schedule(NetFaultSchedule(3, all_drop));
+  SessionClient client(&rig.channel, NetEndpoint::kClient, config);
+  Result<Bytes> reply = client.Call(BytesOf("boundary"), rig.Pump());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.retransmits(), 0u);
+  // The clock stopped at the end of the first receive window; the 5 ms
+  // backoff wait was never taken.
+  EXPECT_DOUBLE_EQ(rig.clock.NowMillis(), 30.0);
+}
+
+TEST(SessionTest, TotalDeadlineClampsTheAttemptWindow) {
+  // A total deadline shorter than one attempt window: the receive wait must
+  // stop at the deadline, not run the full attempt_timeout past it.
+  SessionConfig config;
+  config.attempt_timeout_ms = 30.0;
+  config.total_deadline_ms = 10.0;
+  Rig rig;
+  NetFaultMix all_drop;
+  all_drop.drop_bp = 10000;
+  rig.channel.set_fault_schedule(NetFaultSchedule(3, all_drop));
+  SessionClient client(&rig.channel, NetEndpoint::kClient, config);
+  Result<Bytes> reply = client.Call(BytesOf("short-leash"), rig.Pump());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(rig.clock.NowMillis(), 10.0);
+}
+
 TEST(SessionTest, GarbledFramesNeverSurface) {
   Rig rig;
   NetFaultMix all_corrupt;

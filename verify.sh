@@ -39,8 +39,16 @@
 #                        double runs whose JSON must be byte-identical
 #                        (refreshing BENCH_vtpm.json) with accepted_wrong
 #                        pinned at zero
+#   verify.sh --chaos-fuzz
+#                        additionally run the composite chaos-fuzz campaign
+#                        under ASan+UBSan: a clean-store campaign that must
+#                        find nothing, a seeded misordered-commit campaign
+#                        that must find a torn_state violation and shrink
+#                        it, and the committed minimal replay
+#                        (tools/chaos/minimal_torn_state.replay) re-run
+#                        twice - byte-identical output, signature matched
 #
-# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet|--vtpm] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet|--vtpm|--chaos-fuzz] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -51,6 +59,7 @@ obs=0
 perf=0
 fleet=0
 vtpm=0
+chaosfuzz=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
@@ -71,6 +80,9 @@ elif [ "${1:-}" = "--fleet" ]; then
   shift
 elif [ "${1:-}" = "--vtpm" ]; then
   vtpm=1
+  shift
+elif [ "${1:-}" = "--chaos-fuzz" ]; then
+  chaosfuzz=1
   shift
 fi
 build_dir=${1:-"$repo_root/build"}
@@ -95,7 +107,7 @@ fi
 # DESIGN.md must keep its numbered sections; a refactor that silently drops
 # the observability/robustness design record fails here.
 for heading in \
-  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.' '## 14\.'; do
+  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.' '## 14\.' '## 15\.'; do
   if ! grep -q "^$heading" "$repo_root/DESIGN.md"; then
     echo "verify.sh: DESIGN.md is missing section heading '$heading'" >&2
     exit 1
@@ -265,7 +277,8 @@ if [ "$fleet" = 1 ]; then
   cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
   cmake --build "$asan_dir" -j "$jobs" --target \
     sim_event_queue_test sim_executor_test sim_tqd_timer_test \
-    sim_fleet_test sim_fleet_determinism_test sim_fleet_chaos_test micro_fleet
+    sim_fleet_test sim_fleet_determinism_test sim_fleet_chaos_test \
+    sim_fleet_verifier_fault_test sim_chaos_fuzz_test micro_fleet
   ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L fleet
   "$asan_dir/bench/micro_fleet" --machines=1000 --rounds=200 --verifiers=8
 
@@ -316,6 +329,44 @@ if [ "$vtpm" = 1 ]; then
   done
   echo "verify.sh: multi-seed vtpm chaos double-runs byte-identical, accepted_wrong == 0"
   cp "$build_dir/vtpm_1_a.json" "$repo_root/BENCH_vtpm.json"
+fi
+
+if [ "$chaosfuzz" = 1 ]; then
+  # Composite chaos-fuzz campaign. The fuzzer composes every injector the
+  # fleet harness owns (power cuts, partitions, wire-fault mixes, TPM
+  # transport windows, verifier faults) under ASan+UBSan. A clean store must
+  # survive a campaign with zero violations (exit 0); the PR 3 seeded
+  # misordered-commit bug must be found, shrunk by ddmin and written out as
+  # a replay + failure artifact (exit 2). Then the committed minimal replay
+  # is the shrinker's regression gate: two release re-runs must be
+  # byte-identical and reproduce the recorded torn_state signature (exit 0;
+  # 3 would mean signature mismatch).
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target sim_chaos_fuzz_test micro_fleet
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -R sim_chaos_fuzz_test
+  "$asan_dir/bench/micro_fleet" --chaos-fuzz --fuzz-plans=16 > /dev/null
+  echo "verify.sh: clean-store chaos-fuzz campaign found no violations"
+  rc=0
+  "$asan_dir/bench/micro_fleet" --chaos-fuzz --misordered-commit --fuzz-plans=24 \
+    --replay-out="$asan_dir/fuzz_min.replay" \
+    --artifact-out="$asan_dir/fuzz_artifact.txt" > /dev/null || rc=$?
+  if [ "$rc" != 2 ]; then
+    echo "verify.sh: chaos fuzzer missed the seeded misordered-commit bug (rc=$rc)" >&2
+    exit 1
+  fi
+  echo "verify.sh: chaos fuzzer found and shrank the seeded torn_state violation"
+
+  cmake --build "$build_dir" -j "$jobs" --target micro_fleet
+  replay="$repo_root/tools/chaos/minimal_torn_state.replay"
+  "$build_dir/bench/micro_fleet" --replay="$replay" > "$build_dir/replay_a.txt"
+  "$build_dir/bench/micro_fleet" --replay="$replay" > "$build_dir/replay_b.txt"
+  if ! cmp -s "$build_dir/replay_a.txt" "$build_dir/replay_b.txt"; then
+    echo "verify.sh: committed chaos replay re-runs differ (nondeterministic replay)" >&2
+    diff -u "$build_dir/replay_a.txt" "$build_dir/replay_b.txt" >&2 || true
+    exit 1
+  fi
+  echo "verify.sh: committed minimal replay reproduces byte-identically"
 fi
 
 echo "verify.sh: all checks passed"
