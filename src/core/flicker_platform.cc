@@ -6,12 +6,30 @@
 namespace flicker {
 
 FlickerPlatform::FlickerPlatform(const FlickerPlatformConfig& config)
-    : machine_(config.machine),
+    : mode_(config.mode),
+      machine_(config.machine),
       kernel_(&machine_, config.kernel),
       scheduler_(&machine_),
       module_(&machine_, &kernel_, &scheduler_),
-      tqd_(&machine_, config.tqd) {
+      tqd_(&machine_, config.tqd),
+      hv_(&machine_, config.hv) {
   machine_.set_measurement_engine(&measurement_cache_);
+}
+
+Status FlickerPlatform::EnsureHypervisorResident() {
+  if (hv_.resident()) {
+    return Status::Ok();
+  }
+  // The one-time launch is a classic SKINIT: park the APs around it, then
+  // every core resumes under the hypervisor.
+  FLICKER_RETURN_IF_ERROR(scheduler_.DescheduleAps());
+  for (int cpu = 1; cpu < machine_.num_cpus(); ++cpu) {
+    FLICKER_RETURN_IF_ERROR(machine_.apic()->SendInitIpi(cpu));
+  }
+  Status launched = hv_.LateLaunch();
+  Status restored = scheduler_.RestoreAps();
+  FLICKER_RETURN_IF_ERROR(launched);
+  return restored;
 }
 
 Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& binary,
@@ -26,6 +44,21 @@ Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& bi
   obs::ScopedSpan session_span("core", "flicker.session");
   session_span.Arg("id", result.session_id);
   const uint64_t session_start_ns = obs::NowNs(machine_.clock());
+
+  Result<FlickerSessionResult> completed =
+      mode_ == SessionMode::kConcurrent
+          ? ExecuteConcurrentSession(binary, inputs, options, std::move(result))
+          : ExecuteClassicSession(binary, inputs, options, std::move(result));
+  if (completed.ok()) {
+    obs::ObserveMs(obs::Hist::kFlickerSessionTotalMs,
+                   static_cast<double>(obs::NowNs(machine_.clock()) - session_start_ns) / 1e6);
+  }
+  return completed;
+}
+
+Result<FlickerSessionResult> FlickerPlatform::ExecuteClassicSession(
+    const PalBinary& binary, const Bytes& inputs, const SlbCoreOptions& options,
+    FlickerSessionResult result) {
   SimStopwatch total_watch(machine_.clock());
 
   // Untrusted staging via the sysfs interface.
@@ -68,8 +101,68 @@ Result<FlickerSessionResult> FlickerPlatform::ExecuteSession(const PalBinary& bi
     FLICKER_RETURN_IF_ERROR(module_.FinishSession());
   }
   result.session_total_ms = total_watch.ElapsedMillis();
-  obs::ObserveMs(obs::Hist::kFlickerSessionTotalMs,
-                 static_cast<double>(obs::NowNs(machine_.clock()) - session_start_ns) / 1e6);
+  // Classically the whole machine is suspended for the session's duration.
+  result.os_pause_ms = result.session_total_ms;
+  return result;
+}
+
+Result<FlickerSessionResult> FlickerPlatform::ExecuteConcurrentSession(
+    const PalBinary& binary, const Bytes& inputs, const SlbCoreOptions& options,
+    FlickerSessionResult result) {
+  SimStopwatch total_watch(machine_.clock());
+  const uint64_t pause_before_ns = hv_.stats().os_pause_ns;
+
+  {
+    obs::ScopedSpan stage_span("core", "platform.stage");
+    FLICKER_RETURN_IF_ERROR(module_.WriteSlb(binary.image));
+    FLICKER_RETURN_IF_ERROR(module_.WriteInputs(inputs));
+  }
+
+  FLICKER_RETURN_IF_ERROR(EnsureHypervisorResident());
+  const uint64_t slot = hv_.FreeSlotBase();
+  if (slot == 0) {
+    return ResourceExhaustedError("no free hypervisor PAL slot");
+  }
+  FLICKER_RETURN_IF_ERROR(module_.StageForHypervisorAt(slot));
+
+  Result<uint64_t> session_id = [&]() {
+    obs::ScopedSpan start_span("core", "platform.hv_start_session");
+    return hv_.HcStartSession(slot);
+  }();
+  if (!session_id.ok()) {
+    return session_id.status();
+  }
+  result.hv_session_id = session_id.value();
+
+  Result<SessionRecord> record = [&]() {
+    obs::ScopedSpan run_span("core", "platform.hv_run_session");
+    return hv_.RunSession(result.hv_session_id, binary, options);
+  }();
+  if (!record.ok()) {
+    // The hypervisor already tore the session down; the OS never stopped.
+    return record.status();
+  }
+  result.record = record.take();
+  // The launch descriptor is what the hypervisor measured when it
+  // protected the slot - the same fields SKINIT would have produced.
+  if (const hv::HvSession* session = hv_.FindSession(result.hv_session_id)) {
+    result.launch = session->launch;
+  }
+
+  {
+    obs::ScopedSpan collect_span("core", "platform.hv_collect");
+    FLICKER_RETURN_IF_ERROR(module_.CollectOutputsAt(slot));
+    Result<Bytes> collected = hv_.HcCollectOutputs(result.hv_session_id);
+    if (!collected.ok()) {
+      return collected.status();
+    }
+  }
+
+  result.skinit_ms = 0;   // No per-session SKINIT: that is the whole point.
+  result.suspend_ms = 0;  // The OS was never suspended.
+  result.session_total_ms = total_watch.ElapsedMillis();
+  result.os_pause_ms =
+      static_cast<double>(hv_.stats().os_pause_ns - pause_before_ns) / 1e6;
   return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/hv/hypervisor.h"
 #include "src/hw/machine.h"
 #include "src/os/flicker_module.h"
 #include "src/os/kernel.h"
@@ -31,10 +32,21 @@
 
 namespace flicker {
 
+// How ExecuteSession runs a PAL. Classic is the paper's Fig. 2 lifecycle
+// (suspend OS, SKINIT, resume); concurrent is the §9 future-work mode where
+// a resident minimal hypervisor pins the PAL to one core while the OS keeps
+// running on the rest.
+enum class SessionMode {
+  kClassic,
+  kConcurrent,
+};
+
 struct FlickerPlatformConfig {
   MachineConfig machine;
   KernelConfig kernel;
   TqdConfig tqd;
+  SessionMode mode = SessionMode::kClassic;
+  hv::HvConfig hv;
 };
 
 // Everything a completed session yields, including the timing breakdown the
@@ -46,6 +58,10 @@ struct FlickerSessionResult {
   double suspend_ms = 0;         // AP deschedule + INIT IPIs + state save.
   double skinit_ms = 0;          // The SKINIT instruction itself.
   double session_total_ms = 0;   // Suspend through resume.
+  // Simulated time the OS was actually paused: the whole session in classic
+  // mode, only the hypercall/world-switch slivers in concurrent mode.
+  double os_pause_ms = 0;
+  uint64_t hv_session_id = 0;    // Hypervisor session id (concurrent mode only).
 
   const Bytes& outputs() const { return record.outputs; }
   bool ok() const { return record.pal_status.ok(); }
@@ -63,6 +79,13 @@ class FlickerPlatform {
   TpmQuoteDaemon* tqd() { return &tqd_; }
   TpmClient* tpm() { return machine_.tpm(); }
   SimClock* clock() { return machine_.clock(); }
+  hv::Hypervisor* hypervisor() { return &hv_; }
+  SessionMode mode() const { return mode_; }
+
+  // Concurrent mode: late-launches the hypervisor if it is not resident
+  // (first session after boot or after any reset). The one-time launch
+  // parks the APs around SKINIT, then the OS resumes on every core.
+  Status EnsureHypervisorResident();
 
   // Runs one full Flicker session for `binary` with `inputs`. `options`
   // carries the attestation nonce (extended into PCR 17 when present).
@@ -76,13 +99,23 @@ class FlickerPlatform {
   uint64_t sessions_started() const { return sessions_started_; }
 
  private:
+  Result<FlickerSessionResult> ExecuteClassicSession(const PalBinary& binary, const Bytes& inputs,
+                                                     const SlbCoreOptions& options,
+                                                     FlickerSessionResult result);
+  Result<FlickerSessionResult> ExecuteConcurrentSession(const PalBinary& binary,
+                                                        const Bytes& inputs,
+                                                        const SlbCoreOptions& options,
+                                                        FlickerSessionResult result);
+
   uint64_t sessions_started_ = 0;
+  SessionMode mode_;
   Machine machine_;
   SlbMeasurementCache measurement_cache_;
   OsKernel kernel_;
   Scheduler scheduler_;
   FlickerModule module_;
   TpmQuoteDaemon tqd_;
+  hv::Hypervisor hv_;
 };
 
 }  // namespace flicker

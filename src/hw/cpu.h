@@ -51,6 +51,13 @@ struct Cpu {
   // Intel SMX (Safer Mode Extensions) enable bit; GETSEC[SENTER] requires
   // it. Meaningless on SVM machines.
   bool smx_enabled = true;
+  // Set while the core runs as an SVM guest under the minimal hypervisor
+  // (VMRUN'd with a VMCB): its memory traffic is subject to nested-page
+  // translation and the hypervisor's guest-access guard.
+  bool guest_mode = false;
+  // Set on a core the hypervisor has pinned to a PAL session; the OS
+  // scheduler must not place work on it until the session ends.
+  bool pal_dedicated = false;
   uint64_t cr3 = 0;  // Opaque page-table root handle for the OS model.
   SegmentState code_segment;
   SegmentState data_segment;

@@ -180,9 +180,37 @@ Result<Bytes> Machine::DmaRead(uint64_t addr, size_t len) {
   return memory_.Read(addr, len);
 }
 
+Status Machine::GuestWrite(int cpu_index, uint64_t addr, const Bytes& data) {
+  if (cpu_index < 0 || cpu_index >= num_cpus()) {
+    return InvalidArgumentError("guest access: CPU index out of range");
+  }
+  const Cpu& cpu = cpus_[static_cast<size_t>(cpu_index)];
+  if (cpu.guest_mode && guest_guard_ != nullptr &&
+      guest_guard_->FaultsGuestAccess(cpu_index, addr, data.size(), /*is_write=*/true)) {
+    ++npt_blocked_count_;
+    return PermissionDeniedError("guest write blocked by nested page protection");
+  }
+  return memory_.Write(addr, data);
+}
+
+Result<Bytes> Machine::GuestRead(int cpu_index, uint64_t addr, size_t len) {
+  if (cpu_index < 0 || cpu_index >= num_cpus()) {
+    return InvalidArgumentError("guest access: CPU index out of range");
+  }
+  const Cpu& cpu = cpus_[static_cast<size_t>(cpu_index)];
+  if (cpu.guest_mode && guest_guard_ != nullptr &&
+      guest_guard_->FaultsGuestAccess(cpu_index, addr, len, /*is_write=*/false)) {
+    ++npt_blocked_count_;
+    return PermissionDeniedError("guest read blocked by nested page protection");
+  }
+  return memory_.Read(addr, len);
+}
+
 void Machine::Reboot() {
   tpm_transport_.hardware()->PowerCycle();
   dev_.Clear();
+  guest_guard_ = nullptr;
+  ++reset_epoch_;
   in_secure_session_ = false;
   active_slb_base_ = 0;
   for (Cpu& cpu : cpus_) {
@@ -191,6 +219,8 @@ void Machine::Reboot() {
     cpu.interrupts_enabled = true;
     cpu.debug_access_enabled = true;
     cpu.paging_enabled = true;
+    cpu.guest_mode = false;
+    cpu.pal_dedicated = false;
     cpu.LoadFlatSegments();
   }
 }
@@ -201,6 +231,8 @@ void Machine::Reboot() {
 void Machine::ResetCommon() {
   tpm_transport_.hardware()->Init();
   dev_.Clear();
+  guest_guard_ = nullptr;
+  ++reset_epoch_;
   in_secure_session_ = false;
   active_slb_base_ = 0;
   for (Cpu& cpu : cpus_) {
@@ -209,6 +241,8 @@ void Machine::ResetCommon() {
     cpu.interrupts_enabled = true;
     cpu.debug_access_enabled = true;
     cpu.paging_enabled = true;
+    cpu.guest_mode = false;
+    cpu.pal_dedicated = false;
     cpu.LoadFlatSegments();
   }
 }

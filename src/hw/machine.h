@@ -114,6 +114,23 @@ class Machine {
   Result<Bytes> DmaRead(uint64_t addr, size_t len);
   uint64_t dma_blocked_count() const { return dma_blocked_count_; }
 
+  // ---- Nested paging (SVM hypervisor mode) ----
+  //
+  // The minimal hypervisor installs itself as the guest-access guard and
+  // flips the OS cores into guest mode; from then on OS-originated memory
+  // traffic must go through GuestRead/GuestWrite, which take a nested page
+  // fault (kPermissionDenied) on hypervisor- or PAL-owned frames. With no
+  // guard installed (the classic machine) these are plain memory accesses.
+  void set_guest_guard(GuestAccessGuard* guard) { guest_guard_ = guard; }
+  GuestAccessGuard* guest_guard() { return guest_guard_; }
+  Status GuestWrite(int cpu_index, uint64_t addr, const Bytes& data);
+  Result<Bytes> GuestRead(int cpu_index, uint64_t addr, size_t len);
+  uint64_t npt_blocked_count() const { return npt_blocked_count_; }
+
+  // Bumped by every reset flavour (Reboot, PowerCut, WarmReset). The
+  // hypervisor keys its residency on this: any reset evicts it.
+  uint64_t reset_epoch() const { return reset_epoch_; }
+
   // Platform reboot: TPM power cycle (dynamic PCRs to -1), CPUs reset, DEV
   // cleared.
   void Reboot();
@@ -151,11 +168,14 @@ class Machine {
   TpmClient tpm_client_;
 
   MeasurementEngine* measurement_engine_ = nullptr;
+  GuestAccessGuard* guest_guard_ = nullptr;
   FaultScheduler fault_scheduler_;
 
   bool in_secure_session_ = false;
   uint64_t active_slb_base_ = 0;
   uint64_t dma_blocked_count_ = 0;
+  uint64_t npt_blocked_count_ = 0;
+  uint64_t reset_epoch_ = 0;
 };
 
 }  // namespace flicker

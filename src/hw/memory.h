@@ -74,6 +74,20 @@ class MeasurementEngine {
                                 MeasureOutcome* outcome) = 0;
 };
 
+// Nested-page-protection hook: when a core runs in guest mode under the
+// minimal hypervisor, every memory access the OS model issues through
+// Machine::GuestRead/GuestWrite is checked against this guard. Implemented
+// by the hypervisor (src/hv); a null guard means "identity-mapped, nothing
+// faults" - exactly the pre-hypervisor machine.
+class GuestAccessGuard {
+ public:
+  virtual ~GuestAccessGuard() = default;
+
+  // True when the guest access [addr, addr+len) from `core` must take a
+  // nested page fault (i.e. it touches hypervisor- or PAL-owned frames).
+  virtual bool FaultsGuestAccess(int core, uint64_t addr, size_t len, bool is_write) = 0;
+};
+
 class DeviceExclusionVector {
  public:
   // Marks [base, base+len) as DMA-protected.

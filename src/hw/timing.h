@@ -111,9 +111,37 @@ inline CpuTimingProfile Athlon64X2Profile() {
   };
 }
 
+// Costs of the minimal SVM hypervisor's virtualization primitives
+// (ROADMAP item 4 / paper §9 "concurrent execution"). Calibrated from
+// published VMRUN/#VMEXIT round-trip measurements on Barcelona-class SVM
+// parts (a few microseconds per world switch) rather than the paper, which
+// predates the hypervisor.
+struct HvTimingProfile {
+  std::string name;
+  // One direction of a world switch (VMRUN or #VMEXIT: VMCB save/restore).
+  double world_switch_us;
+  // Hypervisor-side handling of one hypercall, excluding the world switches.
+  double hypercall_us;
+  // Installing or tearing down nested-page protection over one PAL region.
+  double npt_update_us;
+  // One software µPCR extend (SHA-1 of 40 bytes plus bookkeeping).
+  double upcr_extend_us;
+};
+
+inline HvTimingProfile SvmHvProfile() {
+  return HvTimingProfile{
+      .name = "SVM minimal hypervisor",
+      .world_switch_us = 1.0,
+      .hypercall_us = 3.0,
+      .npt_update_us = 5.0,
+      .upcr_extend_us = 1.0,
+  };
+}
+
 struct TimingModel {
   TpmTimingProfile tpm;
   CpuTimingProfile cpu;
+  HvTimingProfile hv = SvmHvProfile();
 
   double SkinitMillis(size_t slb_transfer_bytes) const {
     return cpu.skinit_cpu_setup_ms +
@@ -126,6 +154,11 @@ struct TimingModel {
   // what a verified measurement-cache hit pays instead of Sha1Millis.
   double MemTouchMillis(size_t bytes) const {
     return static_cast<double>(bytes) / (1024.0 * 1024.0) / cpu.memcpy_mb_per_ms;
+  }
+  // Full cost of one guest->hypervisor->guest transition handling a
+  // hypercall or intercepted exit: two world switches plus the handler.
+  double HvExitMillis() const {
+    return (2.0 * hv.world_switch_us + hv.hypercall_us) / 1000.0;
   }
 };
 

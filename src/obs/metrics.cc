@@ -106,6 +106,12 @@ constexpr MetricDef kCounterDefs[static_cast<size_t>(Ctr::kCount)] = {
      "Composite chaos fault plans executed by the fuzzer (including shrink re-runs)"},
     {"chaos_violations_found_total", "count",
      "Chaos plans whose run violated an invariant oracle (before shrinking)"},
+    {"hv_sessions_total", "count",
+     "Concurrent PAL sessions started under the minimal hypervisor"},
+    {"hv_exits_total", "count",
+     "Guest exits handled by the hypervisor (hypercalls and intercepted accesses)"},
+    {"hv_denied_accesses_total", "count",
+     "Cross-core attacks refused by the hypervisor with a typed denial"},
 };
 
 constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
@@ -113,7 +119,8 @@ constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
      "Simulated latency charged per dispatched TPM command frame"},
     {"skinit_latency_ms", "ms", "Simulated cost of the SKINIT/SENTER instruction per launch"},
     {"flicker_session_total_ms", "ms",
-     "Simulated wall time of one full Flicker session (suspend through resume)"},
+     "Simulated wall time of one full Flicker session, either mode (classic: "
+     "suspend through resume; concurrent: hypercall through output collection)"},
     {"session_call_latency_ms", "ms",
      "Simulated time one SessionClient::Call spent until verdict (success or fail-closed)"},
     {"tqd_batch_size", "challenges",
@@ -134,6 +141,10 @@ constexpr MetricDef kHistogramDefs[static_cast<size_t>(Hist::kCount)] = {
      "Hedge delay in force when each hedge fired (p95 of observed ack round-trips)"},
     {"fleet_verifier_mttr_ms", "ms",
      "Simulated time a verifier's breaker stayed open before a probe re-closed it"},
+    {"hv_exit_latency_ms", "ms",
+     "Simulated cost of one guest exit round trip (two world switches plus handler)"},
+    {"hv_session_concurrency", "sessions",
+     "Concurrent hypervisor PAL sessions active, sampled at each session start"},
 };
 
 const char* TypeName(MetricType type) {

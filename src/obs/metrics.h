@@ -93,6 +93,9 @@ enum class Ctr : int {
   kFleetVerifierFaults,
   kChaosPlansRun,
   kChaosViolationsFound,
+  kHvSessions,
+  kHvExits,
+  kHvDeniedAccesses,
   kCount
 };
 
@@ -111,6 +114,8 @@ enum class Hist : int {
   kVtpmRoundLatencyMs,
   kFleetHedgeDelayMs,
   kFleetVerifierMttrMs,
+  kHvExitLatencyMs,
+  kHvSessionConcurrency,
   kCount
 };
 

@@ -68,6 +68,62 @@ Result<SkinitLaunch> FlickerModule::StartSession() {
   return launch;
 }
 
+namespace {
+
+// WriteIoPage, but through the guest-access path: in hypervisor mode the
+// module runs as a guest and its stores are subject to nested paging.
+Status GuestWriteIoPage(Machine* machine, int cpu, uint64_t page_addr, const Bytes& data) {
+  if (data.size() + 4 > kSlbIoPageSize) {
+    return ResourceExhaustedError("payload exceeds 4 KB I/O page");
+  }
+  Bytes page;
+  PutUint32(&page, static_cast<uint32_t>(data.size()));
+  page.insert(page.end(), data.begin(), data.end());
+  return machine->GuestWrite(cpu, page_addr, page);
+}
+
+}  // namespace
+
+Status FlickerModule::StageForHypervisorAt(uint64_t base) {
+  if (staged_slb_.empty()) {
+    return FailedPreconditionError("no SLB staged; write the slb entry first");
+  }
+  const int bsp = machine_->bsp()->id;
+
+  // Same untrusted pre-launch steps as StartSession, minus the suspend
+  // dance: patch for the load address, copy image + inputs + saved state.
+  Bytes patched = staged_slb_;
+  PatchSlbImage(&patched, base);
+  if (corrupt_slb_before_launch_) {
+    patched[kSlbCodeOffset + 100] ^= 0xff;  // Malicious-OS tampering.
+  }
+  FLICKER_RETURN_IF_ERROR(machine_->GuestWrite(bsp, base, patched));
+  FLICKER_RETURN_IF_ERROR(
+      GuestWriteIoPage(machine_, bsp, base + kSlbInputsOffset, staged_inputs_));
+
+  Bytes saved_state;
+  PutUint64(&saved_state, machine_->bsp()->cr3);
+  return GuestWriteIoPage(machine_, bsp, base + kSlbSavedStateOffset, saved_state);
+}
+
+Status FlickerModule::CollectOutputsAt(uint64_t base) {
+  const int bsp = machine_->bsp()->id;
+  Result<Bytes> header = machine_->GuestRead(bsp, base + kSlbOutputsOffset, 4);
+  if (!header.ok()) {
+    return header.status();
+  }
+  uint32_t len = GetUint32(header.value(), 0);
+  if (len + 4 > kSlbIoPageSize) {
+    return InvalidArgumentError("corrupt I/O page length");
+  }
+  Result<Bytes> outputs = machine_->GuestRead(bsp, base + kSlbOutputsOffset + 4, len);
+  if (!outputs.ok()) {
+    return outputs.status();
+  }
+  outputs_ = outputs.value();
+  return Status::Ok();
+}
+
 Status FlickerModule::FinishSession() {
   if (!session_prepared_) {
     return FailedPreconditionError("no session to finish");

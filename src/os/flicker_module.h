@@ -43,6 +43,17 @@ class FlickerModule {
 
   uint64_t slb_base() const { return kSlbFixedBase; }
 
+  // ---- Concurrent (hypervisor) mode ----
+  //
+  // Stages the SLB + inputs + saved kernel state at `base` (a hypervisor
+  // PAL slot) without any suspend dance: the OS keeps running, and the
+  // writes go through the guest-access path, so staging into a frame the
+  // hypervisor protects takes a nested page fault instead of succeeding.
+  Status StageForHypervisorAt(uint64_t base);
+  // Reads the session outputs back from `base`'s output page into the
+  // sysfs buffer (also via the guest-access path).
+  Status CollectOutputsAt(uint64_t base);
+
   // ---- Adversary hook ----
   // When set, the module corrupts the staged SLB image before launch (flips
   // a byte in the PAL code region). The session still runs, but PCR 17 will

@@ -36,14 +36,52 @@ Result<Bytes> ReadIoPage(const PhysicalMemory& memory, uint64_t page_addr) {
   return memory.Read(page_addr + 4, len);
 }
 
+namespace {
+
+// The pre-hypervisor session environment: the session runs on the BSP
+// inside the SKINIT launch, PCR 17 is the hardware register, and exiting
+// means Machine::ExitSecureMode.
+class ClassicSessionEnv : public SessionEnv {
+ public:
+  explicit ClassicSessionEnv(Machine* machine) : machine_(machine) {}
+
+  Cpu* session_cpu() override { return machine_->bsp(); }
+
+  Status CheckEntry(const SkinitLaunch& launch) override {
+    if (!machine_->in_secure_session() || machine_->active_slb_base() != launch.slb_base) {
+      return FailedPreconditionError("SLB core must run inside the SKINIT-launched session");
+    }
+    return Status::Ok();
+  }
+
+  Status ExtendPcr(const Bytes& measurement) override {
+    return machine_->tpm()->PcrExtend(kSkinitPcr, measurement);
+  }
+
+  Result<Bytes> ReadPcr() override { return machine_->tpm()->PcrRead(kSkinitPcr); }
+
+  Status Exit(uint64_t restored_cr3) override {
+    return machine_->ExitSecureMode(machine_->bsp()->id, restored_cr3);
+  }
+
+ private:
+  Machine* machine_;
+};
+
+}  // namespace
+
 Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
                                    const PalBinary& binary, const SlbCoreOptions& options) {
-  if (!machine->in_secure_session() || machine->active_slb_base() != launch.slb_base) {
-    return FailedPreconditionError("SLB core must run inside the SKINIT-launched session");
-  }
+  ClassicSessionEnv env(machine);
+  return RunWith(machine, &env, launch, binary, options);
+}
+
+Result<SessionRecord> SlbCore::RunWith(Machine* machine, SessionEnv* env,
+                                       const SkinitLaunch& launch, const PalBinary& binary,
+                                       const SlbCoreOptions& options) {
+  FLICKER_RETURN_IF_ERROR(env->CheckEntry(launch));
   const uint64_t base = launch.slb_base;
-  Cpu* bsp = machine->bsp();
-  TpmClient* tpm = machine->tpm();
+  Cpu* core = env->session_cpu();
   SessionRecord record;
   obs::ScopedSpan run_span("slb", "slb.run");
   CRASH_POINT("slb.entry");
@@ -81,18 +119,18 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
       case MeasureOutcome::kCleanHit:
         break;
     }
-    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, region_digest));
+    FLICKER_RETURN_IF_ERROR(env->ExtendPcr(region_digest));
     record.stub_hash_ms = stub_watch.ElapsedMillis();
   }
 
   // Step 2: initialize segmentation - descriptors based at slb_base so the
   // position-dependent PAL sees itself at offset 0.
-  bsp->code_segment = SegmentState{base, kSlbRegionSize - 1};
-  bsp->data_segment = SegmentState{base, kSlbAllocationSize - 1};
+  core->code_segment = SegmentState{base, kSlbRegionSize - 1};
+  core->data_segment = SegmentState{base, kSlbAllocationSize - 1};
 
   // Record the PCR 17 value the PAL executes under; sealed storage binds to
   // exactly this value.
-  Result<Bytes> pcr17 = tpm->PcrRead(kSkinitPcr);
+  Result<Bytes> pcr17 = env->ReadPcr();
   if (!pcr17.ok()) {
     return pcr17.status();
   }
@@ -112,7 +150,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
           : 0;
   PalContext context(machine, base, inputs.value(), protect, pal_segment, deadline_micros);
   if (protect) {
-    bsp->ring = 3;  // IRET into the PAL (§5.1.2).
+    core->ring = 3;  // IRET into the PAL (§5.1.2).
   }
   SimStopwatch pal_watch(machine->clock());
   {
@@ -125,7 +163,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
   }
   record.pal_execute_ms = pal_watch.ElapsedMillis();
   record.pal_fault_count = context.fault_count();
-  bsp->ring = 0;  // Call gate + TSS return the SLB core to ring 0.
+  core->ring = 0;  // Call gate + TSS return the SLB core to ring 0.
   CRASH_POINT("slb.pal_done");
 
   // Step 4: publish outputs to the well-known page, then erase everything
@@ -143,16 +181,16 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
     SimStopwatch extend_watch(machine->clock());
     record.inputs_digest = Sha1::Digest(inputs.value());
     record.outputs_digest = Sha1::Digest(record.outputs);
-    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.inputs_digest));
-    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, record.outputs_digest));
+    FLICKER_RETURN_IF_ERROR(env->ExtendPcr(record.inputs_digest));
+    FLICKER_RETURN_IF_ERROR(env->ExtendPcr(record.outputs_digest));
     if (!options.nonce.empty()) {
-      FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, Sha1::Digest(options.nonce)));
+      FLICKER_RETURN_IF_ERROR(env->ExtendPcr(Sha1::Digest(options.nonce)));
     }
-    FLICKER_RETURN_IF_ERROR(tpm->PcrExtend(kSkinitPcr, FlickerTerminationConstant()));
+    FLICKER_RETURN_IF_ERROR(env->ExtendPcr(FlickerTerminationConstant()));
     record.extend_ms = extend_watch.ElapsedMillis();
   }
 
-  Result<Bytes> final_pcr = tpm->PcrRead(kSkinitPcr);
+  Result<Bytes> final_pcr = env->ReadPcr();
   if (!final_pcr.ok()) {
     return final_pcr.status();
   }
@@ -168,7 +206,7 @@ Result<SessionRecord> SlbCore::Run(Machine* machine, const SkinitLaunch& launch,
     return IntegrityFailureError("saved kernel state page corrupt");
   }
   uint64_t saved_cr3 = GetUint64(saved.value(), 0);
-  FLICKER_RETURN_IF_ERROR(machine->ExitSecureMode(bsp->id, saved_cr3));
+  FLICKER_RETURN_IF_ERROR(env->Exit(saved_cr3));
   return record;
 }
 

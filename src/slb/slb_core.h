@@ -56,12 +56,41 @@ struct SessionRecord {
   uint64_t pal_fault_count = 0;
 };
 
+// The environment a session runs in. The SLB core's trusted body is
+// identical whether SKINIT suspended the whole machine (classic mode) or
+// the minimal hypervisor pinned the PAL to one core (concurrent mode);
+// what differs is which core executes, where PCR 17 lives, and how control
+// returns to the OS. Implementations: the classic env in slb_core.cc and
+// HvSessionEnv in src/hv.
+class SessionEnv {
+ public:
+  virtual ~SessionEnv() = default;
+
+  // The core the session executes on (BSP classically, the pinned core
+  // under the hypervisor).
+  virtual Cpu* session_cpu() = 0;
+  // Checks the launch descriptor matches this environment's active session.
+  virtual Status CheckEntry(const SkinitLaunch& launch) = 0;
+  // Extend the session's PCR 17 (hardware register classically; the
+  // hypervisor's µPCR - mirrored to hardware when configured - otherwise).
+  virtual Status ExtendPcr(const Bytes& measurement) = 0;
+  virtual Result<Bytes> ReadPcr() = 0;
+  // Return control to the OS: restore the core, drop protections.
+  virtual Status Exit(uint64_t restored_cr3) = 0;
+};
+
 class SlbCore {
  public:
   // Runs the in-session flow on the BSP. `launch` must come from a
   // successful Machine::Skinit of `binary`'s patched image.
   static Result<SessionRecord> Run(Machine* machine, const SkinitLaunch& launch,
                                    const PalBinary& binary, const SlbCoreOptions& options);
+
+  // The same trusted body against an explicit session environment; Run()
+  // delegates here with the classic (SKINIT/hardware-TPM) environment.
+  static Result<SessionRecord> RunWith(Machine* machine, SessionEnv* env,
+                                       const SkinitLaunch& launch, const PalBinary& binary,
+                                       const SlbCoreOptions& options);
 };
 
 // I/O page codec shared with the flicker-module: a page holds a 32-bit

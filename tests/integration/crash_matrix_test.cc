@@ -29,6 +29,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/apps/hello.h"
 #include "src/apps/rootkit_detector.h"
 #include "src/common/fault.h"
 #include "src/core/flicker_platform.h"
@@ -52,9 +53,14 @@ const char* ResetKindName(ResetKind kind) {
 // nor pollute the recording.
 struct Rig {
   std::unique_ptr<FlickerPlatform> platform;
+  // A second, concurrent-mode platform so the matrix also sweeps crashes
+  // through the hypervisor's durability boundaries (launch, session
+  // protection, session end) on every cell.
+  std::unique_ptr<FlickerPlatform> hv_platform;
   std::unique_ptr<CrashConsistentSealedStore> store;
   std::unique_ptr<NvReplayProtectedStorage> nv;
   PalBinary detector;
+  PalBinary hello;
   Bytes inputs;
   Bytes owner_auth;
   Bytes blob_auth;
@@ -67,6 +73,10 @@ class CrashMatrixTest : public ::testing::Test {
   std::unique_ptr<Rig> MakeRig(CrashStoreOptions options = CrashStoreOptions()) {
     auto rig = std::make_unique<Rig>();
     rig->platform = std::make_unique<FlickerPlatform>();
+    FlickerPlatformConfig hv_config;
+    hv_config.mode = SessionMode::kConcurrent;
+    rig->hv_platform = std::make_unique<FlickerPlatform>(hv_config);
+    rig->hello = BuildPal(std::make_shared<HelloWorldPal>()).take();
     rig->owner_auth = Sha1::Digest(BytesOf("owner"));
     EXPECT_TRUE(rig->platform->tpm()->TakeOwnership(rig->owner_auth).ok());
     rig->blob_auth = Sha1::Digest(BytesOf("blob"));
@@ -111,6 +121,9 @@ class CrashMatrixTest : public ::testing::Test {
     (void)rig->platform->tqd()->SubmitBatched(BytesOf("batch-b"), PcrSelection({17}));
     std::vector<BatchQuoteResponse> slices;
     (void)rig->platform->tqd()->FlushReadyBatches(&slices, /*force=*/true);
+    // A concurrent-mode session on the second platform, so the sweep also
+    // crashes inside the hypervisor's launch / protect / end boundaries.
+    (void)rig->hv_platform->ExecuteSession(rig->hello, BytesOf("hv-cell-input"));
   }
 
   static void Reset(Rig* rig, ResetKind kind) {
@@ -179,6 +192,21 @@ class CrashMatrixTest : public ::testing::Test {
     EXPECT_TRUE(batch.ok()) << batch.ToString();
     EXPECT_EQ(slices.size(), 1u);
 
+    // E. The concurrent-mode platform recovers too: whatever state the
+    //    crash tore, a reset evicts the hypervisor and the next session
+    //    relaunches it and completes normally.
+    rig->hv_platform->machine()->WarmReset();
+    EXPECT_FALSE(rig->hv_platform->hypervisor()->resident());
+    Result<TpmStartupReport> hv_startup =
+        rig->hv_platform->tpm()->Startup(TpmStartupType::kClear);
+    EXPECT_TRUE(hv_startup.ok()) << hv_startup.status().ToString();
+    Result<FlickerSessionResult> hv_session =
+        rig->hv_platform->ExecuteSession(rig->hello, BytesOf("post-crash-hv"));
+    EXPECT_TRUE(hv_session.ok()) << hv_session.status().ToString();
+    if (hv_session.ok()) {
+      EXPECT_EQ(hv_session.value().outputs(), BytesOf("Hello, world"));
+    }
+
     return !::testing::Test::HasFatalFailure();
   }
 
@@ -198,14 +226,14 @@ TEST_F(CrashMatrixTest, WorkloadCoversTheCrashSurface) {
   std::vector<std::string> hits = RecordHits();
   std::set<std::string> distinct(hits.begin(), hits.end());
   // The acceptance floor is 15 instrumented points; the workload reaches the
-  // full census of 19.
+  // full census of 22 (19 classic + the hypervisor's three).
   EXPECT_GE(distinct.size(), 15u) << "crash surface shrank";
   for (const char* point :
        {"skinit.enter", "skinit.measured", "skinit.pcr_extended", "slb.entry", "slb.pal_done",
         "slb.erased", "machine.exit_secure", "seal.staged", "seal.incremented", "seal.committed",
         "tpm.counter.journal", "tpm.counter.staged", "tpm.counter.commit", "tpm.nv_write.journal",
         "tpm.nv_write.staged", "tpm.nv_write.commit", "tpm.nv_write.apply", "tpm.save_state",
-        "tqd.batch_flush"}) {
+        "tqd.batch_flush", "hv.launched", "hv.session_protected", "hv.session_end"}) {
     EXPECT_TRUE(distinct.count(point)) << "workload never reached " << point;
   }
 }

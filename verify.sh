@@ -47,8 +47,16 @@
 #                        it, and the committed minimal replay
 #                        (tools/chaos/minimal_torn_state.replay) re-run
 #                        twice - byte-identical output, signature matched
+#   verify.sh --hv       additionally run the concurrent-execution campaign:
+#                        hv-labeled suites (late-launch, classic/concurrent
+#                        parity, cross-core adversary battery, fleet
+#                        campaign) under ASan+UBSan, then the release
+#                        build's flagship bench twice with the same seed -
+#                        byte-identical JSON (refreshing BENCH_hv.json,
+#                        micro_hv exits 2 if any attack is accepted or
+#                        mistyped) - and a multi-seed quiet sweep
 #
-# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet|--vtpm|--chaos-fuzz] [build-dir]
+# Usage: verify.sh [--asan|--faults|--net|--obs|--perf|--fleet|--vtpm|--chaos-fuzz|--hv] [build-dir]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
@@ -60,6 +68,7 @@ perf=0
 fleet=0
 vtpm=0
 chaosfuzz=0
+hv=0
 if [ "${1:-}" = "--asan" ]; then
   asan=1
   shift
@@ -84,6 +93,9 @@ elif [ "${1:-}" = "--vtpm" ]; then
 elif [ "${1:-}" = "--chaos-fuzz" ]; then
   chaosfuzz=1
   shift
+elif [ "${1:-}" = "--hv" ]; then
+  hv=1
+  shift
 fi
 build_dir=${1:-"$repo_root/build"}
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -107,12 +119,28 @@ fi
 # DESIGN.md must keep its numbered sections; a refactor that silently drops
 # the observability/robustness design record fails here.
 for heading in \
-  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.' '## 14\.' '## 15\.'; do
+  '## 5\.' '## 8\.' '## 9\.' '## 10\.' '## 11\.' '## 13\.' '## 14\.' '## 15\.' \
+  '## 16\.'; do
   if ! grep -q "^$heading" "$repo_root/DESIGN.md"; then
     echo "verify.sh: DESIGN.md is missing section heading '$heading'" >&2
     exit 1
   fi
 done
+# docs/HYPERVISOR.md is the operator's record of the concurrent-execution
+# mode; it must keep the threat model, the protection table, and the two
+# session lifecycles. README.md must keep the build-flag matrix the docs
+# point operators at.
+for heading in '## Threat model' '## Nested protections' \
+  '## Session lifecycles' '## Denial taxonomy'; do
+  if ! grep -q "^$heading" "$repo_root/docs/HYPERVISOR.md"; then
+    echo "verify.sh: docs/HYPERVISOR.md is missing heading '$heading'" >&2
+    exit 1
+  fi
+done
+if ! grep -q '^## Build-flag matrix' "$repo_root/README.md"; then
+  echo "verify.sh: README.md is missing the '## Build-flag matrix' section" >&2
+  exit 1
+fi
 
 # ---- Time-discipline gate (always on) ----
 #
@@ -367,6 +395,39 @@ if [ "$chaosfuzz" = 1 ]; then
     exit 1
   fi
   echo "verify.sh: committed minimal replay reproduces byte-identically"
+fi
+
+if [ "$hv" = 1 ]; then
+  # Concurrent-execution campaign. The hv-labeled suites run under
+  # ASan+UBSan (the multi-core machine model, nested-page walks and VMCB
+  # bookkeeping must be memory-clean): late-launch/protection units, the
+  # classic-vs-concurrent parity battery (every PAL workload byte-identical
+  # across modes), the cross-core adversary battery, and the fleet campaign.
+  # Then the release build's flagship bench runs twice with the same seed -
+  # the JSON reports must be byte-identical (micro_hv exits 2 if any attack
+  # is accepted or mistyped, or the pause-reduction floor is missed) and the
+  # first run refreshes BENCH_hv.json - followed by a multi-seed quiet sweep.
+  asan_dir="$repo_root/build-asan"
+  cmake -B "$asan_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Asan
+  cmake --build "$asan_dir" -j "$jobs" --target \
+    hv_hypervisor_test hv_parity_test hv_adversary_test hv_campaign_test
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" -L hv
+
+  cmake --build "$build_dir" -j "$jobs" --target micro_hv
+  "$build_dir/bench/micro_hv" --bench_json="$build_dir/hv_a.json" > /dev/null
+  "$build_dir/bench/micro_hv" --bench_json="$build_dir/hv_b.json" > /dev/null
+  if ! cmp -s "$build_dir/hv_a.json" "$build_dir/hv_b.json"; then
+    echo "verify.sh: same-seed hv campaigns differ (the simulation is nondeterministic)" >&2
+    diff -u "$build_dir/hv_a.json" "$build_dir/hv_b.json" >&2 || true
+    exit 1
+  fi
+  echo "verify.sh: same-seed hv campaign double-run byte-identical"
+  cp "$build_dir/hv_a.json" "$repo_root/BENCH_hv.json"
+
+  for seed in 2 5 11; do
+    "$build_dir/bench/micro_hv" --quiet --seed="$seed" > /dev/null
+  done
+  echo "verify.sh: multi-seed hv adversarial sweep clean (accepted_wrong == 0 across seeds)"
 fi
 
 echo "verify.sh: all checks passed"
